@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/m2t"
+)
+
+const fixture = "../../testdata/mp3.sbd"
+
+func TestRunListing(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", fixture}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"arbitration schedule", "CA: 33 inter-segment grants", "SA1:", "SA3:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestRunVHDLToFile(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-model", fixture, "-vhdl", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "mp3-decoder_schedulers.vhd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "entity sa1_scheduler is") {
+		t.Error("VHDL content missing")
+	}
+}
+
+func TestRunFromSchemes(t *testing.T) {
+	dir := t.TempDir()
+	psdfXML, err := m2t.GeneratePSDF(apps.MP3Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	psmXML, err := m2t.GeneratePSM(apps.MP3Platform3(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := filepath.Join(dir, "a.xsd")
+	mp := filepath.Join(dir, "b.xsd")
+	if err := os.WriteFile(pp, psdfXML, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, psmXML, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-psdf", pp, "-psm", mp}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SA2:") {
+		t.Error("schedule missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if err := run([]string{"-model", "nope.sbd"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A model without a platform section cannot drive codegen.
+	dir := t.TempDir()
+	noPlat := filepath.Join(dir, "noplat.sbd")
+	if err := os.WriteFile(noPlat, []byte("flow P0 -> P1 items=36 order=1 ticks=0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", noPlat}, &out); err == nil {
+		t.Error("platform-less model accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// segbus-emu is the SegBus emulator program: it reads the PSDF and PSM
+// XML schemes produced by the model-to-text transformation, rebuilds
+// the platform structure, runs the emulation and prints the
+// performance report of the paper's section 4 — per-arbiter TCTs and
+// request counts, border-unit package counts, per-process start/end
+// times and the estimated total execution time.
+//
+// Usage:
+//
+//	segbus-emu -psdf gen/mp3-psdf.xsd -psm gen/mp3-psm.xsd [-s 36]
+//	           [-refined] [-timeline] [-gantt] [-bu] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"segbus/internal/core"
+	"segbus/internal/emulator"
+	"segbus/internal/power"
+	"segbus/internal/psdf"
+	"segbus/internal/realplat"
+	report2 "segbus/internal/report"
+	"segbus/internal/schema"
+	"segbus/internal/stats"
+	"segbus/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "segbus-emu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("segbus-emu", flag.ContinueOnError)
+	psdfPath := fs.String("psdf", "", "PSDF XML scheme (required)")
+	psmPath := fs.String("psm", "", "PSM XML scheme (required)")
+	pkg := fs.Int("s", 0, "package size override (default: the scheme's)")
+	iterations := fs.Int("iterations", 1, "emulate this many back-to-back frames of the application")
+	refined := fs.Bool("refined", false, "run the refined (ground-truth) timing model instead of the estimation model")
+	timeline := fs.Bool("timeline", false, "print the per-process progress timeline (Figure 10 view)")
+	gantt := fs.Bool("gantt", false, "print the per-element activity graph (Figure 11 view)")
+	buAnalysis := fs.Bool("bu", false, "print the border-unit UP/WP analysis")
+	showPower := fs.Bool("power", false, "print the activity-based energy estimate")
+	showUtil := fs.Bool("util", false, "print the per-element utilisation table")
+	showCongestion := fs.Bool("congestion", false, "print the border-unit congestion analysis")
+	showStages := fs.Bool("stages", false, "print the schedule-stage timing breakdown")
+	csvPath := fs.String("csv", "", "write the trace intervals as CSV to this file")
+	svgTimeline := fs.String("svg-timeline", "", "write the Figure 10 timeline as SVG to this file")
+	svgActivity := fs.String("svg-activity", "", "write the Figure 11 activity graph as SVG to this file")
+	htmlPath := fs.String("html", "", "write a self-contained HTML report (tables, figures, energy) to this file")
+	jsonPath := fs.String("json", "", "write the trace as versioned JSON to this file")
+	reportJSONPath := fs.String("report-json", "", "write the report as versioned JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *psdfPath == "" || *psmPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-psdf and -psm are required")
+	}
+	psdfXML, err := os.ReadFile(*psdfPath)
+	if err != nil {
+		return err
+	}
+	psmXML, err := os.ReadFile(*psmPath)
+	if err != nil {
+		return err
+	}
+	m, err := schema.ParsePSDF(psdfXML)
+	if err != nil {
+		return err
+	}
+	plat, err := schema.ParsePSM(psmXML)
+	if err != nil {
+		return err
+	}
+	if *pkg > 0 {
+		plat.PackageSize = *pkg
+	}
+	if *iterations > 1 {
+		m, err = psdf.Repeat(m, *iterations)
+		if err != nil {
+			return err
+		}
+	}
+
+	wantTrace := *timeline || *gantt || *csvPath != "" || *svgTimeline != "" || *svgActivity != "" || *showUtil || *htmlPath != "" || *jsonPath != ""
+	var tr *trace.Trace
+	if wantTrace {
+		tr = &trace.Trace{}
+	}
+
+	var report *emulator.Report
+	if *refined {
+		report, err = realplat.Run(m, plat, realplat.Config{Trace: tr})
+	} else {
+		var est *core.Estimation
+		est, err = core.Estimate(m, plat, core.Options{})
+		if err == nil && wantTrace {
+			// Re-run with tracing (Estimate has no trace hook when
+			// Options.Trace is false); cheaper than special-casing.
+			report, err = emulator.Run(m, plat, emulator.Config{Trace: tr})
+		} else if est != nil {
+			report = est.Report
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprint(stdout, report)
+	if *buAnalysis {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, stats.BUTable(stats.AnalyzeBUs(report)))
+	}
+	if *showStages {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, stats.StageTable(report))
+	}
+	if *showCongestion {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, stats.CongestionReport(report))
+	}
+	if *showPower {
+		pw, err := power.Estimate(m, plat, report, power.Params{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, pw)
+	}
+	if *showUtil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, stats.UtilisationTable(stats.Utilisations(report, tr)))
+	}
+	if *timeline {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tr.Timeline())
+	}
+	if *gantt {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tr.Gantt(100))
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(tr.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *csvPath)
+	}
+	if *svgTimeline != "" {
+		if err := os.WriteFile(*svgTimeline, []byte(tr.TimelineSVG(900)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *svgTimeline)
+	}
+	if *svgActivity != "" {
+		if err := os.WriteFile(*svgActivity, []byte(tr.ActivitySVG(900)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *svgActivity)
+	}
+	if *reportJSONPath != "" {
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportJSONPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *reportJSONPath)
+	}
+	if *jsonPath != "" {
+		data, err := tr.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *jsonPath)
+	}
+	if *htmlPath != "" {
+		en, err := power.Estimate(m, plat, report, power.Params{})
+		if err != nil {
+			return err
+		}
+		html, err := report2.Render(report2.Input{
+			Title:    fmt.Sprintf("SegBus estimate: %s on %s", m.Name(), plat.Name),
+			Model:    m,
+			Platform: plat,
+			Report:   report,
+			Trace:    tr,
+			Energy:   en,
+		})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*htmlPath, []byte(html), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *htmlPath)
+	}
+	return nil
+}

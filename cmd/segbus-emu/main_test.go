@@ -1,0 +1,245 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/m2t"
+)
+
+// genSchemes writes the MP3 schemes into a temp dir and returns their
+// paths.
+func genSchemes(t *testing.T) (psdfPath, psmPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	psdfXML, err := m2t.GeneratePSDF(apps.MP3Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	psmXML, err := m2t.GeneratePSM(apps.MP3Platform3(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdfPath = filepath.Join(dir, "psdf.xsd")
+	psmPath = filepath.Join(dir, "psm.xsd")
+	if err := os.WriteFile(psdfPath, psdfXML, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(psmPath, psmXML, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return psdfPath, psmPath
+}
+
+func TestRunEmulation(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	var out strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"CA TCT =", "Execution time =", "BU12:", "SA3:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunRefinedSlower(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	var est, ref strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath}, &est); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-refined"}, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if est.String() == ref.String() {
+		t.Error("refined run identical to estimation run")
+	}
+}
+
+func TestRunViews(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	csv := filepath.Join(t.TempDir(), "trace.csv")
+	var out strings.Builder
+	err := run([]string{"-psdf", psdfPath, "-psm", psmPath,
+		"-timeline", "-gantt", "-bu", "-csv", csv}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"meanWP", "start", "#"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("views missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "element,kind") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestRunPackageSizeOverride(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	var s36, s18 strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath}, &s36); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-s", "18"}, &s18); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s18.String(), "package size 18") {
+		t.Error("override not applied")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-psdf", "nope.xsd", "-psm", "nope.xsd"}, &out); err == nil {
+		t.Error("missing files accepted")
+	}
+}
+
+func TestRunSVGOutputs(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "timeline.svg")
+	act := filepath.Join(dir, "activity.svg")
+	var out strings.Builder
+	err := run([]string{"-psdf", psdfPath, "-psm", psmPath,
+		"-svg-timeline", tl, "-svg-activity", act}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{tl, act} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("%s is not SVG", path)
+		}
+	}
+}
+
+func TestRunPowerFlag(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	var out strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-power"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dynamic") || !strings.Contains(out.String(), "mW") {
+		t.Error("power breakdown missing")
+	}
+}
+
+func TestRunUtilFlag(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	var out strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-util"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "busy%") || !strings.Contains(out.String(), "Segment 2") {
+		t.Error("utilisation table missing")
+	}
+}
+
+func TestRunIterations(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	var one, three strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath}, &one); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-iterations", "3"}, &three); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() == three.String() {
+		t.Error("iterations flag had no effect")
+	}
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-iterations", "0"}, &one); err != nil {
+		t.Error("iterations=0 should behave as a single frame:", err)
+	}
+}
+
+func TestRunHTMLReport(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	path := filepath.Join(t.TempDir(), "report.html")
+	var out strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-html", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{"<!DOCTYPE html>", "Border-unit analysis", "<svg", "Energy breakdown"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+}
+
+func TestRunJSONTrace(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 1`) {
+		t.Error("JSON trace malformed")
+	}
+}
+
+func TestRunCongestionFlag(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	var out strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-congestion"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verdict") {
+		t.Error("congestion analysis missing")
+	}
+}
+
+func TestRunStagesFlag(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	var out strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-stages"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "span (us)") {
+		t.Error("stage table missing")
+	}
+}
+
+func TestRunReportJSON(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-report-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"execution_time_ps"`) {
+		t.Error("report JSON malformed")
+	}
+}

@@ -1,0 +1,95 @@
+// segbus-m2t applies the model-to-text transformation of the SegBus
+// design flow: it reads a textual model description (the DSL stand-in
+// for the graphical modeling tool), validates it, and writes the PSDF
+// and PSM XML schemes the emulator consumes.
+//
+// Usage:
+//
+//	segbus-m2t -model design.sbd -out gen/
+//
+// The output directory receives <name>-psdf.xsd and, when the
+// description contains a platform section, <name>-psm.xsd.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"segbus/internal/dsl"
+	"segbus/internal/m2t"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "segbus-m2t:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("segbus-m2t", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "textual model description file (required)")
+	outDir := fs.String("out", ".", "directory for the generated XML schemes")
+	name := fs.String("name", "", "base name of the generated files (default: the application name)")
+	check := fs.Bool("check", false, "validate the model description and exit without generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *modelPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-model is required")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	doc, err := dsl.Parse(f)
+	if err != nil {
+		return err
+	}
+	diags := doc.Validate()
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if diags.HasErrors() {
+		return fmt.Errorf("model validation failed (%d finding(s))", len(diags))
+	}
+	if *check {
+		fmt.Fprintf(stdout, "model ok: %d processes, %d flows", doc.Model.NumProcesses(), doc.Model.NumFlows())
+		if doc.Platform != nil {
+			fmt.Fprintf(stdout, ", %d segments", doc.Platform.NumSegments())
+		}
+		fmt.Fprintln(stdout)
+		return nil
+	}
+
+	base := *name
+	if base == "" {
+		base = doc.Model.Name()
+	}
+	if base == "" {
+		base = "model"
+	}
+
+	psdfSet := m2t.NewPSDFSet(base+"-psdf", doc.Model, *outDir)
+	path, err := psdfSet.Transform()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "wrote", path)
+
+	if doc.Platform != nil {
+		psmSet := m2t.NewPSMSet(base+"-psm", doc.Platform, *outDir)
+		path, err := psmSet.Transform()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", path)
+	}
+	return nil
+}

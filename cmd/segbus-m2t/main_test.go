@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "../../testdata/mp3.sbd"
+
+func TestRunGeneratesSchemes(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-model", fixture, "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mp3-decoder-psdf.xsd", "mp3-decoder-psm.xsd"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestRunCustomName(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-model", fixture, "-out", dir, "-name", "custom"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "custom-psdf.xsd")); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -model accepted")
+	}
+	if err := run([]string{"-model", "does-not-exist.sbd"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunRejectsInvalidModel(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.sbd")
+	// Platform misses P1.
+	text := "flow P0 -> P1 items=36 order=1 ticks=0\nplatform p\nca-clock 100MHz\npackage-size 36\nsegment 1 clock=90MHz processes=P0\n"
+	if err := os.WriteFile(bad, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-model", bad, "-out", dir}, &out); err == nil {
+		t.Error("invalid model transformed")
+	}
+}
+
+func TestRunCheckMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", fixture, "-check"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "model ok: 15 processes, 20 flows, 3 segments") {
+		t.Errorf("check output: %q", out.String())
+	}
+}

@@ -1,0 +1,164 @@
+// segbus-place is the placement tool of the flow (the PlaceTool step
+// of section 3.5): it derives the communication matrix from a PSDF
+// model, solves the device allocation for a given segment count, and
+// prints the allocation with its quality metrics.
+//
+// Usage:
+//
+//	segbus-place -psdf gen/mp3-psdf.xsd -segments 3 [-max-load 8]
+//	segbus-place -model design.sbd -segments 2 [-matrix]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"segbus/internal/core"
+	"segbus/internal/dsl"
+	"segbus/internal/place"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+	"segbus/internal/schema"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "segbus-place:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("segbus-place", flag.ContinueOnError)
+	psdfPath := fs.String("psdf", "", "PSDF XML scheme")
+	modelPath := fs.String("model", "", "textual model description (alternative to -psdf)")
+	segments := fs.Int("segments", 2, "number of segments to allocate onto")
+	maxLoad := fs.Int("max-load", 0, "maximum processes per segment (0: unlimited)")
+	showMatrix := fs.Bool("matrix", false, "print the communication matrix (Figure 8 view)")
+	compareRR := fs.Bool("baseline", false, "also print the naive round-robin baseline")
+	pinArg := fs.String("pin", "", "comma-separated pins, e.g. P0=1,P4=3 (1-based segments)")
+	emitPath := fs.String("emit", "", "write a complete model description (application + placed platform) to this file")
+	clocksArg := fs.String("clocks", "", "per-segment clock frequencies for -emit, e.g. 91MHz,98MHz,89MHz")
+	caClockArg := fs.String("ca-clock", "111MHz", "central arbiter clock for -emit")
+	pkgSize := fs.Int("package-size", 36, "package size for -emit")
+	headerTicks := fs.Int("header-ticks", 0, "per-package protocol ticks for -emit")
+	caHopTicks := fs.Int("ca-hop-ticks", 0, "CA chain set-up ticks per hop for -emit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m *psdf.Model
+	switch {
+	case *psdfPath != "":
+		data, err := os.ReadFile(*psdfPath)
+		if err != nil {
+			return err
+		}
+		m, err = schema.ParsePSDF(data)
+		if err != nil {
+			return err
+		}
+	case *modelPath != "":
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		doc, err := dsl.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		m = doc.Model
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -psdf or -model is required")
+	}
+
+	cm := m.CommunicationMatrix()
+	if *showMatrix {
+		fmt.Fprintln(stdout, "communication matrix:")
+		fmt.Fprint(stdout, cm)
+		fmt.Fprintln(stdout)
+	}
+
+	opts := place.Options{MaxLoad: *maxLoad}
+	if *pinArg != "" {
+		opts.Pinned = make(map[psdf.ProcessID]int)
+		for _, kv := range strings.Split(*pinArg, ",") {
+			name, segStr, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return fmt.Errorf("bad pin %q (want P0=1)", kv)
+			}
+			proc, err := psdf.ParseProcessName(name)
+			if err != nil {
+				return err
+			}
+			seg, err := strconv.Atoi(segStr)
+			if err != nil || seg < 1 {
+				return fmt.Errorf("bad pin segment %q (1-based)", segStr)
+			}
+			opts.Pinned[proc] = seg - 1
+		}
+	}
+	alloc, err := place.Solve(cm, *segments, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "allocation: %s\n", alloc)
+	fmt.Fprintf(stdout, "score (sum of squared bus loads): %d\n", place.Score(cm, alloc))
+	fmt.Fprintf(stdout, "bus loads: %v data items\n", place.BusLoads(cm, alloc))
+	fmt.Fprintf(stdout, "inter-segment traffic (hop-weighted): %d data items\n", place.Cost(cm, alloc))
+
+	if *compareRR {
+		rr, err := place.RoundRobin(cm, *segments)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nround-robin baseline: %s\n", rr)
+		fmt.Fprintf(stdout, "baseline score: %d (optimizer improves by %.1f%%)\n",
+			place.Score(cm, rr),
+			100*(1-float64(place.Score(cm, alloc))/float64(place.Score(cm, rr))))
+	}
+
+	if *emitPath != "" {
+		caClock, err := dsl.ParseHz(*caClockArg)
+		if err != nil {
+			return err
+		}
+		var clocks []platform.Hz
+		if *clocksArg == "" {
+			// A sensible default: 100 MHz everywhere.
+			for i := 0; i < *segments; i++ {
+				clocks = append(clocks, 100*platform.MHz)
+			}
+		} else {
+			for _, c := range strings.Split(*clocksArg, ",") {
+				hz, err := dsl.ParseHz(strings.TrimSpace(c))
+				if err != nil {
+					return err
+				}
+				clocks = append(clocks, hz)
+			}
+		}
+		if len(clocks) != *segments {
+			return fmt.Errorf("%d clocks for %d segments", len(clocks), *segments)
+		}
+		plat, err := core.PlatformFromAllocation(m.Name()+"-placed", alloc, clocks, caClock, *pkgSize, *headerTicks, *caHopTicks)
+		if err != nil {
+			return err
+		}
+		doc := &dsl.Document{Model: m, Platform: plat}
+		if ds := doc.Validate(); ds.HasErrors() {
+			return fmt.Errorf("emitted description invalid:\n%s", ds)
+		}
+		if err := os.WriteFile(*emitPath, []byte(doc.Print()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *emitPath)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/m2t"
+)
+
+const fixture = "../../testdata/mp3.sbd"
+
+func TestRunFromModel(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", fixture, "-segments", "3", "-matrix", "-baseline"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"allocation:", "score", "bus loads", "round-robin baseline", "communication matrix", "576"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFromPSDF(t *testing.T) {
+	data, err := m2t.GeneratePSDF(apps.MP3Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "psdf.xsd")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-psdf", path, "-segments", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "allocation:") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunMaxLoad(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", fixture, "-segments", "3", "-max-load", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// 15 processes over 3 segments with cap 6: no segment lists more
+	// than 6 ids.
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, "allocation: ") {
+			continue
+		}
+		for _, seg := range strings.Split(strings.TrimPrefix(line, "allocation: "), "||") {
+			if got := len(strings.Fields(seg)); got > 6 {
+				t.Errorf("segment hosts %d processes: %q", got, seg)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if err := run([]string{"-model", fixture, "-segments", "0"}, &out); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if err := run([]string{"-model", "nope.sbd"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunPins(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", fixture, "-segments", "3", "-pin", "P4=3,P0=1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	line := ""
+	for _, l := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(l, "allocation: ") {
+			line = strings.TrimPrefix(l, "allocation: ")
+		}
+	}
+	segs := strings.Split(line, "||")
+	if len(segs) != 3 {
+		t.Fatalf("allocation = %q", line)
+	}
+	if !strings.Contains(" "+strings.TrimSpace(segs[2])+" ", " 4 ") {
+		t.Errorf("P4 not pinned to segment 3: %q", line)
+	}
+	if !strings.Contains(" "+strings.TrimSpace(segs[0])+" ", " 0 ") {
+		t.Errorf("P0 not pinned to segment 1: %q", line)
+	}
+	if err := run([]string{"-model", fixture, "-pin", "garbage"}, &out); err == nil {
+		t.Error("bad pin accepted")
+	}
+	if err := run([]string{"-model", fixture, "-pin", "P0=0"}, &out); err == nil {
+		t.Error("zero-based pin accepted")
+	}
+}
+
+func TestRunEmit(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "placed.sbd")
+	var buf strings.Builder
+	err := run([]string{"-model", fixture, "-segments", "3",
+		"-emit", out, "-clocks", "91MHz,98MHz,89MHz", "-ca-clock", "111MHz"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "segment 3 clock=89MHz") {
+		t.Errorf("emitted description wrong:\n%s", data)
+	}
+	// The emitted description must feed straight back into the flow.
+	var buf2 strings.Builder
+	if err := run([]string{"-model", out, "-segments", "2"}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", fixture, "-emit", out, "-clocks", "91MHz"}, &buf2); err == nil {
+		t.Error("clock count mismatch accepted")
+	}
+	if err := run([]string{"-model", fixture, "-emit", out, "-ca-clock", "banana"}, &buf2); err == nil {
+		t.Error("bad CA clock accepted")
+	}
+}

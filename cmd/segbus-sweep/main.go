@@ -1,0 +1,116 @@
+// segbus-sweep runs one-parameter sensitivity analyses over a modeled
+// system: how the estimated execution time reacts to the package size,
+// the per-package protocol cost, the CA's chain set-up cost, or one
+// segment's clock frequency. Every sample is a full emulation; samples
+// run concurrently.
+//
+// Usage:
+//
+//	segbus-sweep -model design.sbd -param package-size -values 9,18,36,72
+//	segbus-sweep -model design.sbd -param segment-clock -segment 2 \
+//	             -values 80MHz,90MHz,100MHz -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"segbus/internal/dsl"
+	"segbus/internal/sweep"
+
+	platformpkg "segbus/internal/platform"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "segbus-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("segbus-sweep", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "textual model description with a platform section (required)")
+	param := fs.String("param", "package-size", "parameter to sweep: package-size, header-ticks, ca-hop-ticks, segment-clock")
+	valuesArg := fs.String("values", "", "comma-separated parameter values (frequencies accept MHz suffixes)")
+	segment := fs.Int("segment", 1, "segment index for -param segment-clock")
+	csvPath := fs.String("csv", "", "also write the curve as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *valuesArg == "" {
+		fs.Usage()
+		return fmt.Errorf("-model and -values are required")
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	doc, err := dsl.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if diags := doc.Validate(); diags.HasErrors() {
+		return fmt.Errorf("model validation failed:\n%s", diags)
+	}
+	if doc.Platform == nil {
+		return fmt.Errorf("the model description has no platform section")
+	}
+
+	parts := strings.Split(*valuesArg, ",")
+	var curve sweep.Curve
+	switch *param {
+	case "package-size", "header-ticks", "ca-hop-ticks":
+		ints := make([]int, 0, len(parts))
+		for _, p := range parts {
+			n, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return fmt.Errorf("bad value %q", p)
+			}
+			ints = append(ints, n)
+		}
+		switch *param {
+		case "package-size":
+			curve = sweep.PackageSizes(doc.Model, doc.Platform, ints)
+		case "header-ticks":
+			curve = sweep.HeaderTicks(doc.Model, doc.Platform, ints)
+		case "ca-hop-ticks":
+			curve = sweep.CAHopTicks(doc.Model, doc.Platform, ints)
+		}
+	case "segment-clock":
+		clocks := make([]platformpkg.Hz, 0, len(parts))
+		for _, p := range parts {
+			hz, err := dsl.ParseHz(strings.TrimSpace(p))
+			if err != nil {
+				return err
+			}
+			clocks = append(clocks, hz)
+		}
+		curve, err = sweep.SegmentClock(doc.Model, doc.Platform, *segment, clocks)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown parameter %q", *param)
+	}
+
+	fmt.Fprint(stdout, curve.Table())
+	for _, pt := range curve.Points {
+		if pt.Err != nil {
+			return fmt.Errorf("value %d: %w", pt.Value, pt.Err)
+		}
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(curve.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "../../testdata/mp3.sbd"
+
+func TestRunPackageSizeSweep(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "curve.csv")
+	var out strings.Builder
+	if err := run([]string{"-model", fixture, "-param", "package-size",
+		"-values", "18,36,72", "-csv", csv}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "packageSize") {
+		t.Errorf("table missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 {
+		t.Errorf("CSV rows = %d, want header + 3", len(lines))
+	}
+}
+
+func TestRunSegmentClockSweep(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-model", fixture, "-param", "segment-clock",
+		"-segment", "2", "-values", "80MHz,98MHz,120MHz"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "segment2ClockHz") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunOtherParams(t *testing.T) {
+	for _, p := range []string{"header-ticks", "ca-hop-ticks"} {
+		var out strings.Builder
+		if err := run([]string{"-model", fixture, "-param", p, "-values", "0,25"}, &out); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-model", fixture, "-param", "wormholes", "-values", "1"}, &out); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if err := run([]string{"-model", fixture, "-values", "abc"}, &out); err == nil {
+		t.Error("bad value accepted")
+	}
+	if err := run([]string{"-model", fixture, "-param", "segment-clock", "-segment", "9", "-values", "90MHz"}, &out); err == nil {
+		t.Error("bad segment accepted")
+	}
+	if err := run([]string{"-model", fixture, "-param", "package-size", "-values", "0"}, &out); err == nil {
+		t.Error("failing sample not reported")
+	}
+}

@@ -1,0 +1,147 @@
+package segbus_test
+
+// Additional godoc examples for the main entry points of the flow.
+
+import (
+	"fmt"
+	"strings"
+
+	"segbus"
+)
+
+// ExampleTransform shows the model-to-text step: the generated PSDF
+// scheme encodes each flow in its element name, exactly as the paper
+// documents ("P1_576_1_250").
+func ExampleTransform() {
+	m := segbus.NewModel("demo")
+	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: 576, Order: 1, Ticks: 250})
+
+	p := segbus.NewPlatform("demo-1seg", 100*segbus.MHz, 36)
+	p.AddSegment(90*segbus.MHz, 0, 1)
+
+	psdfXML, _, err := segbus.Transform(m, p)
+	if err != nil {
+		panic(err)
+	}
+	for _, line := range strings.Split(string(psdfXML), "\n") {
+		if strings.Contains(line, "Transfer") && strings.Contains(line, "P1_") {
+			fmt.Println(strings.TrimSpace(line))
+		}
+	}
+	// Output:
+	// <xs:element name="P1_576_1_250" type="Transfer"/>
+}
+
+// ExampleParseDSL shows the textual front end: describe the system,
+// validate it, estimate it.
+func ExampleParseDSL() {
+	text := `
+application demo
+flow P0 -> P1 items=72 order=1 ticks=10
+platform demo-2seg
+ca-clock 100MHz
+package-size 36
+segment 1 clock=100MHz processes=P0
+segment 2 clock=100MHz processes=P1
+`
+	doc, err := segbus.ParseDSL(strings.NewReader(text))
+	if err != nil {
+		panic(err)
+	}
+	if ds := doc.Validate(); ds.HasErrors() {
+		panic(ds)
+	}
+	est, err := segbus.Estimate(doc.Model, doc.Platform, segbus.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("packages delivered: %d\n", est.Report.Process(1).RecvPackages)
+	// Output:
+	// packages delivered: 2
+}
+
+// ExampleExplore ranks candidate configurations concurrently.
+func ExampleExplore() {
+	m := segbus.Pipeline(4, 144, 50)
+
+	one := segbus.NewPlatform("one", 100*segbus.MHz, 36)
+	one.AddSegment(100*segbus.MHz, 0, 1, 2, 3)
+	two := segbus.NewPlatform("two", 100*segbus.MHz, 36)
+	two.AddSegment(100*segbus.MHz, 0, 1)
+	two.AddSegment(100*segbus.MHz, 2, 3)
+
+	ranked, _ := segbus.Explore(m, []segbus.Candidate{
+		{Label: "one", Platform: one},
+		{Label: "two", Platform: two},
+	}, 2)
+	best, err := segbus.Best(ranked)
+	if err != nil {
+		panic(err)
+	}
+	// A serial pipeline gains nothing from a second segment; the
+	// single-segment configuration wins.
+	fmt.Println("winner:", best.Candidate.Label)
+	// Output:
+	// winner: one
+}
+
+// ExampleGenerateArbiters derives the arbiter grant programs from the
+// schedule (the paper's future-work step).
+func ExampleGenerateArbiters() {
+	m := segbus.NewModel("tiny")
+	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: 36, Order: 1, Ticks: 5})
+	m.AddFlow(segbus.Flow{Source: 1, Target: 2, Items: 36, Order: 2, Ticks: 5})
+
+	p := segbus.NewPlatform("tiny-2seg", 100*segbus.MHz, 36)
+	p.AddSegment(100*segbus.MHz, 0, 1)
+	p.AddSegment(100*segbus.MHz, 2)
+
+	prog, err := segbus.GenerateArbiters(m, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("CA connection slots: %d\n", len(prog.CA))
+	fmt.Printf("SA1 grant slots: %d\n", len(prog.SAs[0].Grants))
+	// Output:
+	// CA connection slots: 1
+	// SA1 grant slots: 2
+}
+
+// ExampleRepeat estimates the steady state over several frames.
+func ExampleRepeat() {
+	m := segbus.NewModel("frame")
+	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: 36, Order: 1, Ticks: 100})
+
+	frames, err := segbus.Repeat(m, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("flows in 4 frames: %d\n", frames.NumFlows())
+	// Output:
+	// flows in 4 frames: 4
+}
+
+// ExampleSweepPackageSizes produces the package-size sensitivity curve
+// of a configuration.
+func ExampleSweepPackageSizes() {
+	m := segbus.NewModel("sweep-demo")
+	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: 288, Order: 1, Ticks: 10})
+	m.SetNominalPackageSize(36)
+	p := segbus.NewPlatform("demo", 100*segbus.MHz, 36)
+	p.HeaderTicks = 20
+	p.AddSegment(100*segbus.MHz, 0)
+	p.AddSegment(100*segbus.MHz, 1)
+
+	curve := segbus.SweepPackageSizes(m, p, []int{36, 72, 144})
+	for _, pt := range curve.Points {
+		if pt.Err != nil {
+			panic(pt.Err)
+		}
+	}
+	// Fewer packages mean fewer per-package header costs: the curve
+	// falls as packages grow.
+	fmt.Println(curve.Points[0].ExecPs > curve.Points[1].ExecPs &&
+		curve.Points[1].ExecPs > curve.Points[2].ExecPs)
+	// Output:
+	// true
+}

@@ -1,0 +1,82 @@
+// Design-space exploration: the estimation technique's motivating use
+// case. For a synthetic signal-processing application, sweep the
+// segment count, the package size and the placement strategy; estimate
+// every candidate concurrently; and report the ranking the designer
+// uses to pick a configuration before committing to RTL.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segbus"
+)
+
+func main() {
+	// A stereo-ish workload: two parallel 6-stage pipelines fed by one
+	// source, merged by one sink — 14 processes. The two chains share
+	// ordering numbers stage by stage, so they may execute
+	// concurrently; the stages are lightweight streaming filters
+	// (15 ticks per package), so the single shared bus — not the
+	// functional units — is the contended resource. Whether the
+	// concurrency materialises depends on the platform configuration,
+	// which is exactly what the exploration decides.
+	m := segbus.NewModel("dsp-chain")
+	const items = 360
+	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: items, Order: 1, Ticks: 150})
+	m.AddFlow(segbus.Flow{Source: 0, Target: 7, Items: items, Order: 2, Ticks: 150})
+	left := []segbus.ProcessID{1, 2, 3, 4, 5, 6, 13}
+	right := []segbus.ProcessID{7, 8, 9, 10, 11, 12, 13}
+	for i := 0; i < 6; i++ {
+		order := 3 + i // stage i of both channels shares one order
+		m.AddFlow(segbus.Flow{Source: left[i], Target: left[i+1], Items: items, Order: order, Ticks: 15})
+		m.AddFlow(segbus.Flow{Source: right[i], Target: right[i+1], Items: items, Order: order, Ticks: 15})
+	}
+
+	if err := m.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate platforms: for each segment count, let the placement
+	// tool allocate processes from the communication matrix; sweep
+	// the package size on the best structure.
+	clockBanks := [][]segbus.Hz{
+		{90 * segbus.MHz},
+		{90 * segbus.MHz, 95 * segbus.MHz},
+		{90 * segbus.MHz, 95 * segbus.MHz, 85 * segbus.MHz},
+		{90 * segbus.MHz, 95 * segbus.MHz, 85 * segbus.MHz, 100 * segbus.MHz},
+	}
+	var candidates []segbus.Candidate
+	for _, clocks := range clockBanks {
+		for _, s := range []int{18, 36, 72} {
+			name := fmt.Sprintf("%dseg/s=%d", len(clocks), s)
+			p, err := segbus.AutoPlace(name, m, clocks, 110*segbus.MHz, s, 25, 25)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			candidates = append(candidates, segbus.Candidate{Label: name, Platform: p})
+		}
+	}
+
+	fmt.Printf("exploring %d candidate configurations in parallel...\n\n", len(candidates))
+	ranked, table := segbus.Explore(m, candidates, 0)
+	fmt.Print(table)
+
+	best, err := segbus.Best(ranked)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nselected configuration: %s\n", best.Candidate.Label)
+	fmt.Printf("allocation: %s\n", best.Report.Platform)
+	fmt.Printf("estimated execution time: %.2f us\n", float64(best.Report.ExecutionTimePs)/1e6)
+
+	// Sanity-check the winner against the refined model before
+	// trusting the ranking.
+	acc, err := segbus.AccuracyExperiment(best.Candidate.Label, m, best.Candidate.Platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(acc)
+}

@@ -1,0 +1,61 @@
+// The library's second case study: a baseline JPEG encoder. This
+// example chains the newest analysis features — sensitivity sweeps,
+// congestion diagnostics and the energy estimate — into one
+// configuration-decision session.
+//
+//	go run ./examples/jpegencoder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segbus"
+)
+
+func main() {
+	m := segbus.JPEGEncoder()
+	fmt.Println("=== the application ===")
+	for _, p := range m.Processes() {
+		fmt.Printf("%-4s %s\n", p, segbus.JPEGEncoderRoles()[p])
+	}
+
+	// Candidate structures: everything on one bus versus the
+	// three-segment split (luma pipeline / chroma pipelines / entropy
+	// back end).
+	one := segbus.JPEGPlatform1(segbus.JPEGPackageSize)
+	three := segbus.JPEGPlatform3(segbus.JPEGPackageSize)
+
+	fmt.Println("\n=== configuration comparison ===")
+	ranked, table := segbus.Explore(m, []segbus.Candidate{
+		{Label: "1-segment", Platform: one},
+		{Label: "3-segment", Platform: three},
+	}, 0)
+	for _, r := range ranked {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+	}
+	fmt.Print(table)
+
+	// How sensitive is the three-segment design to the package size?
+	fmt.Println("\n=== package-size sensitivity (3 segments) ===")
+	curve := segbus.SweepPackageSizes(m, three, []int{16, 32, 64, 128, 256})
+	fmt.Print(curve.Table())
+
+	// Is any border unit congested in the chosen configuration?
+	est, err := segbus.Estimate(m, three, segbus.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== border-unit congestion ===")
+	fmt.Print(segbus.CongestionReport(est.Report))
+
+	// And what does it cost in energy?
+	en, err := segbus.EstimateEnergy(m, three, est.Report, segbus.EnergyParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== energy ===")
+	fmt.Print(en)
+}

@@ -1,0 +1,94 @@
+// The full design methodology of Figure 3, step by step: parse a
+// textual model description (the DSL stand-in for the graphical
+// modeling environment), validate it, apply the model-to-text
+// transformation to obtain the PSDF and PSM XML schemes, parse the
+// schemes back (the emulator set-up phase) and run the emulation —
+// exactly the hand-off sequence of the paper's tool-chain.
+//
+//	go run ./examples/modelflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"segbus"
+)
+
+func main() {
+	// Step 1: the model description. Normally this comes from a file
+	// (see testdata/mp3.sbd for the paper's example); here it is
+	// inline for self-containment.
+	text := `
+application sensor-fusion
+nominal-package-size 36
+
+# Two sensor front ends feed a fusion stage; the result is filtered
+# and emitted.
+flow P0 -> P2 items=180 order=1 ticks=200
+flow P1 -> P2 items=180 order=1 ticks=220
+flow P2 -> P3 items=360 order=2 ticks=90
+flow P3 -> P4 items=360 order=3 ticks=60
+
+platform fusion-2seg
+ca-clock 120MHz
+package-size 36
+header-ticks 20
+ca-hop-ticks 20
+segment 1 clock=100MHz processes=P0,P1,P2
+segment 2 clock=95MHz processes=P3,P4
+`
+	doc, err := segbus.ParseDSL(strings.NewReader(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 2: validation (the OCL-constraint pass of the DSL).
+	if diags := doc.Validate(); len(diags) > 0 {
+		fmt.Println("validation findings:")
+		fmt.Print(diags)
+		if diags.HasErrors() {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println("model validated: no findings")
+	}
+
+	// Step 3: the model-to-text transformation.
+	psdfXML, psmXML, err := segbus.Transform(doc.Model, doc.Platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== generated PSDF scheme (excerpt) ===")
+	printExcerpt(string(psdfXML), 14)
+	fmt.Println("\n=== generated PSM scheme (excerpt) ===")
+	printExcerpt(string(psmXML), 18)
+
+	// Step 4: the emulator parses the schemes and runs. The package
+	// size is supplied alongside the schemes, as in the paper.
+	est, err := segbus.EstimateXML(psdfXML, psmXML, 36, segbus.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== emulation report ===")
+	fmt.Print(est.Report)
+
+	// Step 5: the designer's decision data.
+	fmt.Printf("\nestimated execution time: %.2f us\n", float64(est.ExecutionTimePs())/1e6)
+	for _, bu := range est.BUs {
+		fmt.Printf("%s carried %d packages (mean waiting period %.1f ticks)\n",
+			bu.Name, bu.Packages, bu.MeanWP)
+	}
+}
+
+func printExcerpt(s string, lines int) {
+	for i, line := range strings.Split(s, "\n") {
+		if i >= lines {
+			fmt.Println("  ...")
+			return
+		}
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,71 @@
+// The paper's section-4 example end to end: the simplified stereo MP3
+// decoder emulated on the one-, two- and three-segment platform
+// configurations, the accuracy experiments against the refined model,
+// the border-unit UP/WP analysis and the per-process timeline.
+//
+//	go run ./examples/mp3decoder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segbus"
+)
+
+func main() {
+	m := segbus.MP3Decoder()
+
+	fmt.Println("=== the application (Figure 7/8) ===")
+	for _, p := range m.Processes() {
+		fmt.Printf("%-4s %s\n", p, segbus.MP3DecoderRoles()[p])
+	}
+	fmt.Printf("\ncommunication matrix (Figure 8):\n%v\n", m.CommunicationMatrix())
+
+	// Emulate all three configurations of Figure 9 concurrently.
+	fmt.Println("=== configuration comparison (package size 36) ===")
+	ranked, table := segbus.Explore(m, []segbus.Candidate{
+		{Label: "1-segment", Platform: segbus.MP3Platform1(36)},
+		{Label: "2-segment", Platform: segbus.MP3Platform2(36)},
+		{Label: "3-segment", Platform: segbus.MP3Platform3(36)},
+	}, 0)
+	for _, r := range ranked {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Candidate.Label, r.Err)
+		}
+	}
+	fmt.Print(table)
+
+	// The paper's main run: three segments, package size 36.
+	fmt.Println("\n=== three-segment emulation report (section 4) ===")
+	est, err := segbus.Estimate(m, segbus.MP3Platform3(36), segbus.Options{Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(est.Report)
+
+	fmt.Println("\n=== border-unit analysis (UP / WP, section 4) ===")
+	for _, bu := range est.BUs {
+		fmt.Printf("%s: UP=%d TCT=%d meanWP=%.1f\n", bu.Name, bu.UP, bu.TCT, bu.MeanWP)
+	}
+
+	fmt.Println("\n=== process progress timeline (Figure 10) ===")
+	fmt.Print(est.Trace.Timeline())
+
+	// The three accuracy experiments.
+	fmt.Println("\n=== accuracy against the refined platform model ===")
+	for _, c := range []struct {
+		label string
+		plat  *segbus.Platform
+	}{
+		{"3 segments, s=36       ", segbus.MP3Platform3(36)},
+		{"3 segments, s=18       ", segbus.MP3Platform3(18)},
+		{"3 segments, s=36, P9@3 ", segbus.MP3Platform3MovedP9(36)},
+	} {
+		acc, err := segbus.AccuracyExperiment(c.label, m, c.plat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(acc)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: model a four-process application as PSDF, place it on a
+// two-segment SegBus platform, and estimate its performance.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segbus"
+)
+
+func main() {
+	// The application: a producer fans out to two workers, which
+	// reduce into a sink. Flows sharing ordering number 1 (and 2) run
+	// concurrently; the tuple is (target, data items, order, ticks
+	// per package).
+	m := segbus.NewModel("quickstart")
+	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: 288, Order: 1, Ticks: 120})
+	m.AddFlow(segbus.Flow{Source: 0, Target: 2, Items: 288, Order: 1, Ticks: 120})
+	m.AddFlow(segbus.Flow{Source: 1, Target: 3, Items: 288, Order: 2, Ticks: 80})
+	m.AddFlow(segbus.Flow{Source: 2, Target: 3, Items: 288, Order: 2, Ticks: 80})
+
+	// The platform: two segments in their own clock domains, one
+	// worker pipeline per segment, a 36-item package size.
+	p := segbus.NewPlatform("quickstart-2seg", 100*segbus.MHz, 36)
+	p.AddSegment(90*segbus.MHz, 0, 1, 3)
+	p.AddSegment(95*segbus.MHz, 2)
+
+	est, err := segbus.Estimate(m, p, segbus.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== emulation report ===")
+	fmt.Print(est.Report)
+
+	fmt.Println("\n=== border-unit analysis ===")
+	for _, bu := range est.BUs {
+		fmt.Printf("%s: %d packages, useful period %d ticks, mean waiting period %.1f ticks\n",
+			bu.Name, bu.Packages, bu.UP, bu.MeanWP)
+	}
+
+	fmt.Printf("\nestimated execution time: %.2f us\n",
+		float64(est.ExecutionTimePs())/1e6)
+
+	// How good is the estimate? Compare against the refined
+	// (ground-truth) timing model.
+	acc, err := segbus.AccuracyExperiment("quickstart", m, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(acc)
+}

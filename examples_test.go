@@ -1,0 +1,62 @@
+package segbus_test
+
+// Smoke tests for the runnable examples: each must build, run to
+// completion and produce the landmarks of its narrative. Kept at the
+// module root so `go test ./...` exercises the examples the README
+// advertises.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./examples/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run binaries")
+	}
+	cases := map[string][]string{
+		"quickstart": {
+			"emulation report", "border-unit analysis", "estimated execution time", "accuracy",
+		},
+		"mp3decoder": {
+			"Figure 8", "configuration comparison", "3-segment", "UP=2304",
+			"progress timeline", "accuracy against the refined platform model", "95.6%",
+		},
+		"designspace": {
+			"exploring", "selected configuration", "2seg/s=72", "accuracy",
+		},
+		"modelflow": {
+			"model validated", "generated PSDF scheme", "generated PSM scheme",
+			"emulation report", "estimated execution time",
+		},
+		"arbitergen": {
+			"arbitration schedule", "entity sa1_scheduler", "energy (nJ)", "3-segment, P9 moved",
+		},
+		"jpegencoder": {
+			"colour conversion", "package-size sensitivity", "CONGESTED", "dynamic",
+		},
+	}
+	for name, landmarks := range cases {
+		name, landmarks := name, landmarks
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out := runExample(t, name)
+			for _, want := range landmarks {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q", want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module segbus
+
+go 1.22

@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+func TestMP3ModelMatchesFigure8(t *testing.T) {
+	m := MP3Model()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("MP3 model invalid: %v", err)
+	}
+	if m.NumProcesses() != 15 {
+		t.Errorf("processes = %d, want 15", m.NumProcesses())
+	}
+	if m.NumFlows() != 20 {
+		t.Errorf("flows = %d, want 20", m.NumFlows())
+	}
+	if !m.CommunicationMatrix().Equal(MP3CommMatrixFigure8()) {
+		t.Error("model matrix != Figure 8")
+	}
+	if m.NominalPackageSize() != 36 {
+		t.Errorf("nominal = %d", m.NominalPackageSize())
+	}
+}
+
+func TestMP3ModelDocumentedFlow(t *testing.T) {
+	// The paper documents "P1_576_1_250" as P0's first transfer.
+	m := MP3Model()
+	f := m.FlowsFrom(0)[0]
+	if f.Name() != "P1_576_1_250" {
+		t.Errorf("P0's first flow = %q, want P1_576_1_250", f.Name())
+	}
+}
+
+func TestMP3ModelStructure(t *testing.T) {
+	m := MP3Model()
+	src := m.Sources()
+	if len(src) != 1 || src[0] != 0 {
+		t.Errorf("sources = %v, want [P0] (frame decoding)", src)
+	}
+	snk := m.Sinks()
+	if len(snk) != 1 || snk[0] != 14 {
+		t.Errorf("sinks = %v, want [P14] (PCM output)", snk)
+	}
+	// 576 items decode into both channels.
+	if m.CommunicationMatrix().At(0, 1) != 576 || m.CommunicationMatrix().At(0, 8) != 576 {
+		t.Error("frame decoding outputs wrong")
+	}
+}
+
+func TestMP3Platforms(t *testing.T) {
+	m := MP3Model()
+	cases := []struct {
+		name  string
+		build func(int) *platform.Platform
+		segs  int
+		alloc string
+	}{
+		{"1", MP3Platform1, 1, "0 1 2 3 4 5 6 7 8 9 10 11 12 13 14"},
+		{"2", MP3Platform2, 2, "4 5 6 7 10 11 12 13 14 || 0 1 2 3 8 9"},
+		{"3", MP3Platform3, 3, "0 1 2 3 8 9 10 || 5 6 7 11 12 13 14 || 4"},
+	}
+	for _, c := range cases {
+		p := c.build(36)
+		if err := p.Validate(); err != nil {
+			t.Errorf("platform %s invalid: %v", c.name, err)
+		}
+		if err := p.ValidateMapping(m); err != nil {
+			t.Errorf("platform %s mapping: %v", c.name, err)
+		}
+		if p.NumSegments() != c.segs {
+			t.Errorf("platform %s segments = %d", c.name, p.NumSegments())
+		}
+		if p.String() != c.alloc {
+			t.Errorf("platform %s allocation %q, want %q (Figure 9)", c.name, p.String(), c.alloc)
+		}
+	}
+}
+
+func TestMP3Platform3MovedP9(t *testing.T) {
+	p := MP3Platform3MovedP9(36)
+	if got := p.SegmentOf(9); got != 3 {
+		t.Errorf("P9 on segment %d, want 3", got)
+	}
+	if err := p.ValidateMapping(MP3Model()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMP3Clocks(t *testing.T) {
+	p := MP3Platform3(36)
+	if p.Segment(1).Clock != MP3Seg1Clock || p.Segment(2).Clock != MP3Seg2Clock ||
+		p.Segment(3).Clock != MP3Seg3Clock || p.CAClock != MP3CAClock {
+		t.Error("clock assignment does not match section 4 (91/98/89/111 MHz)")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	m := Pipeline(5, 72, 10)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumProcesses() != 5 || m.NumFlows() != 4 {
+		t.Errorf("pipeline shape %d/%d", m.NumProcesses(), m.NumFlows())
+	}
+	orders := m.Orders()
+	if len(orders) != 4 {
+		t.Errorf("pipeline orders = %v", orders)
+	}
+}
+
+func TestPipelinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pipeline(1,...) did not panic")
+		}
+	}()
+	Pipeline(1, 10, 10)
+}
+
+func TestForkJoin(t *testing.T) {
+	m := ForkJoin(4, 36, 10)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumProcesses() != 6 {
+		t.Errorf("processes = %d, want 6", m.NumProcesses())
+	}
+	if got := len(m.FlowsFrom(0)); got != 4 {
+		t.Errorf("scatter flows = %d", got)
+	}
+	if got := len(m.FlowsInto(5)); got != 4 {
+		t.Errorf("gather flows = %d", got)
+	}
+	if len(m.Orders()) != 2 {
+		t.Errorf("fork-join orders = %v (scatter and gather phases)", m.Orders())
+	}
+}
+
+func TestForkJoinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ForkJoin(0,...) did not panic")
+		}
+	}()
+	ForkJoin(0, 10, 10)
+}
+
+func TestRandomModelAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		m := RandomModel(rng, 5, 4, 36)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRandomPlatformAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		m := RandomModel(rng, 5, 4, 36)
+		p := RandomPlatform(rng, m, 4, 36)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.ValidateMapping(m); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestMP3ProcessRolesComplete(t *testing.T) {
+	m := MP3Model()
+	for _, p := range m.Processes() {
+		if MP3ProcessRoles[p] == "" {
+			t.Errorf("process %v has no documented role", p)
+		}
+	}
+	if _, ok := MP3ProcessRoles[psdf.ProcessID(0)]; !ok {
+		t.Error("P0 role missing")
+	}
+}

@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// A second case study beyond the paper's MP3 decoder: a baseline JPEG
+// encoder operating on one MCU row of a 640-pixel-wide 4:2:0 image.
+// The luma path carries four 8x8 blocks per MCU, the two chroma paths
+// one block each; data item counts reflect the 64-sample blocks
+// flowing between the stages.
+//
+// Process roles:
+//
+//	P0  colour conversion + MCU assembly (source)
+//	P1  luma DCT            P4 Cb DCT            P7 Cr DCT
+//	P2  luma quantiser      P5 Cb quantiser      P8 Cr quantiser
+//	P3  luma zigzag/RLE     P6 Cb zigzag/RLE     P9 Cr zigzag/RLE
+//	P10 Huffman coder + bitstream assembly (sink)
+//
+// The three component pipelines share ordering numbers stage by
+// stage, so they may execute concurrently when the platform allows.
+var JPEGProcessRoles = map[psdf.ProcessID]string{
+	0:  "colour conversion / MCU assembly",
+	1:  "DCT (luma)",
+	2:  "quantiser (luma)",
+	3:  "zigzag + RLE (luma)",
+	4:  "DCT (Cb)",
+	5:  "quantiser (Cb)",
+	6:  "zigzag + RLE (Cb)",
+	7:  "DCT (Cr)",
+	8:  "quantiser (Cr)",
+	9:  "zigzag + RLE (Cr)",
+	10: "Huffman coder / bitstream",
+}
+
+// JPEG data volumes for one MCU row of a 640-wide 4:2:0 frame:
+// 40 MCUs x 4 luma blocks x 64 samples, and 40 x 1 block per chroma
+// component. RLE compacts the quantised blocks to roughly a quarter.
+const (
+	jpegLumaItems   = 40 * 4 * 64 // 10240
+	jpegChromaItems = 40 * 1 * 64 // 2560
+	jpegLumaRLE     = jpegLumaItems / 4
+	jpegChromaRLE   = jpegChromaItems / 4
+)
+
+// JPEGModel returns the PSDF model of the baseline JPEG encoder.
+func JPEGModel() *psdf.Model {
+	m := psdf.NewModel("jpeg-encoder")
+	m.SetNominalPackageSize(64)
+	flows := []psdf.Flow{
+		// MCU scatter: luma first, chroma components next.
+		{Source: 0, Target: 1, Items: jpegLumaItems, Order: 1, Ticks: 40},
+		{Source: 0, Target: 4, Items: jpegChromaItems, Order: 2, Ticks: 40},
+		{Source: 0, Target: 7, Items: jpegChromaItems, Order: 2, Ticks: 40},
+		// Stage 1: DCT (2-D 8x8, the heavy stage).
+		{Source: 1, Target: 2, Items: jpegLumaItems, Order: 3, Ticks: 300},
+		{Source: 4, Target: 5, Items: jpegChromaItems, Order: 3, Ticks: 300},
+		{Source: 7, Target: 8, Items: jpegChromaItems, Order: 3, Ticks: 300},
+		// Stage 2: quantisation.
+		{Source: 2, Target: 3, Items: jpegLumaItems, Order: 4, Ticks: 80},
+		{Source: 5, Target: 6, Items: jpegChromaItems, Order: 4, Ticks: 80},
+		{Source: 8, Target: 9, Items: jpegChromaItems, Order: 4, Ticks: 80},
+		// Stage 3: zigzag + RLE compaction into the entropy coder.
+		{Source: 3, Target: 10, Items: jpegLumaRLE, Order: 5, Ticks: 60},
+		{Source: 6, Target: 10, Items: jpegChromaRLE, Order: 5, Ticks: 60},
+		{Source: 9, Target: 10, Items: jpegChromaRLE, Order: 5, Ticks: 60},
+	}
+	for _, f := range flows {
+		m.AddFlow(f)
+	}
+	return m
+}
+
+// JPEGPackageSize is the natural package size of the encoder: one
+// 8x8 block per package.
+const JPEGPackageSize = 64
+
+// JPEGPlatform3 returns a three-segment configuration separating the
+// luma pipeline, the two chroma pipelines and the entropy back end:
+// the shape an exploration over this model converges to.
+func JPEGPlatform3(packageSize int) *platform.Platform {
+	p := platform.New("JPEG-3seg", 120*platform.MHz, packageSize)
+	p.HeaderTicks = 20
+	p.CAHopTicks = 20
+	p.AddSegment(100*platform.MHz, 0, 1, 2, 3)
+	p.AddSegment(95*platform.MHz, 4, 5, 6, 7, 8, 9)
+	p.AddSegment(90*platform.MHz, 10)
+	return p
+}
+
+// JPEGPlatform1 returns the single-segment baseline configuration.
+func JPEGPlatform1(packageSize int) *platform.Platform {
+	p := platform.New("JPEG-1seg", 120*platform.MHz, packageSize)
+	p.HeaderTicks = 20
+	p.CAHopTicks = 20
+	p.AddSegment(100*platform.MHz, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	return p
+}

@@ -1,0 +1,99 @@
+package apps
+
+import (
+	"testing"
+
+	"segbus/internal/emulator"
+	"segbus/internal/place"
+	"segbus/internal/psdf"
+)
+
+func TestJPEGModelValid(t *testing.T) {
+	m := JPEGModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumProcesses() != 11 || m.NumFlows() != 12 {
+		t.Errorf("shape = %d processes, %d flows", m.NumProcesses(), m.NumFlows())
+	}
+	src := m.Sources()
+	if len(src) != 1 || src[0] != 0 {
+		t.Errorf("sources = %v", src)
+	}
+	snk := m.Sinks()
+	if len(snk) != 1 || snk[0] != 10 {
+		t.Errorf("sinks = %v", snk)
+	}
+	for _, p := range m.Processes() {
+		if JPEGProcessRoles[p] == "" {
+			t.Errorf("%v lacks a role", p)
+		}
+	}
+}
+
+func TestJPEGDataConservation(t *testing.T) {
+	m := JPEGModel()
+	cm := m.CommunicationMatrix()
+	// Luma carries 4x each chroma component at every stage before RLE.
+	if cm.At(0, 1) != 4*cm.At(0, 4) {
+		t.Error("4:2:0 subsampling ratio broken at the scatter")
+	}
+	if cm.At(1, 2) != 4*cm.At(4, 5) {
+		t.Error("ratio broken after DCT")
+	}
+	// RLE compacts by 4x.
+	if cm.At(3, 10)*4 != cm.At(2, 3) {
+		t.Error("RLE compaction ratio broken")
+	}
+}
+
+func TestJPEGPlatformsEmulate(t *testing.T) {
+	m := JPEGModel()
+	p1 := JPEGPlatform1(JPEGPackageSize)
+	p3 := JPEGPlatform3(JPEGPackageSize)
+	if err := p1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.ValidateMapping(m); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := emulator.Run(m, p1, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := emulator.Run(m, p3, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecutionTimePs <= 0 || r3.ExecutionTimePs <= 0 {
+		t.Fatal("degenerate runs")
+	}
+	// The sink received the RLE-compacted volume.
+	wantPkgs := (jpegLumaRLE + 2*jpegChromaRLE) / JPEGPackageSize
+	if got := r3.Process(10).RecvPackages; got != wantPkgs {
+		t.Errorf("P10 received %d packages, want %d", got, wantPkgs)
+	}
+}
+
+func TestJPEGPlacementMatchesHandAllocation(t *testing.T) {
+	// The optimizer's 3-segment score must at least match the
+	// hand-built JPEGPlatform3 allocation.
+	m := JPEGModel()
+	cm := m.CommunicationMatrix()
+	opt, err := place.Solve(cm, 3, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := place.Allocation{Segments: 3, Of: map[psdf.ProcessID]int{}}
+	for _, pr := range []psdf.ProcessID{0, 1, 2, 3} {
+		hand.Of[pr] = 0
+	}
+	for _, pr := range []psdf.ProcessID{4, 5, 6, 7, 8, 9} {
+		hand.Of[pr] = 1
+	}
+	hand.Of[10] = 2
+	if place.Score(cm, opt) > place.Score(cm, hand) {
+		t.Errorf("optimizer (%d) worse than the hand allocation (%d)",
+			place.Score(cm, opt), place.Score(cm, hand))
+	}
+}

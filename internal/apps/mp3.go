@@ -1,0 +1,169 @@
+// Package apps provides application models for the SegBus tool-chain:
+// the simplified stereo MP3 decoder used by the paper's evaluation
+// (section 4, Figures 7–9) and synthetic workload generators used by
+// the examples, tests and benchmarks.
+package apps
+
+import (
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// MP3 process roles, for documentation and display purposes (the
+// paper, section 4: P0 frame decoding, P1/P8 scaling left/right,
+// P2/P9 dequantizing left/right, ...).
+var MP3ProcessRoles = map[psdf.ProcessID]string{
+	0:  "frame decoding",
+	1:  "scaling (left)",
+	2:  "dequantizing (left)",
+	3:  "stereo processing",
+	4:  "joint-stereo helper",
+	5:  "antialias / IMDCT (left)",
+	6:  "frequency inversion (left)",
+	7:  "synthesis filterbank (left)",
+	8:  "scaling (right)",
+	9:  "dequantizing (right)",
+	10: "joint-stereo helper (right)",
+	11: "antialias / IMDCT (right)",
+	12: "frequency inversion (right)",
+	13: "synthesis filterbank (right)",
+	14: "PCM output",
+}
+
+// MP3Model returns the PSDF model of the simplified stereo MP3
+// decoder. The flow structure and data-item counts reproduce the
+// communication matrix of the paper's Figure 8 exactly; the ordering
+// numbers serialise the decode pipeline as in the Figure 10 timeline
+// (P0 first, then the right-channel scaling, then the channel
+// pipelines, with P14 receiving last); and the per-package tick counts
+// include the value the paper documents (250 ticks for the P0→P1
+// flow) with the remaining values chosen to land the stage timings in
+// the neighbourhood of the published timeline.
+func MP3Model() *psdf.Model {
+	m := psdf.NewModel("mp3-decoder")
+	m.SetNominalPackageSize(MP3PackageSize)
+	flows := []psdf.Flow{
+		{Source: 0, Target: 1, Items: 576, Order: 1, Ticks: 250},
+		{Source: 0, Target: 8, Items: 576, Order: 2, Ticks: 30},
+		{Source: 8, Target: 9, Items: 540, Order: 3, Ticks: 290},
+		{Source: 8, Target: 3, Items: 36, Order: 3, Ticks: 290},
+		{Source: 1, Target: 2, Items: 540, Order: 4, Ticks: 130},
+		{Source: 1, Target: 3, Items: 36, Order: 4, Ticks: 130},
+		{Source: 2, Target: 3, Items: 540, Order: 5, Ticks: 130},
+		{Source: 9, Target: 3, Items: 540, Order: 5, Ticks: 130},
+		{Source: 3, Target: 4, Items: 36, Order: 6, Ticks: 150},
+		{Source: 3, Target: 10, Items: 36, Order: 6, Ticks: 150},
+		{Source: 10, Target: 11, Items: 36, Order: 7, Ticks: 150},
+		{Source: 4, Target: 5, Items: 36, Order: 8, Ticks: 150},
+		{Source: 3, Target: 5, Items: 540, Order: 9, Ticks: 110},
+		{Source: 3, Target: 11, Items: 540, Order: 10, Ticks: 110},
+		{Source: 5, Target: 6, Items: 576, Order: 11, Ticks: 140},
+		{Source: 11, Target: 12, Items: 576, Order: 12, Ticks: 140},
+		{Source: 6, Target: 7, Items: 576, Order: 13, Ticks: 140},
+		{Source: 12, Target: 13, Items: 576, Order: 14, Ticks: 140},
+		{Source: 7, Target: 14, Items: 576, Order: 15, Ticks: 140},
+		{Source: 13, Target: 14, Items: 576, Order: 16, Ticks: 140},
+	}
+	for _, f := range flows {
+		m.AddFlow(f)
+	}
+	return m
+}
+
+// MP3HeaderTicks is the per-package protocol overhead (request,
+// addressing and header phases around the data burst) of the paper's
+// platform instances.
+const MP3HeaderTicks = 25
+
+// MP3CAHopTicks is the central arbiter's per-hop circuit set-up cost
+// of the paper's platform instances.
+const MP3CAHopTicks = 25
+
+// Clock frequencies of the paper's three-segment configuration
+// (section 4): segments 1–3 and the central arbiter.
+const (
+	MP3Seg1Clock = 91 * platform.MHz
+	MP3Seg2Clock = 98 * platform.MHz
+	MP3Seg3Clock = 89 * platform.MHz
+	MP3CAClock   = 111 * platform.MHz
+)
+
+// MP3PackageSize is the package size of the main experiment (36 data
+// items per package).
+const MP3PackageSize = 36
+
+// MP3Platform3 returns the paper's three-segment configuration
+// (Figure 9): segment 1 hosts P0–P3, P8–P10; segment 2 hosts P5–P7,
+// P11–P14; segment 3 hosts P4.
+func MP3Platform3(packageSize int) *platform.Platform {
+	p := platform.New("SBP-3seg", MP3CAClock, packageSize)
+	p.HeaderTicks = MP3HeaderTicks
+	p.CAHopTicks = MP3CAHopTicks
+	p.AddSegment(MP3Seg1Clock, 0, 1, 2, 3, 8, 9, 10)
+	p.AddSegment(MP3Seg2Clock, 5, 6, 7, 11, 12, 13, 14)
+	p.AddSegment(MP3Seg3Clock, 4)
+	return p
+}
+
+// MP3Platform3MovedP9 returns the modified three-segment configuration
+// of the paper's third accuracy experiment: process P9 shifted from
+// segment 1 to segment 3, everything else unchanged.
+func MP3Platform3MovedP9(packageSize int) *platform.Platform {
+	p := MP3Platform3(packageSize)
+	if err := p.MoveProcess(9, 3); err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return p
+}
+
+// MP3Platform2 returns the paper's two-segment configuration
+// (Figure 9): segment 1 hosts P4–P7 and P10–P14, segment 2 hosts
+// P0–P3, P8 and P9.
+func MP3Platform2(packageSize int) *platform.Platform {
+	p := platform.New("SBP-2seg", MP3CAClock, packageSize)
+	p.HeaderTicks = MP3HeaderTicks
+	p.CAHopTicks = MP3CAHopTicks
+	p.AddSegment(MP3Seg1Clock, 4, 5, 6, 7, 10, 11, 12, 13, 14)
+	p.AddSegment(MP3Seg2Clock, 0, 1, 2, 3, 8, 9)
+	return p
+}
+
+// MP3Platform1 returns the paper's single-segment configuration: all
+// FUs on the same segment.
+func MP3Platform1(packageSize int) *platform.Platform {
+	p := platform.New("SBP-1seg", MP3CAClock, packageSize)
+	p.HeaderTicks = MP3HeaderTicks
+	p.CAHopTicks = MP3CAHopTicks
+	p.AddSegment(MP3Seg1Clock, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14)
+	return p
+}
+
+// MP3CommMatrixFigure8 returns the communication matrix printed as the
+// paper's Figure 8, built independently of the PSDF model so tests can
+// cross-check the model against the publication.
+func MP3CommMatrixFigure8() *psdf.CommMatrix {
+	cm := psdf.NewCommMatrix(15)
+	entries := []struct {
+		src, dst psdf.ProcessID
+		items    int
+	}{
+		{0, 1, 576}, {0, 8, 576},
+		{1, 2, 540}, {1, 3, 36},
+		{2, 3, 540},
+		{3, 4, 36}, {3, 5, 540}, {3, 10, 36}, {3, 11, 540},
+		{4, 5, 36},
+		{5, 6, 576},
+		{6, 7, 576},
+		{7, 14, 576},
+		{8, 3, 36}, {8, 9, 540},
+		{9, 3, 540},
+		{10, 11, 36},
+		{11, 12, 576},
+		{12, 13, 576},
+		{13, 14, 576},
+	}
+	for _, e := range entries {
+		cm.Set(e.src, e.dst, e.items)
+	}
+	return cm
+}

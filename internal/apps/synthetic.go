@@ -1,0 +1,110 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// Pipeline returns a linear pipeline application: P0 -> P1 -> ... ->
+// Pn-1, each hop carrying items data items with cost ticks per
+// package, ordered sequentially.
+func Pipeline(n, items, ticks int) *psdf.Model {
+	if n < 2 {
+		panic("apps: pipeline needs at least two processes")
+	}
+	m := psdf.NewModel(fmt.Sprintf("pipeline-%d", n))
+	for i := 0; i < n-1; i++ {
+		m.AddFlow(psdf.Flow{
+			Source: psdf.ProcessID(i),
+			Target: psdf.ProcessID(i + 1),
+			Items:  items,
+			Order:  i + 1,
+			Ticks:  ticks,
+		})
+	}
+	return m
+}
+
+// ForkJoin returns a fork/join application: a source P0 scatters to
+// width workers (concurrently — all scatter flows share one ordering
+// number, as do all gather flows), which reduce into a sink.
+func ForkJoin(width, items, ticks int) *psdf.Model {
+	if width < 1 {
+		panic("apps: fork-join needs at least one worker")
+	}
+	m := psdf.NewModel(fmt.Sprintf("forkjoin-%d", width))
+	sink := psdf.ProcessID(width + 1)
+	for i := 1; i <= width; i++ {
+		m.AddFlow(psdf.Flow{Source: 0, Target: psdf.ProcessID(i), Items: items, Order: 1, Ticks: ticks})
+		m.AddFlow(psdf.Flow{Source: psdf.ProcessID(i), Target: sink, Items: items, Order: 2, Ticks: ticks})
+	}
+	return m
+}
+
+// RandomModel generates a valid random layered PSDF application from
+// rng: between 2 and maxLayers layers of processes with flows only
+// from earlier layers to later ones, ordering numbers consistent with
+// the layering. Intended for property tests and fuzz-style coverage.
+func RandomModel(rng *rand.Rand, maxLayers, maxPerLayer, packageSize int) *psdf.Model {
+	if maxLayers < 2 {
+		maxLayers = 2
+	}
+	if maxPerLayer < 1 {
+		maxPerLayer = 1
+	}
+	layers := 2 + rng.Intn(maxLayers-1)
+	m := psdf.NewModel("random")
+	var layerProcs [][]psdf.ProcessID
+	next := 0
+	for l := 0; l < layers; l++ {
+		count := 1 + rng.Intn(maxPerLayer)
+		var procs []psdf.ProcessID
+		for i := 0; i < count; i++ {
+			procs = append(procs, psdf.ProcessID(next))
+			next++
+		}
+		layerProcs = append(layerProcs, procs)
+	}
+	order := 1
+	for l := 1; l < layers; l++ {
+		for _, dst := range layerProcs[l] {
+			// At least one input per non-source process keeps every
+			// process reachable.
+			srcLayer := layerProcs[rng.Intn(l)]
+			src := srcLayer[rng.Intn(len(srcLayer))]
+			m.AddFlow(psdf.Flow{
+				Source: src,
+				Target: dst,
+				Items:  packageSize * (1 + rng.Intn(6)),
+				Order:  order,
+				Ticks:  rng.Intn(300),
+			})
+			order++
+		}
+	}
+	return m
+}
+
+// RandomPlatform distributes the model's processes over 1..maxSegments
+// segments with randomised (but valid) clock frequencies and returns
+// the platform. Every segment is guaranteed at least one process.
+func RandomPlatform(rng *rand.Rand, m *psdf.Model, maxSegments, packageSize int) *platform.Platform {
+	procs := m.Processes()
+	nseg := 1 + rng.Intn(maxSegments)
+	if nseg > len(procs) {
+		nseg = len(procs)
+	}
+	p := platform.New("random", platform.Hz(80+rng.Intn(60))*platform.MHz, packageSize)
+	perm := rng.Perm(len(procs))
+	segs := make([][]psdf.ProcessID, nseg)
+	for i, pi := range perm {
+		segs[i%nseg] = append(segs[i%nseg], procs[pi])
+	}
+	for _, sp := range segs {
+		p.AddSegment(platform.Hz(70+rng.Intn(70))*platform.MHz, sp...)
+	}
+	return p
+}

@@ -1,0 +1,376 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+const mp3Text = `
+# The paper's example application on the three-segment platform.
+application mp3-decoder
+nominal-package-size 36
+
+flow P0 -> P1 items=576 order=1 ticks=250
+flow P0 -> P8 items=576 order=2 ticks=30
+flow P8 -> P9 items=540 order=3 ticks=290
+flow P8 -> P3 items=36  order=3 ticks=290
+flow P1 -> P2 items=540 order=4 ticks=130
+
+platform SBP-3seg
+ca-clock 111MHz
+package-size 36
+header-ticks 25
+ca-hop-ticks 25
+segment 1 clock=91MHz processes=P0,P1,P2,P3,P8
+segment 2 clock=98MHz processes=P9
+`
+
+func TestParseBasics(t *testing.T) {
+	doc, err := Parse(strings.NewReader(mp3Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Model.Name() != "mp3-decoder" {
+		t.Errorf("name = %q", doc.Model.Name())
+	}
+	if doc.Model.NominalPackageSize() != 36 {
+		t.Errorf("nominal = %d", doc.Model.NominalPackageSize())
+	}
+	if doc.Model.NumFlows() != 5 {
+		t.Errorf("flows = %d", doc.Model.NumFlows())
+	}
+	f := doc.Model.FlowsFrom(0)[0]
+	if f.Target != 1 || f.Items != 576 || f.Order != 1 || f.Ticks != 250 {
+		t.Errorf("flow = %+v", f)
+	}
+	if doc.Platform == nil {
+		t.Fatal("platform missing")
+	}
+	if doc.Platform.CAClock != 111*platform.MHz || doc.Platform.PackageSize != 36 {
+		t.Errorf("platform = %+v", doc.Platform)
+	}
+	if doc.Platform.HeaderTicks != 25 || doc.Platform.CAHopTicks != 25 {
+		t.Errorf("protocol ticks = %d/%d", doc.Platform.HeaderTicks, doc.Platform.CAHopTicks)
+	}
+	if doc.Platform.Segment(1).Clock != 91*platform.MHz {
+		t.Errorf("segment clock = %v", doc.Platform.Segment(1).Clock)
+	}
+}
+
+func TestParseStereotypeDeclaration(t *testing.T) {
+	text := `
+process P0 InitialNode
+process P1 ProcessNode
+process P2 FinalNode
+flow P0 -> P1 items=36 order=1 ticks=0
+flow P1 -> P2 items=36 order=2 ticks=0
+`
+	doc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Stereotype[0] != InitialNode || doc.Stereotype[1] != ProcessNode || doc.Stereotype[2] != FinalNode {
+		t.Errorf("stereotypes = %v", doc.Stereotype)
+	}
+	if ds := doc.Validate(); ds.HasErrors() {
+		t.Errorf("consistent stereotypes rejected: %v", ds)
+	}
+}
+
+func TestParseSystemOutput(t *testing.T) {
+	doc, err := Parse(strings.NewReader("flow P0 -> out items=36 order=1 ticks=5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Model.Flows()[0].Target != psdf.SystemOutput {
+		t.Error("out target not parsed")
+	}
+}
+
+func TestParseFUKinds(t *testing.T) {
+	text := `
+flow P0 -> P1 items=36 order=1 ticks=0
+platform x
+ca-clock 100MHz
+package-size 36
+segment 1 clock=90MHz processes=P0,P1
+fu P0 kind=master
+fu P1 kind=slave
+`
+	doc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fus := doc.Platform.Segment(1).FUs
+	if fus[0].Kind != platform.MasterOnly || fus[1].Kind != platform.SlaveOnly {
+		t.Errorf("kinds = %v/%v", fus[0].Kind, fus[1].Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":     "frobnicate x\n",
+		"bad process":           "process Q9\n",
+		"bad stereotype":        "process P0 MagicNode\n",
+		"flow syntax":           "flow P0 P1 items=1\n",
+		"flow bad attr":         "flow P0 -> P1 wat=1 items=1 order=1\n",
+		"flow dup attr":         "flow P0 -> P1 items=1 items=2 order=1\n",
+		"flow missing items":    "flow P0 -> P1 order=1\n",
+		"double application":    "application a\napplication b\n",
+		"platform-less segment": "segment 1 clock=90MHz processes=P0\n",
+		"double platform":       "platform a\nplatform b\n",
+		"segment out of order":  "platform a\nsegment 2 clock=90MHz processes=P0\n",
+		"bad frequency":         "platform a\nca-clock fast\n",
+		"bad fu":                "platform a\nfu P0 kind=wizard\n",
+		"bad nominal":           "nominal-package-size -2\n",
+	}
+	for name, text := range cases {
+		_, err := Parse(strings.NewReader(text))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if pe, ok := err.(*ParseError); ok && pe.Line == 0 {
+			t.Errorf("%s: error lacks line number", name)
+		}
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse(strings.NewReader("process P0\n\nbadness here\n"))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestParseHz(t *testing.T) {
+	cases := map[string]platform.Hz{
+		"91MHz":  91 * platform.MHz,
+		"1.5GHz": 1500 * platform.MHz,
+		"250kHz": 250 * platform.KHz,
+		"100Hz":  100,
+		"12345":  12345,
+	}
+	for in, want := range cases {
+		got, err := ParseHz(in)
+		if err != nil {
+			t.Errorf("ParseHz(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseHz(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "fast", "-3MHz", "0"} {
+		if _, err := ParseHz(bad); err == nil {
+			t.Errorf("ParseHz(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInferStereotypes(t *testing.T) {
+	m := psdf.NewModel("st")
+	m.AddFlow(psdf.Flow{Source: 0, Target: 1, Items: 36, Order: 1})
+	m.AddFlow(psdf.Flow{Source: 1, Target: 2, Items: 36, Order: 2})
+	got := InferStereotypes(m)
+	if got[0] != InitialNode || got[1] != ProcessNode || got[2] != FinalNode {
+		t.Errorf("stereotypes = %v", got)
+	}
+}
+
+func TestStereotypeMetaclass(t *testing.T) {
+	for _, s := range []Stereotype{InitialNode, ProcessNode, FinalNode, SegBusPlatform, BorderUnit} {
+		if !strings.Contains(s.Metaclass(), "Kernel::Class") {
+			t.Errorf("%v metaclass = %q", s, s.Metaclass())
+		}
+	}
+	if StereotypeInvalid.Metaclass() != "" {
+		t.Error("invalid stereotype has a metaclass")
+	}
+}
+
+func TestPlatformStereotypes(t *testing.T) {
+	p := platform.New("SBP", 100*platform.MHz, 36)
+	p.AddSegment(90*platform.MHz, 0, 1)
+	p.AddSegment(95*platform.MHz, 2)
+	els := PlatformStereotypes(p)
+	byName := map[string]Stereotype{}
+	for _, e := range els {
+		byName[e.Element] = e.Stereotype
+	}
+	checks := map[string]Stereotype{
+		"SBP": SegBusPlatform, "Segment 1": SegmentElement, "CA": CentralArbiter,
+		"BU12": BorderUnit, "SA2": SegmentArbiter, "P0": FunctionalUnit,
+	}
+	for name, want := range checks {
+		if byName[name] != want {
+			t.Errorf("%s stereotype = %v, want %v", name, byName[name], want)
+		}
+	}
+}
+
+func TestValidateReportsEverything(t *testing.T) {
+	text := `
+flow P0 -> P1 items=36 order=1 ticks=0
+platform broken
+ca-clock 100MHz
+package-size 36
+segment 1 clock=90MHz processes=P0
+`
+	doc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := doc.Validate()
+	if !ds.HasErrors() {
+		t.Fatal("unmapped P1 not reported")
+	}
+	if !strings.Contains(ds.String(), "P1") {
+		t.Errorf("diagnostics don't name P1: %v", ds)
+	}
+}
+
+func TestValidateStereotypeConflict(t *testing.T) {
+	text := `
+process P0 FinalNode
+flow P0 -> P1 items=36 order=1 ticks=0
+`
+	doc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := doc.Validate()
+	found := false
+	for _, d := range ds {
+		if d.Element == "P0" && strings.Contains(d.Message, "stereotype") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stereotype conflict not reported: %v", ds)
+	}
+}
+
+func TestValidatePackageSizeWarning(t *testing.T) {
+	text := `
+nominal-package-size 36
+flow P0 -> P1 items=36 order=1 ticks=0
+platform p
+ca-clock 100MHz
+package-size 18
+segment 1 clock=90MHz processes=P0,P1
+`
+	doc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := doc.Validate()
+	if ds.HasErrors() {
+		t.Fatalf("unexpected errors: %v", ds)
+	}
+	if len(ds) == 0 || ds[0].Severity != SeverityWarning {
+		t.Errorf("expected a rescale warning, got %v", ds)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	doc, err := Parse(strings.NewReader(mp3Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add FU kind variety.
+	doc.Platform.Segment(1).FUs[0].Kind = platform.MasterOnly
+	text := doc.Print()
+	doc2, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if doc2.Print() != text {
+		t.Errorf("Print/Parse not a fixed point:\n%s\nvs\n%s", text, doc2.Print())
+	}
+	if doc2.Model.NumFlows() != doc.Model.NumFlows() {
+		t.Error("flows lost in round trip")
+	}
+	if doc2.Platform.String() != doc.Platform.String() {
+		t.Error("allocation lost in round trip")
+	}
+	if doc2.Platform.Segment(1).FUs[0].Kind != platform.MasterOnly {
+		t.Error("FU kind lost in round trip")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{SeverityError, "P3", "broken"}
+	if got := d.String(); !strings.Contains(got, "error") || !strings.Contains(got, "P3") {
+		t.Errorf("String() = %q", got)
+	}
+	if SeverityWarning.String() != "warning" {
+		t.Error("warning severity name")
+	}
+}
+
+func TestStereotypeStringAll(t *testing.T) {
+	names := map[Stereotype]string{
+		InitialNode: "InitialNode", ProcessNode: "ProcessNode", FinalNode: "FinalNode",
+		SegBusPlatform: "SegBusPlatform", SegmentElement: "Segment", FunctionalUnit: "FU",
+		SegmentArbiter: "SA", CentralArbiter: "CA", BorderUnit: "BU",
+		MasterInterface: "Master", SlaveInterface: "Slave",
+	}
+	for st, want := range names {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+	if !strings.Contains(Stereotype(99).String(), "99") {
+		t.Error("unknown stereotype rendering")
+	}
+}
+
+func TestFormatHzVariants(t *testing.T) {
+	cases := map[platform.Hz]string{
+		2 * platform.GHz:   "2GHz",
+		91 * platform.MHz:  "91MHz",
+		250 * platform.KHz: "250kHz",
+		12345:              "12345Hz",
+	}
+	for hz, want := range cases {
+		if got := formatHz(hz); got != want {
+			t.Errorf("formatHz(%v) = %q, want %q", float64(hz), got, want)
+		}
+		// Round trip through the parser.
+		back, err := ParseHz(formatHz(hz))
+		if err != nil || back != hz {
+			t.Errorf("formatHz(%v) does not round-trip: %v %v", float64(hz), back, err)
+		}
+	}
+}
+
+func TestValidateModelOnlyDocument(t *testing.T) {
+	doc, err := Parse(strings.NewReader("flow P0 -> P1 items=36 order=1 ticks=0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := doc.Validate(); len(ds) != 0 {
+		t.Errorf("platform-less valid model produced diagnostics: %v", ds)
+	}
+}
+
+func TestValidateBrokenModelDiagnostics(t *testing.T) {
+	// A model-level violation (no flows) names the application.
+	doc := &Document{Model: psdf.NewModel("hollow"), Stereotype: map[psdf.ProcessID]Stereotype{}}
+	doc.Model.AddProcess(3)
+	ds := doc.Validate()
+	if !ds.HasErrors() {
+		t.Fatal("hollow model accepted")
+	}
+}

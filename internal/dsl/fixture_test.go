@@ -1,0 +1,52 @@
+package dsl_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/dsl"
+)
+
+// TestFixtureMatchesApps keeps testdata/mp3.sbd — the checked-in model
+// description used by the CLI tests and the examples — in sync with
+// the canonical MP3 model of internal/apps. Regenerate the fixture
+// with dsl.Document.Print if this fails.
+func TestFixtureMatchesApps(t *testing.T) {
+	data, err := os.ReadFile("../../testdata/mp3.sbd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := dsl.Parse(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := doc.Validate(); ds.HasErrors() {
+		t.Fatalf("fixture invalid: %v", ds)
+	}
+
+	want := apps.MP3Model()
+	if doc.Model.Name() != want.Name() {
+		t.Errorf("name %q vs %q", doc.Model.Name(), want.Name())
+	}
+	gf, wf := doc.Model.Flows(), want.Flows()
+	if len(gf) != len(wf) {
+		t.Fatalf("flows %d vs %d", len(gf), len(wf))
+	}
+	for i := range gf {
+		if gf[i] != wf[i] {
+			t.Errorf("flow %d: %v vs %v", i, gf[i], wf[i])
+		}
+	}
+	wantPlat := apps.MP3Platform3(36)
+	if doc.Platform == nil || doc.Platform.String() != wantPlat.String() {
+		t.Errorf("platform allocation differs from MP3Platform3")
+	}
+	if doc.Platform.HeaderTicks != wantPlat.HeaderTicks || doc.Platform.CAHopTicks != wantPlat.CAHopTicks {
+		t.Error("protocol constants differ")
+	}
+	if doc.Platform.CAClock != wantPlat.CAClock {
+		t.Error("CA clock differs")
+	}
+}

@@ -1,0 +1,39 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the DSL parser: it must never
+// panic, errors must carry line numbers, and any accepted document
+// must survive a Print/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("application a\nflow P0 -> P1 items=36 order=1 ticks=5\n")
+	f.Add("process P0 InitialNode\n")
+	f.Add("platform p\nca-clock 100MHz\npackage-size 36\nsegment 1 clock=90MHz processes=P0\n")
+	f.Add("# just a comment\n\n")
+	f.Add("flow P0 -> out items=1 order=1\n")
+	f.Add("segment 1 clock=90MHz\n")
+	f.Add("fu P0 kind=master\n")
+	f.Add("nonsense directive here\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		doc, err := Parse(strings.NewReader(text))
+		if err != nil {
+			if pe, ok := err.(*ParseError); ok && pe.Line <= 0 {
+				t.Fatalf("error without a line number: %v", err)
+			}
+			return
+		}
+		// Round trip: printing and re-parsing must succeed and be a
+		// fixed point.
+		printed := doc.Print()
+		doc2, err := Parse(strings.NewReader(printed))
+		if err != nil {
+			t.Fatalf("Print produced unparseable text: %v\n%s", err, printed)
+		}
+		if doc2.Print() != printed {
+			t.Fatalf("Print/Parse not a fixed point:\n%q\nvs\n%q", printed, doc2.Print())
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package dsl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// Document is a parsed model description: the application's PSDF
+// model, optionally a platform with its mapping, and any stereotype
+// declarations the author made explicitly.
+type Document struct {
+	Model      *psdf.Model
+	Platform   *platform.Platform // nil when the description has no platform section
+	Stereotype map[psdf.ProcessID]Stereotype
+}
+
+// ParseError is a syntax or semantic error in a model description,
+// carrying the line it occurred on.
+type ParseError struct {
+	Line    int
+	Message string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dsl: line %d: %s", e.Line, e.Message)
+}
+
+// Parse reads a textual SegBus model description. The format is
+// line-based; '#' starts a comment. Directives:
+//
+//	application <name>
+//	nominal-package-size <n>
+//	process <P#> [stereotype]
+//	flow <P#> -> <P#|out> items=<n> order=<n> ticks=<n>
+//	platform <name>
+//	ca-clock <freq>            (e.g. 111MHz)
+//	package-size <n>
+//	header-ticks <n>
+//	ca-hop-ticks <n>
+//	segment <i> clock=<freq> processes=<P#,P#,...>
+//	fu <P#> kind=<master|slave|master+slave>
+//
+// The application section must precede the platform section. Clock
+// frequencies accept Hz, kHz, MHz and GHz suffixes.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		Model:      psdf.NewModel(""),
+		Stereotype: make(map[psdf.ProcessID]Stereotype),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	named := false
+	fuKinds := make(map[psdf.ProcessID]platform.FUKind)
+
+	fail := func(format string, args ...interface{}) error {
+		return &ParseError{Line: lineNo, Message: fmt.Sprintf(format, args...)}
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "application":
+			if len(fields) != 2 {
+				return nil, fail("application takes exactly one name")
+			}
+			if named {
+				return nil, fail("duplicate application directive")
+			}
+			named = true
+			renamed := psdf.NewModel(fields[1])
+			renamed.SetNominalPackageSize(doc.Model.NominalPackageSize())
+			for _, p := range doc.Model.Processes() {
+				renamed.AddProcess(p)
+			}
+			for _, f := range doc.Model.Flows() {
+				renamed.AddFlow(f)
+			}
+			doc.Model = renamed
+
+		case "nominal-package-size":
+			if len(fields) != 2 {
+				return nil, fail("nominal-package-size takes exactly one integer")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fail("bad nominal package size %q", fields[1])
+			}
+			doc.Model.SetNominalPackageSize(n)
+
+		case "process":
+			if len(fields) != 2 && len(fields) != 3 {
+				return nil, fail("process takes a name and an optional stereotype")
+			}
+			p, err := psdf.ParseProcessName(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			doc.Model.AddProcess(p)
+			if len(fields) == 3 {
+				st, err := ParseStereotype(fields[2])
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				doc.Stereotype[p] = st
+			}
+
+		case "flow":
+			// flow P0 -> P1 items=576 order=1 ticks=250
+			if len(fields) < 4 || fields[2] != "->" {
+				return nil, fail(`flow syntax: flow P0 -> P1 items=N order=N ticks=N`)
+			}
+			src, err := psdf.ParseProcessName(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			var dst psdf.ProcessID
+			if fields[3] == "out" {
+				dst = psdf.SystemOutput
+			} else {
+				dst, err = psdf.ParseProcessName(fields[3])
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+			}
+			f := psdf.Flow{Source: src, Target: dst}
+			seen := map[string]bool{}
+			for _, kv := range fields[4:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fail("bad flow attribute %q (want key=value)", kv)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fail("flow attribute %s: bad integer %q", k, v)
+				}
+				if seen[k] {
+					return nil, fail("duplicate flow attribute %q", k)
+				}
+				seen[k] = true
+				switch k {
+				case "items":
+					f.Items = n
+				case "order":
+					f.Order = n
+				case "ticks":
+					f.Ticks = n
+				default:
+					return nil, fail("unknown flow attribute %q", k)
+				}
+			}
+			if !seen["items"] || !seen["order"] {
+				return nil, fail("flow needs items= and order= attributes")
+			}
+			doc.Model.AddFlow(f)
+
+		case "platform":
+			if len(fields) != 2 {
+				return nil, fail("platform takes exactly one name")
+			}
+			if doc.Platform != nil {
+				return nil, fail("duplicate platform directive")
+			}
+			doc.Platform = platform.New(fields[1], 0, 0)
+
+		case "ca-clock":
+			if doc.Platform == nil {
+				return nil, fail("ca-clock before platform directive")
+			}
+			if len(fields) != 2 {
+				return nil, fail("ca-clock takes exactly one frequency")
+			}
+			hz, err := ParseHz(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			doc.Platform.CAClock = hz
+
+		case "package-size":
+			if doc.Platform == nil {
+				return nil, fail("package-size before platform directive")
+			}
+			if len(fields) != 2 {
+				return nil, fail("package-size takes exactly one integer")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("package-size takes exactly one integer")
+			}
+			doc.Platform.PackageSize = n
+
+		case "header-ticks":
+			if doc.Platform == nil {
+				return nil, fail("header-ticks before platform directive")
+			}
+			if len(fields) != 2 {
+				return nil, fail("header-ticks takes exactly one integer")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("header-ticks takes exactly one integer")
+			}
+			doc.Platform.HeaderTicks = n
+
+		case "ca-hop-ticks":
+			if doc.Platform == nil {
+				return nil, fail("ca-hop-ticks before platform directive")
+			}
+			if len(fields) != 2 {
+				return nil, fail("ca-hop-ticks takes exactly one integer")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("ca-hop-ticks takes exactly one integer")
+			}
+			doc.Platform.CAHopTicks = n
+
+		case "segment":
+			if doc.Platform == nil {
+				return nil, fail("segment before platform directive")
+			}
+			if len(fields) < 3 {
+				return nil, fail("segment syntax: segment N clock=<freq> processes=P0,P1")
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad segment index %q", fields[1])
+			}
+			if idx != doc.Platform.NumSegments()+1 {
+				return nil, fail("segment index %d out of order (want %d)", idx, doc.Platform.NumSegments()+1)
+			}
+			var clock platform.Hz
+			var procs []psdf.ProcessID
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fail("bad segment attribute %q", kv)
+				}
+				switch k {
+				case "clock":
+					clock, err = ParseHz(v)
+					if err != nil {
+						return nil, fail("%v", err)
+					}
+				case "processes":
+					for _, name := range strings.Split(v, ",") {
+						p, err := psdf.ParseProcessName(strings.TrimSpace(name))
+						if err != nil {
+							return nil, fail("%v", err)
+						}
+						procs = append(procs, p)
+					}
+				default:
+					return nil, fail("unknown segment attribute %q", k)
+				}
+			}
+			doc.Platform.AddSegment(clock, procs...)
+
+		case "fu":
+			if doc.Platform == nil {
+				return nil, fail("fu before platform directive")
+			}
+			if len(fields) != 3 {
+				return nil, fail("fu syntax: fu P0 kind=<master|slave|master+slave>")
+			}
+			p, err := psdf.ParseProcessName(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			k, v, ok := strings.Cut(fields[2], "=")
+			if !ok || k != "kind" {
+				return nil, fail("fu syntax: fu P0 kind=<master|slave|master+slave>")
+			}
+			switch v {
+			case "master":
+				fuKinds[p] = platform.MasterOnly
+			case "slave":
+				fuKinds[p] = platform.SlaveOnly
+			case "master+slave":
+				fuKinds[p] = platform.MasterSlave
+			default:
+				return nil, fail("unknown fu kind %q", v)
+			}
+
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dsl: reading model description: %w", err)
+	}
+	if doc.Platform != nil {
+		for _, s := range doc.Platform.Segments {
+			for i := range s.FUs {
+				if k, ok := fuKinds[s.FUs[i].Process]; ok {
+					s.FUs[i].Kind = k
+				}
+			}
+		}
+	}
+	return doc, nil
+}
+
+// ParseHz decodes a frequency literal with an optional Hz/kHz/MHz/GHz
+// suffix ("91MHz", "1.5GHz", "250000").
+func ParseHz(s string) (platform.Hz, error) {
+	mult := 1.0
+	num := s
+	switch {
+	case strings.HasSuffix(s, "GHz"):
+		mult, num = 1e9, strings.TrimSuffix(s, "GHz")
+	case strings.HasSuffix(s, "MHz"):
+		mult, num = 1e6, strings.TrimSuffix(s, "MHz")
+	case strings.HasSuffix(s, "kHz"):
+		mult, num = 1e3, strings.TrimSuffix(s, "kHz")
+	case strings.HasSuffix(s, "Hz"):
+		num = strings.TrimSuffix(s, "Hz")
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("dsl: bad frequency %q", s)
+	}
+	return platform.Hz(v * mult), nil
+}

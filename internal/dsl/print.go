@@ -1,0 +1,91 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"segbus/internal/platform"
+)
+
+// Print renders the document back to the textual model format so that
+// Parse(Print(doc)) reproduces the same models (round-trip property).
+func (doc *Document) Print() string {
+	var b strings.Builder
+	m := doc.Model
+	if m.Name() != "" {
+		fmt.Fprintf(&b, "application %s\n", m.Name())
+	}
+	if m.NominalPackageSize() > 0 {
+		fmt.Fprintf(&b, "nominal-package-size %d\n", m.NominalPackageSize())
+	}
+	for _, p := range m.Processes() {
+		if st, ok := doc.Stereotype[p]; ok {
+			fmt.Fprintf(&b, "process %s %s\n", p, st)
+		} else {
+			fmt.Fprintf(&b, "process %s\n", p)
+		}
+	}
+	for _, f := range m.Flows() {
+		target := f.Target.String()
+		if f.Target < 0 {
+			target = "out"
+		}
+		fmt.Fprintf(&b, "flow %s -> %s items=%d order=%d ticks=%d\n", f.Source, target, f.Items, f.Order, f.Ticks)
+	}
+	if doc.Platform == nil {
+		return b.String()
+	}
+	p := doc.Platform
+	fmt.Fprintf(&b, "platform %s\n", p.Name)
+	// Unset (zero) values are omitted rather than rendered: a partial
+	// document must still round-trip through Parse.
+	if p.CAClock > 0 {
+		fmt.Fprintf(&b, "ca-clock %s\n", formatHz(p.CAClock))
+	}
+	if p.PackageSize != 0 {
+		fmt.Fprintf(&b, "package-size %d\n", p.PackageSize)
+	}
+	if p.HeaderTicks > 0 {
+		fmt.Fprintf(&b, "header-ticks %d\n", p.HeaderTicks)
+	}
+	if p.CAHopTicks > 0 {
+		fmt.Fprintf(&b, "ca-hop-ticks %d\n", p.CAHopTicks)
+	}
+	for _, s := range p.Segments {
+		names := make([]string, 0, len(s.FUs))
+		for _, fu := range s.FUs {
+			names = append(names, fu.Process.String())
+		}
+		if len(names) == 0 {
+			fmt.Fprintf(&b, "segment %d clock=%s\n", s.Index, formatHz(s.Clock))
+			continue
+		}
+		fmt.Fprintf(&b, "segment %d clock=%s processes=%s\n", s.Index, formatHz(s.Clock), strings.Join(names, ","))
+	}
+	for _, s := range p.Segments {
+		for _, fu := range s.FUs {
+			switch fu.Kind {
+			case platform.MasterOnly:
+				fmt.Fprintf(&b, "fu %s kind=master\n", fu.Process)
+			case platform.SlaveOnly:
+				fmt.Fprintf(&b, "fu %s kind=slave\n", fu.Process)
+			}
+		}
+	}
+	return b.String()
+}
+
+// formatHz renders a frequency as an exact integer with the largest
+// suffix that loses no precision, so Print/Parse round-trips exactly.
+func formatHz(f platform.Hz) string {
+	v := int64(f)
+	switch {
+	case v%1e9 == 0:
+		return fmt.Sprintf("%dGHz", v/1e9)
+	case v%1e6 == 0:
+		return fmt.Sprintf("%dMHz", v/1e6)
+	case v%1e3 == 0:
+		return fmt.Sprintf("%dkHz", v/1e3)
+	}
+	return fmt.Sprintf("%dHz", v)
+}

@@ -1,0 +1,155 @@
+// Package dsl implements the Domain Specific Language layer of the
+// SegBus design flow (section 2.2 of the paper): the UML-profile
+// stereotypes that classify model elements, a textual model
+// description format standing in for the graphical MagicDraw
+// environment, and the OCL-style validation pass that reports every
+// constraint breach with a reference to the offending element.
+package dsl
+
+import (
+	"fmt"
+	"sort"
+
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// Stereotype is a UML-profile classification of a model element. The
+// PSDF stereotypes (InitialNode, ProcessNode, FinalNode) are the ones
+// this paper adds to the profile; the platform stereotypes come from
+// the earlier DSL work the paper builds on.
+type Stereotype int
+
+// The profile's stereotypes.
+const (
+	StereotypeInvalid Stereotype = iota
+	InitialNode                  // PSDF process with no incoming flows
+	ProcessNode                  // PSDF process with both inputs and outputs
+	FinalNode                    // PSDF process with no outgoing flows
+	SegBusPlatform
+	SegmentElement
+	FunctionalUnit
+	SegmentArbiter
+	CentralArbiter
+	BorderUnit
+	MasterInterface
+	SlaveInterface
+)
+
+// String implements fmt.Stringer with the profile names.
+func (s Stereotype) String() string {
+	switch s {
+	case InitialNode:
+		return "InitialNode"
+	case ProcessNode:
+		return "ProcessNode"
+	case FinalNode:
+		return "FinalNode"
+	case SegBusPlatform:
+		return "SegBusPlatform"
+	case SegmentElement:
+		return "Segment"
+	case FunctionalUnit:
+		return "FU"
+	case SegmentArbiter:
+		return "SA"
+	case CentralArbiter:
+		return "CA"
+	case BorderUnit:
+		return "BU"
+	case MasterInterface:
+		return "Master"
+	case SlaveInterface:
+		return "Slave"
+	}
+	return fmt.Sprintf("Stereotype(%d)", int(s))
+}
+
+// Metaclass returns the UML metaclass the stereotype extends, as
+// declared in the profile (the PSDF stereotypes are generalisations
+// of UML2's Kernel::Class).
+func (s Stereotype) Metaclass() string {
+	switch s {
+	case InitialNode, ProcessNode, FinalNode:
+		return "UML Standard Profile::UML2MetaModel::Classes::Kernel::Class"
+	case SegBusPlatform, SegmentElement, FunctionalUnit,
+		SegmentArbiter, CentralArbiter, BorderUnit,
+		MasterInterface, SlaveInterface:
+		return "UML Standard Profile::UML2MetaModel::Classes::Kernel::Class"
+	}
+	return ""
+}
+
+// ParseStereotype decodes a profile name, accepting the PSDF node
+// stereotypes used by the textual format.
+func ParseStereotype(name string) (Stereotype, error) {
+	switch name {
+	case "InitialNode":
+		return InitialNode, nil
+	case "ProcessNode":
+		return ProcessNode, nil
+	case "FinalNode":
+		return FinalNode, nil
+	}
+	return StereotypeInvalid, fmt.Errorf("dsl: unknown stereotype %q", name)
+}
+
+// InferStereotypes classifies every process of the model by its flow
+// structure: no inputs — InitialNode; no outputs — FinalNode; both —
+// ProcessNode. Processes with neither (isolated) are reported as
+// ProcessNode; model validation flags them separately.
+func InferStereotypes(m *psdf.Model) map[psdf.ProcessID]Stereotype {
+	out := make(map[psdf.ProcessID]Stereotype, m.NumProcesses())
+	sources := make(map[psdf.ProcessID]bool)
+	for _, p := range m.Sources() {
+		sources[p] = true
+	}
+	sinks := make(map[psdf.ProcessID]bool)
+	for _, p := range m.Sinks() {
+		sinks[p] = true
+	}
+	for _, p := range m.Processes() {
+		switch {
+		case sources[p] && !sinks[p]:
+			out[p] = InitialNode
+		case sinks[p] && !sources[p]:
+			out[p] = FinalNode
+		default:
+			out[p] = ProcessNode
+		}
+	}
+	return out
+}
+
+// PlatformStereotypes lists each platform element with its stereotype
+// in the Figure 5 hierarchy order: the platform, its segments, the
+// CA, the BUs, and each segment's FUs and SA.
+func PlatformStereotypes(p *platform.Platform) []ElementStereotype {
+	var out []ElementStereotype
+	out = append(out, ElementStereotype{Element: p.Name, Stereotype: SegBusPlatform})
+	for _, s := range p.Segments {
+		out = append(out, ElementStereotype{Element: s.Name(), Stereotype: SegmentElement})
+	}
+	out = append(out, ElementStereotype{Element: "CA", Stereotype: CentralArbiter})
+	for _, bu := range p.BUs() {
+		out = append(out, ElementStereotype{Element: bu.Name(), Stereotype: BorderUnit})
+	}
+	for _, s := range p.Segments {
+		out = append(out, ElementStereotype{Element: s.SAName(), Stereotype: SegmentArbiter})
+		procs := make([]psdf.ProcessID, 0, len(s.FUs))
+		for _, fu := range s.FUs {
+			procs = append(procs, fu.Process)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+		for _, proc := range procs {
+			out = append(out, ElementStereotype{Element: proc.String(), Stereotype: FunctionalUnit})
+		}
+	}
+	return out
+}
+
+// ElementStereotype pairs a model element name with its stereotype.
+type ElementStereotype struct {
+	Element    string
+	Stereotype Stereotype
+}

@@ -1,0 +1,127 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Diagnostic severities.
+const (
+	SeverityError Severity = iota
+	SeverityWarning
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == SeverityWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one finding of the validation pass. Element names the
+// model element to highlight, as the DSL tool highlights the offending
+// element in the diagram on an OCL breach.
+type Diagnostic struct {
+	Severity Severity
+	Element  string
+	Message  string
+}
+
+// String implements fmt.Stringer.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Severity, d.Element, d.Message)
+}
+
+// Diagnostics aggregates validation findings.
+type Diagnostics []Diagnostic
+
+// HasErrors reports whether any diagnostic has error severity.
+func (ds Diagnostics) HasErrors() bool {
+	for _, d := range ds {
+		if d.Severity == SeverityError {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders one diagnostic per line.
+func (ds Diagnostics) String() string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate runs the full DSL validation pass over the document: PSDF
+// well-formedness, platform structural constraints, the
+// application-to-platform mapping, FU interface roles, and stereotype
+// consistency (a declared stereotype must match the flow structure).
+// It returns every finding; an empty slice means the model is a
+// correct PSDF/PSM pair ready for transformation.
+func (doc *Document) Validate() Diagnostics {
+	var ds Diagnostics
+
+	if err := doc.Model.Validate(); err != nil {
+		if verrs, ok := err.(psdf.ValidationErrors); ok {
+			for _, v := range verrs {
+				el := doc.Model.Name()
+				if v.Flow != nil {
+					el = v.Flow.String()
+				}
+				ds = append(ds, Diagnostic{SeverityError, el, v.Message})
+			}
+		} else {
+			ds = append(ds, Diagnostic{SeverityError, doc.Model.Name(), err.Error()})
+		}
+	}
+
+	inferred := InferStereotypes(doc.Model)
+	for p, declared := range doc.Stereotype {
+		if want, ok := inferred[p]; ok && want != declared {
+			ds = append(ds, Diagnostic{
+				SeverityError, p.String(),
+				fmt.Sprintf("declared stereotype %s contradicts the flow structure (expected %s)", declared, want),
+			})
+		}
+	}
+
+	if doc.Platform == nil {
+		return ds
+	}
+	appendViolations := func(err error) {
+		if err == nil {
+			return
+		}
+		if vs, ok := err.(platform.ConstraintViolations); ok {
+			for _, v := range vs {
+				ds = append(ds, Diagnostic{SeverityError, v.Element, v.Message})
+			}
+			return
+		}
+		ds = append(ds, Diagnostic{SeverityError, doc.Platform.Name, err.Error()})
+	}
+	appendViolations(doc.Platform.Validate())
+	appendViolations(doc.Platform.ValidateMapping(doc.Model))
+	appendViolations(doc.Platform.ValidateRoles(doc.Model))
+
+	// Advisory findings.
+	if doc.Platform.PackageSize > 0 && doc.Model.NominalPackageSize() > 0 &&
+		doc.Platform.PackageSize != doc.Model.NominalPackageSize() {
+		ds = append(ds, Diagnostic{
+			SeverityWarning, doc.Platform.Name,
+			fmt.Sprintf("platform package size %d differs from the model's nominal %d: per-package processing costs will be rescaled",
+				doc.Platform.PackageSize, doc.Model.NominalPackageSize()),
+		})
+	}
+	return ds
+}

@@ -1,0 +1,58 @@
+package emulator_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+)
+
+// BenchmarkMP3ThreeSegments is the cost of the paper's main run.
+func BenchmarkMP3ThreeSegments(b *testing.B) {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := emulator.Run(m, p, emulator.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMP3SmallPackages doubles the package count (s=18).
+func BenchmarkMP3SmallPackages(b *testing.B) {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(18)
+	for i := 0; i < b.N; i++ {
+		if _, err := emulator.Run(m, p, emulator.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMP3Refined adds the overhead charging of the refined model.
+func BenchmarkMP3Refined(b *testing.B) {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	ov := emulator.Overheads{GrantTicks: 8, SyncTicks: 2, CASetTicks: 2, CAResetTicks: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := emulator.Run(m, p, emulator.Config{Overheads: ov}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeRandomApp emulates a bigger synthetic application (a
+// few hundred packages across four segments).
+func BenchmarkLargeRandomApp(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	m := apps.RandomModel(rng, 6, 6, 36)
+	p := apps.RandomPlatform(rng, m, 4, 36)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emulator.Run(m, p, emulator.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

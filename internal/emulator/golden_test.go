@@ -1,0 +1,81 @@
+package emulator_test
+
+// Golden regression values for the paper's main run. These pin the
+// calibrated timing model: any change to the emulator's semantics or
+// to the MP3 model's constants that shifts these numbers is a
+// deliberate recalibration and must update both this test and
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/realplat"
+)
+
+func TestGoldenThreeSegmentRun(t *testing.T) {
+	r, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(r.ExecutionTimePs), int64(490386897); got != want {
+		t.Errorf("execution time = %dps, want %dps", got, want)
+	}
+	if got, want := r.CA.TCT, int64(54433); got != want {
+		t.Errorf("CA TCT = %d, want %d", got, want)
+	}
+	wantSA := map[int]int64{1: 26647, 2: 48054, 3: 18720}
+	for seg, want := range wantSA {
+		if got := r.SA(seg).TCT; got != want {
+			t.Errorf("SA%d TCT = %d, want %d", seg, got, want)
+		}
+	}
+	if got, want := int64(r.Process(0).EndPs), int64(70681248); got != want {
+		t.Errorf("P0 end = %dps, want %dps", got, want)
+	}
+	if got, want := int64(r.Process(14).LastReceivePs), int64(490343016); got != want {
+		t.Errorf("P14 last receive = %dps, want %dps", got, want)
+	}
+	if r.BU("BU12").TCT != 2336 || r.BU("BU23").TCT != 146 {
+		t.Errorf("BU TCTs = %d/%d, want 2336/146 (exact paper values)",
+			r.BU("BU12").TCT, r.BU("BU23").TCT)
+	}
+}
+
+func TestGoldenAccuracyTriple(t *testing.T) {
+	cases := []struct {
+		name      string
+		s         int
+		moveP9    bool
+		wantEstPs int64
+		wantActPs int64
+	}{
+		{"s36", 36, false, 490386897, 513008496},
+		{"s18", 18, false, 562621059, 608341734},
+		{"s36-p9", 36, true, 544981437, 574449876},
+	}
+	m := apps.MP3Model()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			plat := apps.MP3Platform3(c.s)
+			if c.moveP9 {
+				plat = apps.MP3Platform3MovedP9(c.s)
+			}
+			est, err := emulator.Run(m, plat, emulator.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			act, err := realplat.Run(m, plat, realplat.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(est.ExecutionTimePs) != c.wantEstPs {
+				t.Errorf("estimate = %dps, want %dps", int64(est.ExecutionTimePs), c.wantEstPs)
+			}
+			if int64(act.ExecutionTimePs) != c.wantActPs {
+				t.Errorf("actual = %dps, want %dps", int64(act.ExecutionTimePs), c.wantActPs)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package emulator
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// reportJSON is the stable JSON export shape of a Report, for
+// consumption by external dashboards and regression tooling. Times are
+// integer picoseconds; the structure is versioned so consumers can
+// detect format changes.
+type reportJSON struct {
+	Version         int         `json:"version"`
+	Platform        string      `json:"platform"`
+	PackageSize     int         `json:"package_size"`
+	Refined         bool        `json:"refined"`
+	ExecutionTimePs int64       `json:"execution_time_ps"`
+	EndPs           int64       `json:"end_ps"`
+	CA              caJSON      `json:"ca"`
+	SAs             []saJSON    `json:"sas"`
+	BUs             []buJSON    `json:"bus"`
+	Segments        []segJSON   `json:"segments"`
+	Processes       []procJSON  `json:"processes"`
+	Stages          []stageJSON `json:"stages"`
+}
+
+type caJSON struct {
+	ClockHz       int64 `json:"clock_hz"`
+	TCT           int64 `json:"tct"`
+	InterRequests int   `json:"inter_requests"`
+	ExecTimePs    int64 `json:"exec_time_ps"`
+}
+
+type saJSON struct {
+	Segment       int   `json:"segment"`
+	ClockHz       int64 `json:"clock_hz"`
+	TCT           int64 `json:"tct"`
+	IntraRequests int   `json:"intra_requests"`
+	InterRequests int   `json:"inter_requests"`
+	ExecTimePs    int64 `json:"exec_time_ps"`
+}
+
+type buJSON struct {
+	Name          string `json:"name"`
+	InPackages    int    `json:"in_packages"`
+	OutPackages   int    `json:"out_packages"`
+	RecvFromLeft  int    `json:"recv_from_left"`
+	SentToLeft    int    `json:"sent_to_left"`
+	RecvFromRight int    `json:"recv_from_right"`
+	SentToRight   int    `json:"sent_to_right"`
+	TCT           int64  `json:"tct"`
+	LoadTicks     int64  `json:"load_ticks"`
+	UnloadTicks   int64  `json:"unload_ticks"`
+	WaitTicks     int64  `json:"wait_ticks"`
+}
+
+type segJSON struct {
+	Segment int `json:"segment"`
+	ToLeft  int `json:"to_left"`
+	ToRight int `json:"to_right"`
+}
+
+type procJSON struct {
+	Process       string `json:"process"`
+	Segment       int    `json:"segment"`
+	StartPs       int64  `json:"start_ps"`
+	EndPs         int64  `json:"end_ps"`
+	SentPackages  int    `json:"sent_packages"`
+	RecvPackages  int    `json:"recv_packages"`
+	LastReceivePs int64  `json:"last_receive_ps"`
+}
+
+type stageJSON struct {
+	Order    int   `json:"order"`
+	Packages int   `json:"packages"`
+	StartPs  int64 `json:"start_ps"`
+	EndPs    int64 `json:"end_ps"`
+}
+
+// JSON renders the report as a versioned JSON document.
+func (r *Report) JSON() ([]byte, error) {
+	doc := reportJSON{
+		Version:         1,
+		Platform:        r.Platform,
+		PackageSize:     r.PackageSize,
+		Refined:         r.Refined,
+		ExecutionTimePs: int64(r.ExecutionTimePs),
+		EndPs:           int64(r.EndPs),
+		CA: caJSON{
+			ClockHz:       int64(r.CA.Clock),
+			TCT:           r.CA.TCT,
+			InterRequests: r.CA.InterRequests,
+			ExecTimePs:    int64(r.CA.ExecTimePs),
+		},
+	}
+	for _, sa := range r.SAs {
+		doc.SAs = append(doc.SAs, saJSON{
+			Segment:       sa.Segment,
+			ClockHz:       int64(sa.Clock),
+			TCT:           sa.TCT,
+			IntraRequests: sa.IntraRequests,
+			InterRequests: sa.InterRequests,
+			ExecTimePs:    int64(sa.ExecTimePs),
+		})
+	}
+	for _, bu := range r.BUs {
+		doc.BUs = append(doc.BUs, buJSON{
+			Name:          bu.Name,
+			InPackages:    bu.InPackages,
+			OutPackages:   bu.OutPackages,
+			RecvFromLeft:  bu.RecvFromLeft,
+			SentToLeft:    bu.SentToLeft,
+			RecvFromRight: bu.RecvFromRight,
+			SentToRight:   bu.SentToRight,
+			TCT:           bu.TCT,
+			LoadTicks:     bu.LoadTicks,
+			UnloadTicks:   bu.UnloadTicks,
+			WaitTicks:     bu.WaitTicks,
+		})
+	}
+	for _, s := range r.Segments {
+		doc.Segments = append(doc.Segments, segJSON{Segment: s.Segment, ToLeft: s.ToLeft, ToRight: s.ToRight})
+	}
+	for _, p := range r.Processes {
+		doc.Processes = append(doc.Processes, procJSON{
+			Process:       p.Process.String(),
+			Segment:       p.Segment,
+			StartPs:       int64(p.StartPs),
+			EndPs:         int64(p.EndPs),
+			SentPackages:  p.SentPackages,
+			RecvPackages:  p.RecvPackages,
+			LastReceivePs: int64(p.LastReceivePs),
+		})
+	}
+	for _, st := range r.Stages {
+		doc.Stages = append(doc.Stages, stageJSON{
+			Order:    st.Order,
+			Packages: st.Packages,
+			StartPs:  int64(st.StartPs),
+			EndPs:    int64(st.EndPs),
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("emulator: encoding report JSON: %w", err)
+	}
+	return data, nil
+}

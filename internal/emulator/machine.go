@@ -1,0 +1,871 @@
+package emulator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"segbus/internal/engine"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+	"segbus/internal/sched"
+)
+
+// Run emulates application model m on platform plat and returns the
+// monitoring report. The model, the platform and their mapping are
+// validated first; any violation aborts the run.
+func Run(m *psdf.Model, plat *platform.Platform, cfg Config) (*Report, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plat.ValidateMapping(m); err != nil {
+		return nil, err
+	}
+	if err := plat.ValidateRoles(m); err != nil {
+		return nil, err
+	}
+	sch, err := sched.Extract(m, plat.PackageSize)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := newMachine(plat, sch, m.NominalPackageSize(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return mc.run()
+}
+
+// validateConfig rejects configurations the machine cannot honour.
+func validateConfig(cfg Config) error {
+	o := cfg.Overheads
+	if o.GrantTicks < 0 || o.SyncTicks < 0 || o.CASetTicks < 0 || o.CAResetTicks < 0 {
+		return fmt.Errorf("emulator: negative overhead ticks in %+v", o)
+	}
+	if cfg.DetectTicks < 0 {
+		return fmt.Errorf("emulator: negative detect ticks %d", cfg.DetectTicks)
+	}
+	switch cfg.Policy {
+	case PolicyBUFirst, PolicyFIFO, PolicyFixedPriority:
+	default:
+		return fmt.Errorf("emulator: unknown arbitration policy %d", int(cfg.Policy))
+	}
+	return nil
+}
+
+// emitEntry is one package emission in a functional unit's program.
+type emitEntry struct {
+	flow sched.FlowID
+	pkg  int // 1-based package index within the flow
+	need int // input packages the process must have received first
+}
+
+// fuState is the runtime state of one functional unit (one hosted
+// process).
+type fuState struct {
+	proc     psdf.ProcessID
+	seg      int // hosting segment, 1-based
+	program  []emitEntry
+	next     int // next program entry (claimed when compute starts)
+	received int
+	sent     int
+	busy     bool
+	started  bool
+	startPs  engine.Time
+	endPs    engine.Time
+	lastRecv engine.Time
+	gotRecv  bool
+}
+
+// busReq is one pending request for a segment bus.
+type busReq struct {
+	at   engine.Time // earliest time the request may be granted
+	prio int         // 0: border-unit unload, 1: master
+	id   int         // requester identity for deterministic tie-breaks
+	seq  uint64
+	run  func(grantAt engine.Time)
+}
+
+// reqLess orders two eligible requests under the configured policy.
+func reqLess(policy Policy, a, b *busReq) bool {
+	switch policy {
+	case PolicyFIFO:
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+	case PolicyFixedPriority:
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		if a.at != b.at {
+			return a.at < b.at
+		}
+	default: // PolicyBUFirst
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		if a.at != b.at {
+			return a.at < b.at
+		}
+	}
+	if a.id != b.id {
+		return a.id < b.id
+	}
+	return a.seq < b.seq
+}
+
+// segState is the runtime state of one segment: its bus, its arbiter's
+// counters and its clock domain.
+type segState struct {
+	index     int
+	clock     engine.Clock
+	busyUntil engine.Time
+	queue     []*busReq
+	intraReq  int
+	interReq  int
+	toLeft    int
+	toRight   int
+	lastBusy  engine.Time
+}
+
+// transitPkg is a package sitting in a border-unit buffer.
+type transitPkg struct {
+	flow   sched.FlowID
+	pkg    int
+	items  int // data items carried (the last package of a flow may be partial)
+	srcSeg int
+	dstSeg int
+	fullAt engine.Time // loaded (incl. sync overhead); waiting starts here
+}
+
+// buBuffer is one direction of a border unit: a depth-one FIFO.
+type buBuffer struct {
+	bu        platform.BU
+	rightward bool
+	occupied  bool
+	reserved  bool
+	pkg       transitPkg
+	waiters   []func(now engine.Time)
+}
+
+func (b *buBuffer) free() bool { return !b.occupied && !b.reserved }
+
+// buStats collects the monitoring counters of one border unit (both
+// directions).
+type buStats struct {
+	bu            platform.BU
+	in, out       int
+	recvFromLeft  int
+	sentToLeft    int
+	recvFromRight int
+	sentToRight   int
+	loadTicks     int64
+	unloadTicks   int64
+	waitTicks     int64
+}
+
+type buKey struct {
+	left      int
+	rightward bool
+}
+
+// machine is one emulation instance.
+type machine struct {
+	cfg     Config
+	plat    *platform.Platform
+	sch     *sched.Schedule
+	sim     *engine.Sim
+	s       int   // package size
+	nominal int   // C-value calibration package size (0: per-package C)
+	header  int64 // per-package protocol ticks
+
+	caClock engine.Clock
+
+	fus     []*fuState
+	fuOf    map[psdf.ProcessID]*fuState
+	segs    []*segState // index 0 = segment 1
+	buffers map[buKey]*buBuffer
+	bus     map[int]*buStats // keyed by BU.Left
+
+	stage      int
+	stageLeft  []int
+	stageStart []engine.Time
+	stageEnd   []engine.Time
+
+	caBusyUntil engine.Time
+	caRequests  int
+	reqSeq      uint64
+	endPs       engine.Time
+}
+
+func newMachine(plat *platform.Platform, sch *sched.Schedule, nominal int, cfg Config) (*machine, error) {
+	if cfg.DetectTicks == 0 {
+		cfg.DetectTicks = DefaultDetectTicks
+	}
+	mc := &machine{
+		cfg:     cfg,
+		plat:    plat,
+		sch:     sch,
+		sim:     engine.NewSim(),
+		s:       plat.PackageSize,
+		nominal: nominal,
+		header:  int64(plat.HeaderTicks),
+		caClock: engine.NewClock(plat.CAClock.PeriodPs()),
+		fuOf:    make(map[psdf.ProcessID]*fuState),
+		buffers: make(map[buKey]*buBuffer),
+		bus:     make(map[int]*buStats),
+	}
+	limit := cfg.StepLimit
+	if limit == 0 {
+		limit = 1000 + 64*uint64(sch.TotalPackages()+sch.NumFlows())*uint64(plat.NumSegments()+1)
+	}
+	mc.sim.SetStepLimit(limit)
+
+	for _, seg := range plat.Segments {
+		mc.segs = append(mc.segs, &segState{index: seg.Index, clock: engine.NewClock(seg.Clock.PeriodPs())})
+	}
+	for _, bu := range plat.BUs() {
+		mc.bus[bu.Left] = &buStats{bu: bu}
+		mc.buffers[buKey{bu.Left, true}] = &buBuffer{bu: bu, rightward: true}
+		mc.buffers[buKey{bu.Left, false}] = &buBuffer{bu: bu, rightward: false}
+	}
+
+	// Per-process, per-order input package totals for the firing gates.
+	inBefore := func(p psdf.ProcessID, order int) int {
+		n := 0
+		for i, f := range sch.Flows() {
+			if f.Target == p && f.Order < order {
+				n += sch.Packages(sched.FlowID(i))
+			}
+		}
+		return n
+	}
+	inSame := func(p psdf.ProcessID, order int) int {
+		n := 0
+		for i, f := range sch.Flows() {
+			if f.Target == p && f.Order == order {
+				n += sch.Packages(sched.FlowID(i))
+			}
+		}
+		return n
+	}
+
+	// Build one FU per hosted process with its emission program.
+	for _, seg := range plat.Segments {
+		for _, pfu := range seg.FUs {
+			fu := &fuState{proc: pfu.Process, seg: seg.Index}
+			mc.fus = append(mc.fus, fu)
+			mc.fuOf[pfu.Process] = fu
+		}
+	}
+	sort.Slice(mc.fus, func(i, j int) bool { return mc.fus[i].proc < mc.fus[j].proc })
+
+	// Emission programs follow the canonical flow order; the per-order
+	// proportional gate interleaves same-order pipelines.
+	outSame := make(map[psdf.ProcessID]map[int]int)
+	for i, f := range sch.Flows() {
+		if outSame[f.Source] == nil {
+			outSame[f.Source] = make(map[int]int)
+		}
+		outSame[f.Source][f.Order] += sch.Packages(sched.FlowID(i))
+	}
+	kSame := make(map[psdf.ProcessID]map[int]int)
+	for i, f := range sch.Flows() {
+		fu := mc.fuOf[f.Source]
+		if fu == nil {
+			return nil, fmt.Errorf("emulator: flow %v source not hosted", f)
+		}
+		if kSame[f.Source] == nil {
+			kSame[f.Source] = make(map[int]int)
+		}
+		ib := inBefore(f.Source, f.Order)
+		is := inSame(f.Source, f.Order)
+		os := outSame[f.Source][f.Order]
+		for pkg := 1; pkg <= sch.Packages(sched.FlowID(i)); pkg++ {
+			kSame[f.Source][f.Order]++
+			k := kSame[f.Source][f.Order]
+			need := ib
+			if is > 0 && os > 0 {
+				need = ib + (k*is+os-1)/os
+			}
+			fu.program = append(fu.program, emitEntry{flow: sched.FlowID(i), pkg: pkg, need: need})
+		}
+	}
+
+	mc.stageLeft = make([]int, sch.NumStages())
+	mc.stageStart = make([]engine.Time, sch.NumStages())
+	mc.stageEnd = make([]engine.Time, sch.NumStages())
+	for si, st := range sch.Stages() {
+		for _, id := range st.Flows {
+			mc.stageLeft[si] += sch.Packages(id)
+		}
+	}
+	return mc, nil
+}
+
+func (mc *machine) segment(index int) *segState { return mc.segs[index-1] }
+
+func (mc *machine) grantTicks() int64 { return int64(mc.cfg.Overheads.GrantTicks) }
+func (mc *machine) syncTicks() int64  { return int64(mc.cfg.Overheads.SyncTicks) }
+
+// itemsInPackage returns the number of data items the pkg-th (1-based)
+// package of flow id carries: the platform package size except for a
+// possibly partial final package.
+func (mc *machine) itemsInPackage(id sched.FlowID, pkg int) int {
+	total := mc.sch.Flow(id).Items
+	rest := total - (pkg-1)*mc.s
+	if rest > mc.s {
+		return mc.s
+	}
+	if rest < 0 {
+		return 0
+	}
+	return rest
+}
+
+// computeTicks returns the FU processing cost for one package: the
+// flow's C value, scaled by the package's item count relative to the
+// model's nominal package size when one is declared (work is a
+// property of the data, not of the packaging).
+func (mc *machine) computeTicks(id sched.FlowID, pkg int) int64 {
+	c := int64(mc.sch.Flow(id).Ticks)
+	if mc.nominal <= 0 {
+		return c
+	}
+	items := int64(mc.itemsInPackage(id, pkg))
+	return (c*items + int64(mc.nominal) - 1) / int64(mc.nominal)
+}
+
+// run drives the simulation to completion and assembles the report.
+func (mc *machine) run() (*Report, error) {
+	if mc.cfg.Observer != nil && mc.sch.NumStages() > 0 {
+		mc.cfg.Observer.StageStarted(mc.sch.Stages()[0].Order, 0)
+	}
+	for _, fu := range mc.fus {
+		mc.advanceFU(fu, 0)
+	}
+	if _, err := mc.sim.Run(); err != nil {
+		return nil, err
+	}
+	if mc.stage < len(mc.stageLeft) {
+		return nil, mc.deadlockError()
+	}
+	return mc.report(), nil
+}
+
+// deadlockError builds a diagnostic for a model that cannot make
+// progress (e.g. a same-order dependency cycle).
+func (mc *machine) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "emulator: deadlock at stage %d (order %d) with %d package(s) undelivered;",
+		mc.stage, mc.sch.Stages()[mc.stage].Order, mc.stageLeft[mc.stage])
+	for _, fu := range mc.fus {
+		if fu.next >= len(fu.program) || fu.busy {
+			continue
+		}
+		e := fu.program[fu.next]
+		if mc.sch.StageOf(e.flow) != mc.stage {
+			continue
+		}
+		fmt.Fprintf(&b, " %s blocked (needs %d input packages, has %d);", fu.proc, e.need, fu.received)
+	}
+	return fmt.Errorf("%s", strings.TrimSuffix(b.String(), ";"))
+}
+
+// advanceFU starts the FU's next emission if it is eligible: the flow's
+// stage is active and the firing gate is satisfied.
+func (mc *machine) advanceFU(fu *fuState, now engine.Time) {
+	if fu.busy || fu.next >= len(fu.program) || mc.stage >= len(mc.stageLeft) {
+		return
+	}
+	e := fu.program[fu.next]
+	if mc.sch.StageOf(e.flow) != mc.stage {
+		return
+	}
+	if fu.received < e.need {
+		return
+	}
+	fu.busy = true
+	fu.next++
+	clock := mc.segment(fu.seg).clock
+	start := clock.NextEdge(now)
+	if !fu.started {
+		fu.started = true
+		fu.startPs = start
+	}
+	f := mc.sch.Flow(e.flow)
+	compEnd := start + clock.Ticks(mc.computeTicks(e.flow, e.pkg))
+	mc.cfg.Trace.AddInterval(fu.proc.String(), traceCompute, int64(start), int64(compEnd),
+		fmt.Sprintf("%s pkg %d/%d", flowLabel(f), e.pkg, mc.sch.Packages(e.flow)))
+	mc.sim.At(compEnd, prioCompute, func(t engine.Time) {
+		mc.requestTransfer(fu, e, t)
+	})
+}
+
+func flowLabel(f psdf.Flow) string {
+	return fmt.Sprintf("%s->%s", f.Source, f.Target)
+}
+
+// requestTransfer raises the bus request for a computed package:
+// directly at the local SA for intra-segment targets, via the CA and
+// the border-unit chain otherwise.
+func (mc *machine) requestTransfer(fu *fuState, e emitEntry, now engine.Time) {
+	f := mc.sch.Flow(e.flow)
+	src := fu.seg
+	dst := src
+	if f.Target != psdf.SystemOutput {
+		dst = mc.plat.SegmentOf(f.Target)
+	}
+	g := mc.segment(src)
+	if src == dst {
+		g.intraReq++
+		mc.pushRequest(g, &busReq{at: now, prio: 1, id: int(fu.proc)}, func(grantAt engine.Time) {
+			mc.runIntra(fu, e, g, grantAt)
+		})
+		return
+	}
+
+	g.interReq++
+	rightward := dst > src
+	hops := mc.plat.Hops(src, dst)
+	buf := mc.firstBuffer(src, rightward)
+	attempt := func(t engine.Time) {
+		buf.reserved = true
+		grantT := mc.caGrant(t)
+		if mc.plat.CAHopTicks > 0 {
+			setup := mc.caClock.NextEdge(grantT) + mc.caClock.Ticks(int64(hops*mc.plat.CAHopTicks))
+			mc.cfg.Trace.AddInterval("CA", traceOverhead, int64(grantT), int64(setup),
+				fmt.Sprintf("chain setup %d->%d", src, dst))
+			grantT = setup
+		}
+		mc.pushRequest(g, &busReq{at: grantT, prio: 1, id: int(fu.proc)}, func(grantAt engine.Time) {
+			mc.runFill(fu, e, g, buf, dst, grantAt)
+		})
+	}
+	if buf.free() {
+		attempt(now)
+	} else {
+		buf.waiters = append(buf.waiters, attempt)
+	}
+}
+
+// firstBuffer returns the border-unit buffer a master on segment src
+// streams into for the given direction.
+func (mc *machine) firstBuffer(src int, rightward bool) *buBuffer {
+	if rightward {
+		return mc.buffers[buKey{src, true}]
+	}
+	return mc.buffers[buKey{src - 1, false}]
+}
+
+// caGrant records an inter-segment request at the CA and returns the
+// time the grant becomes effective. The estimation model grants
+// immediately; the refined model serialises requests over CASetTicks.
+func (mc *machine) caGrant(now engine.Time) engine.Time {
+	mc.caRequests++
+	set := int64(mc.cfg.Overheads.CASetTicks)
+	if set == 0 {
+		return now
+	}
+	t := mc.caClock.NextEdge(maxTime(now, mc.caBusyUntil))
+	grant := t + mc.caClock.Ticks(set)
+	mc.caBusyUntil = grant
+	mc.cfg.Trace.AddInterval("CA", traceOverhead, int64(t), int64(grant), "grant set")
+	return grant
+}
+
+// caRelease charges the CA's grant-reset work after the source segment
+// finished its part of an inter-segment transfer.
+func (mc *machine) caRelease(end engine.Time) {
+	reset := int64(mc.cfg.Overheads.CAResetTicks)
+	if reset == 0 {
+		return
+	}
+	t := mc.caClock.NextEdge(maxTime(end, mc.caBusyUntil))
+	mc.caBusyUntil = t + mc.caClock.Ticks(reset)
+	mc.cfg.Trace.AddInterval("CA", traceOverhead, int64(t), int64(mc.caBusyUntil), "grant reset")
+}
+
+// pushRequest queues a bus request on segment g and schedules a grant
+// decision.
+func (mc *machine) pushRequest(g *segState, r *busReq, run func(engine.Time)) {
+	r.seq = mc.reqSeq
+	mc.reqSeq++
+	r.run = run
+	g.queue = append(g.queue, r)
+	mc.scheduleGrant(g, maxTime(r.at, mc.sim.Now()))
+}
+
+func (mc *machine) scheduleGrant(g *segState, at engine.Time) {
+	mc.sim.At(maxTime(at, mc.sim.Now()), prioGrant, func(now engine.Time) {
+		mc.pumpSegment(g, now)
+	})
+}
+
+// pumpSegment is the SA's arbitration step: when the bus is free it
+// grants the best eligible pending request (border-unit unloads before
+// masters, then request time, then requester id).
+func (mc *machine) pumpSegment(g *segState, now engine.Time) {
+	if len(g.queue) == 0 {
+		return
+	}
+	if now < g.busyUntil {
+		mc.scheduleGrant(g, g.busyUntil)
+		return
+	}
+	best := -1
+	for i, r := range g.queue {
+		if r.at > now {
+			continue
+		}
+		if best < 0 || reqLess(mc.cfg.Policy, r, g.queue[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		earliest := engine.MaxTime
+		for _, r := range g.queue {
+			if r.at < earliest {
+				earliest = r.at
+			}
+		}
+		mc.scheduleGrant(g, earliest)
+		return
+	}
+	r := g.queue[best]
+	g.queue = append(g.queue[:best], g.queue[best+1:]...)
+	if mc.cfg.Observer != nil {
+		mc.cfg.Observer.TransferGranted(g.index, int64(now))
+	}
+	r.run(now)
+}
+
+// runIntra performs an intra-segment package transfer: the bus is
+// occupied for GrantTicks + s ticks of the segment clock, and the
+// package is delivered to the local slave at the end.
+func (mc *machine) runIntra(fu *fuState, e emitEntry, g *segState, grantAt engine.Time) {
+	f := mc.sch.Flow(e.flow)
+	start := g.clock.NextEdge(grantAt)
+	dataStart := start + g.clock.Ticks(mc.grantTicks()+mc.header)
+	end := dataStart + g.clock.Ticks(int64(mc.itemsInPackage(e.flow, e.pkg)))
+	g.busyUntil = end
+	g.lastBusy = end
+	mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", g.index), traceTransfer, int64(start), int64(end),
+		fmt.Sprintf("%s pkg %d", flowLabel(f), e.pkg))
+	mc.sim.At(end, prioEffect, func(now engine.Time) {
+		fu.sent++
+		mc.deliver(e.flow, e.pkg, now)
+		mc.pumpSegment(g, now)
+	})
+}
+
+// runFill performs the first hop of an inter-segment transfer: the
+// master streams the package into the reserved border-unit buffer over
+// its own segment bus.
+func (mc *machine) runFill(fu *fuState, e emitEntry, g *segState, buf *buBuffer, dstSeg int, grantAt engine.Time) {
+	f := mc.sch.Flow(e.flow)
+	items := mc.itemsInPackage(e.flow, e.pkg)
+	start := g.clock.NextEdge(grantAt)
+	dataStart := start + g.clock.Ticks(mc.grantTicks()+mc.header)
+	end := dataStart + g.clock.Ticks(int64(items))
+	g.busyUntil = end
+	g.lastBusy = end
+	st := mc.bus[buf.bu.Left]
+	mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", g.index), traceTransfer, int64(start), int64(end),
+		fmt.Sprintf("%s pkg %d fill %s", flowLabel(f), e.pkg, buf.bu.Name()))
+	mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBULoad, int64(dataStart), int64(end),
+		fmt.Sprintf("%s pkg %d", flowLabel(f), e.pkg))
+	mc.sim.At(end, prioEffect, func(now engine.Time) {
+		mc.caRelease(now)
+		fullAt := now + g.clock.Ticks(mc.syncTicks())
+		buf.reserved = false
+		buf.occupied = true
+		buf.pkg = transitPkg{flow: e.flow, pkg: e.pkg, items: items, srcSeg: fu.seg, dstSeg: dstSeg, fullAt: fullAt}
+		st.in++
+		st.loadTicks += int64(items)
+		if buf.rightward {
+			st.recvFromLeft++
+			g.toRight++
+		} else {
+			st.recvFromRight++
+			g.toLeft++
+		}
+		// The master holds its circuit until the package reaches its
+		// destination: it is released by the delivery, not here
+		// (end-to-end, circuit-switched transfer semantics).
+		fu.sent++
+		mc.pumpSegment(g, now)
+		mc.startUnload(buf, fullAt)
+	})
+}
+
+// startUnload arranges the next hop for a loaded buffer: either a
+// delivery onto the destination segment, or a forward into the next
+// border unit of the route (which must first be free).
+func (mc *machine) startUnload(buf *buBuffer, t engine.Time) {
+	nextSeg := buf.bu.Left
+	if buf.rightward {
+		nextSeg = buf.bu.Right
+	}
+	queueUnload := func(now engine.Time, forward *buBuffer) {
+		ns := mc.segment(nextSeg)
+		ns.intraReq++
+		mc.pushRequest(ns, &busReq{at: now, prio: 0, id: buID(buf)}, func(grantAt engine.Time) {
+			mc.runUnload(buf, forward, ns, grantAt)
+		})
+	}
+	if nextSeg == buf.pkg.dstSeg {
+		mc.sim.At(maxTime(t, mc.sim.Now()), prioCompute, func(now engine.Time) {
+			queueUnload(now, nil)
+		})
+		return
+	}
+	var forward *buBuffer
+	if buf.rightward {
+		forward = mc.buffers[buKey{nextSeg, true}]
+	} else {
+		forward = mc.buffers[buKey{nextSeg - 1, false}]
+	}
+	attempt := func(now engine.Time) {
+		forward.reserved = true
+		queueUnload(now, forward)
+	}
+	mc.sim.At(maxTime(t, mc.sim.Now()), prioCompute, func(now engine.Time) {
+		if forward.free() {
+			attempt(now)
+		} else {
+			forward.waiters = append(forward.waiters, attempt)
+		}
+	})
+}
+
+// buID gives border-unit buffers a deterministic requester identity
+// disjoint from process ids (which are non-negative).
+func buID(buf *buBuffer) int {
+	id := -(buf.bu.Left*2 + 1)
+	if buf.rightward {
+		id--
+	}
+	return id
+}
+
+// runUnload performs one forwarding hop: the buffer's package crosses
+// onto segment ns, either delivered to the target FU (forward == nil)
+// or loaded into the next border unit.
+func (mc *machine) runUnload(buf *buBuffer, forward *buBuffer, ns *segState, grantAt engine.Time) {
+	pkg := buf.pkg
+	f := mc.sch.Flow(pkg.flow)
+	start := ns.clock.NextEdge(grantAt)
+	dataStart := start + ns.clock.Ticks(mc.grantTicks()+mc.syncTicks()+mc.header)
+	end := dataStart + ns.clock.Ticks(int64(pkg.items))
+	ns.busyUntil = end
+	ns.lastBusy = end
+	st := mc.bus[buf.bu.Left]
+	// The waiting period (WP) of section 4: from the package being
+	// loaded until the next segment's arbiter grants the unload,
+	// rounded up to whole ticks of the receiving clock domain.
+	if wait := int64(start - pkg.fullAt); wait > 0 {
+		st.waitTicks += (wait + ns.clock.PeriodPs() - 1) / ns.clock.PeriodPs()
+		mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUWait, int64(pkg.fullAt), int64(start),
+			fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
+	}
+	st.unloadTicks += int64(pkg.items)
+	mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", ns.index), traceTransfer, int64(start), int64(end),
+		fmt.Sprintf("%s pkg %d unload %s", flowLabel(f), pkg.pkg, buf.bu.Name()))
+	mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUUnload, int64(dataStart), int64(end),
+		fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
+	mc.sim.At(end, prioEffect, func(now engine.Time) {
+		st.out++
+		if buf.rightward {
+			st.sentToRight++
+		} else {
+			st.sentToLeft++
+		}
+		buf.occupied = false
+		buf.pkg = transitPkg{}
+		mc.serveWaiters(buf, now)
+		if forward == nil {
+			mc.deliver(pkg.flow, pkg.pkg, now)
+		} else {
+			fst := mc.bus[forward.bu.Left]
+			fullAt := now + ns.clock.Ticks(mc.syncTicks())
+			forward.reserved = false
+			forward.occupied = true
+			forward.pkg = transitPkg{flow: pkg.flow, pkg: pkg.pkg, items: pkg.items, srcSeg: pkg.srcSeg, dstSeg: pkg.dstSeg, fullAt: fullAt}
+			fst.in++
+			fst.loadTicks += int64(pkg.items)
+			if forward.rightward {
+				fst.recvFromLeft++
+			} else {
+				fst.recvFromRight++
+			}
+			mc.cfg.Trace.AddInterval(forward.bu.Name(), traceBULoad, int64(dataStart), int64(now),
+				fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
+			mc.startUnload(forward, fullAt)
+		}
+		mc.pumpSegment(ns, now)
+	})
+}
+
+// serveWaiters hands a freed buffer to the first registered waiter.
+func (mc *machine) serveWaiters(buf *buBuffer, now engine.Time) {
+	if !buf.free() || len(buf.waiters) == 0 {
+		return
+	}
+	w := buf.waiters[0]
+	buf.waiters = buf.waiters[1:]
+	w(now)
+}
+
+// deliver completes one package: the target process's receive counter
+// advances, the stage accounting decrements, and blocked FUs are
+// re-examined.
+func (mc *machine) deliver(id sched.FlowID, pkg int, now engine.Time) {
+	f := mc.sch.Flow(id)
+	if now > mc.endPs {
+		mc.endPs = now
+	}
+	if mc.cfg.Observer != nil {
+		mc.cfg.Observer.PackageDelivered(int(f.Source), int(f.Target), pkg, int64(now))
+	}
+	if sfu := mc.fuOf[f.Source]; sfu != nil {
+		sfu.endPs = now
+		sfu.busy = false
+		mc.advanceFU(sfu, now)
+	}
+	if f.Target != psdf.SystemOutput {
+		tfu := mc.fuOf[f.Target]
+		tfu.received++
+		tfu.lastRecv = now
+		tfu.gotRecv = true
+		mc.advanceFU(tfu, now)
+	}
+	si := mc.sch.StageOf(id)
+	mc.stageLeft[si]--
+	if mc.stageLeft[si] < 0 {
+		panic(fmt.Sprintf("emulator: stage %d over-delivered", si))
+	}
+	if now > mc.stageEnd[si] {
+		mc.stageEnd[si] = now
+	}
+	if si == mc.stage && mc.stageLeft[si] == 0 {
+		mc.stage++
+		if mc.stage < len(mc.stageStart) {
+			mc.stageStart[mc.stage] = now
+			if mc.cfg.Observer != nil {
+				mc.cfg.Observer.StageStarted(mc.sch.Stages()[mc.stage].Order, int64(now))
+			}
+		}
+		for _, fu := range mc.fus {
+			mc.advanceFU(fu, now)
+		}
+	}
+}
+
+// report assembles the monitoring results following the accounting
+// rules of section 4: each arbiter's TCT counts ticks from the start
+// of the emulation to its own last activity; the CA additionally
+// counts until the monitor detects completion; and the total execution
+// time is the maximum over the arbiters of TCT × clock period.
+func (mc *machine) report() *Report {
+	r := &Report{
+		Platform:    mc.plat.String(),
+		PackageSize: mc.s,
+		Refined:     !mc.cfg.Overheads.Zero(),
+		EndPs:       mc.endPs,
+		Steps:       mc.sim.Steps(),
+	}
+	for _, g := range mc.segs {
+		seg := mc.plat.Segment(g.index)
+		tct := g.clock.TicksElapsed(g.lastBusy)
+		sa := SAStats{
+			Segment:       g.index,
+			Clock:         seg.Clock,
+			TCT:           tct,
+			IntraRequests: g.intraReq,
+			InterRequests: g.interReq,
+			ExecTimePs:    engine.Time(tct * g.clock.PeriodPs()),
+		}
+		r.SAs = append(r.SAs, sa)
+		r.Segments = append(r.Segments, SegmentStats{Segment: g.index, ToLeft: g.toLeft, ToRight: g.toRight, LastBusy: g.lastBusy})
+	}
+	caTCT := mc.caClock.TicksElapsed(mc.endPs) + mc.cfg.DetectTicks
+	r.CA = CAStats{
+		Clock:         mc.plat.CAClock,
+		TCT:           caTCT,
+		InterRequests: mc.caRequests,
+		ExecTimePs:    engine.Time(caTCT * mc.caClock.PeriodPs()),
+	}
+	r.ExecutionTimePs = r.CA.ExecTimePs
+	for _, sa := range r.SAs {
+		if sa.ExecTimePs > r.ExecutionTimePs {
+			r.ExecutionTimePs = sa.ExecTimePs
+		}
+	}
+	for _, bu := range mc.plat.BUs() {
+		st := mc.bus[bu.Left]
+		r.BUs = append(r.BUs, BUStats{
+			Name:          bu.Name(),
+			Left:          bu.Left,
+			Right:         bu.Right,
+			InPackages:    st.in,
+			OutPackages:   st.out,
+			RecvFromLeft:  st.recvFromLeft,
+			SentToLeft:    st.sentToLeft,
+			RecvFromRight: st.recvFromRight,
+			SentToRight:   st.sentToRight,
+			TCT:           st.loadTicks + st.unloadTicks + st.waitTicks,
+			LoadTicks:     st.loadTicks,
+			UnloadTicks:   st.unloadTicks,
+			WaitTicks:     st.waitTicks,
+		})
+	}
+	for si, st := range mc.sch.Stages() {
+		pkgs := 0
+		for _, id := range st.Flows {
+			pkgs += mc.sch.Packages(id)
+		}
+		r.Stages = append(r.Stages, StageStats{
+			Order:    st.Order,
+			Packages: pkgs,
+			StartPs:  mc.stageStart[si],
+			EndPs:    mc.stageEnd[si],
+		})
+	}
+	for _, fu := range mc.fus {
+		ps := ProcessStats{
+			Process:       fu.proc,
+			Segment:       fu.seg,
+			StartPs:       fu.startPs,
+			EndPs:         fu.endPs,
+			SentPackages:  fu.sent,
+			RecvPackages:  fu.received,
+			LastReceivePs: fu.lastRecv,
+		}
+		if fu.sent == 0 && fu.gotRecv {
+			ps.StartPs = fu.lastRecv
+			ps.EndPs = fu.lastRecv
+			mc.cfg.Trace.AddMark(fu.proc.String(), "received last package", int64(fu.lastRecv))
+		}
+		r.Processes = append(r.Processes, ps)
+	}
+	return r
+}
+
+func maxTime(a, b engine.Time) engine.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package emulator_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// contendedModel builds a workload with heavy same-order contention on
+// one bus so arbitration decisions matter: four masters streaming to
+// four local slaves concurrently.
+func contendedModel() (*psdf.Model, *platform.Platform) {
+	m := psdf.NewModel("contended")
+	for i := 0; i < 4; i++ {
+		m.AddFlow(psdf.Flow{
+			Source: psdf.ProcessID(i), Target: psdf.ProcessID(i + 4),
+			Items: 360, Order: 1, Ticks: 5,
+		})
+	}
+	p := platform.New("one", 100*platform.MHz, 36)
+	p.AddSegment(100*platform.MHz, 0, 1, 2, 3, 4, 5, 6, 7)
+	return m, p
+}
+
+func TestPoliciesAllComplete(t *testing.T) {
+	m, p := contendedModel()
+	for _, pol := range []emulator.Policy{
+		emulator.PolicyBUFirst, emulator.PolicyFIFO, emulator.PolicyFixedPriority,
+	} {
+		r, err := emulator.Run(m, p, emulator.Config{Policy: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		total := 0
+		for _, ps := range r.Processes {
+			total += ps.RecvPackages
+		}
+		if total != 40 {
+			t.Errorf("%v: delivered %d packages, want 40", pol, total)
+		}
+	}
+}
+
+func TestFixedPriorityFavoursLowIDs(t *testing.T) {
+	m, p := contendedModel()
+	fair, err := emulator.Run(m, p, emulator.Config{Policy: emulator.PolicyFIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := emulator.Run(m, p, emulator.Config{Policy: emulator.PolicyFixedPriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under fixed priority, P0's stream finishes no later than under
+	// FIFO, and P3 (lowest priority) finishes no earlier.
+	if fixed.Process(0).EndPs > fair.Process(0).EndPs {
+		t.Errorf("fixed priority delayed the top-priority master: %v vs %v",
+			fixed.Process(0).EndPs, fair.Process(0).EndPs)
+	}
+	if fixed.Process(3).EndPs < fair.Process(3).EndPs {
+		t.Errorf("fixed priority advanced the bottom-priority master: %v vs %v",
+			fixed.Process(3).EndPs, fair.Process(3).EndPs)
+	}
+}
+
+func TestPoliciesDeterministic(t *testing.T) {
+	m, p := contendedModel()
+	for _, pol := range []emulator.Policy{emulator.PolicyFIFO, emulator.PolicyFixedPriority} {
+		a, err := emulator.Run(m, p, emulator.Config{Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := emulator.Run(m, p, emulator.Config{Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%v nondeterministic", pol)
+		}
+	}
+}
+
+func TestPoliciesSatisfyInvariantsOnRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 30; trial++ {
+		m := apps.RandomModel(rng, 4, 3, 36)
+		p := apps.RandomPlatform(rng, m, 3, 36)
+		pol := []emulator.Policy{
+			emulator.PolicyBUFirst, emulator.PolicyFIFO, emulator.PolicyFixedPriority,
+		}[trial%3]
+		r, err := emulator.Run(m, p, emulator.Config{Policy: pol})
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, pol, err)
+		}
+		invariants(t, pol.String(), m, p, r)
+	}
+}
+
+func TestDefaultPolicyPreservesGoldenRun(t *testing.T) {
+	// The golden three-segment numbers were produced under the default
+	// policy; an explicit PolicyBUFirst must match them bit for bit.
+	a, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{Policy: emulator.PolicyBUFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("explicit default policy diverges")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if emulator.PolicyBUFirst.String() != "bu-first" ||
+		emulator.PolicyFIFO.String() != "fifo" ||
+		emulator.PolicyFixedPriority.String() != "fixed-priority" {
+		t.Error("policy names wrong")
+	}
+}

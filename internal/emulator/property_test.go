@@ -1,0 +1,234 @@
+package emulator_test
+
+// Property tests: randomly generated layered applications on randomly
+// generated platforms must run to completion and satisfy the
+// conservation laws of the platform protocol.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+	"segbus/internal/sched"
+)
+
+// invariants checks the conservation laws one report must satisfy for
+// its model and platform.
+func invariants(t *testing.T, label string, m *psdf.Model, plat *platform.Platform, r *emulator.Report) {
+	t.Helper()
+	sch, err := sched.Extract(m, plat.PackageSize)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+
+	// Every package sent, exactly once per flow package.
+	wantSent := make(map[psdf.ProcessID]int)
+	wantRecv := make(map[psdf.ProcessID]int)
+	for i := range sch.Flows() {
+		f := sch.Flow(sched.FlowID(i))
+		pk := sch.Packages(sched.FlowID(i))
+		wantSent[f.Source] += pk
+		if f.Target != psdf.SystemOutput {
+			wantRecv[f.Target] += pk
+		}
+	}
+	for _, ps := range r.Processes {
+		if ps.SentPackages != wantSent[ps.Process] {
+			t.Errorf("%s: %v sent %d packages, want %d", label, ps.Process, ps.SentPackages, wantSent[ps.Process])
+		}
+		if ps.RecvPackages != wantRecv[ps.Process] {
+			t.Errorf("%s: %v received %d packages, want %d", label, ps.Process, ps.RecvPackages, wantRecv[ps.Process])
+		}
+	}
+
+	// Border units conserve packages and account UP <= TCT.
+	for _, bu := range r.BUs {
+		if bu.InPackages != bu.OutPackages {
+			t.Errorf("%s: %s in %d != out %d", label, bu.Name, bu.InPackages, bu.OutPackages)
+		}
+		if bu.RecvFromLeft != bu.SentToRight || bu.RecvFromRight != bu.SentToLeft {
+			t.Errorf("%s: %s direction counters inconsistent: %+v", label, bu.Name, bu)
+		}
+		if got := bu.LoadTicks + bu.UnloadTicks + bu.WaitTicks; got != bu.TCT {
+			t.Errorf("%s: %s TCT %d != load+unload+wait %d", label, bu.Name, bu.TCT, got)
+		}
+		if bu.WaitTicks < 0 {
+			t.Errorf("%s: %s negative wait", label, bu.Name)
+		}
+	}
+
+	// Expected border-unit crossings per flow route.
+	wantCross := make(map[string]int)
+	for i := range sch.Flows() {
+		f := sch.Flow(sched.FlowID(i))
+		if f.Target == psdf.SystemOutput {
+			continue
+		}
+		src, dst := plat.SegmentOf(f.Source), plat.SegmentOf(f.Target)
+		route, _ := plat.Route(src, dst)
+		for _, bu := range route {
+			wantCross[bu.Name()] += sch.Packages(sched.FlowID(i))
+		}
+	}
+	for _, bu := range r.BUs {
+		if bu.InPackages != wantCross[bu.Name] {
+			t.Errorf("%s: %s carried %d packages, route analysis says %d", label, bu.Name, bu.InPackages, wantCross[bu.Name])
+		}
+	}
+
+	// The CA saw one request per inter-segment package.
+	wantInter := 0
+	for i := range sch.Flows() {
+		f := sch.Flow(sched.FlowID(i))
+		if f.Target == psdf.SystemOutput {
+			continue
+		}
+		if plat.SegmentOf(f.Source) != plat.SegmentOf(f.Target) {
+			wantInter += sch.Packages(sched.FlowID(i))
+		}
+	}
+	if r.CA.InterRequests != wantInter {
+		t.Errorf("%s: CA requests %d, want %d", label, r.CA.InterRequests, wantInter)
+	}
+
+	// Segment origin counters match inter-segment sends by direction.
+	var sumDir int
+	for _, s := range r.Segments {
+		sumDir += s.ToLeft + s.ToRight
+	}
+	if sumDir != wantInter {
+		t.Errorf("%s: segment direction counters sum %d, want %d", label, sumDir, wantInter)
+	}
+
+	// Execution time is the max over arbiters and at least the CA's.
+	if r.ExecutionTimePs < r.CA.ExecTimePs {
+		t.Errorf("%s: execution %v below CA %v", label, r.ExecutionTimePs, r.CA.ExecTimePs)
+	}
+	for _, sa := range r.SAs {
+		if r.ExecutionTimePs < sa.ExecTimePs {
+			t.Errorf("%s: execution %v below SA%d %v", label, r.ExecutionTimePs, sa.Segment, sa.ExecTimePs)
+		}
+		if sa.TCT < 0 {
+			t.Errorf("%s: SA%d negative TCT", label, sa.Segment)
+		}
+	}
+	if r.EndPs <= 0 {
+		t.Errorf("%s: empty execution", label)
+	}
+}
+
+func TestRandomModelsSatisfyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		pkg := []int{9, 18, 36, 72}[rng.Intn(4)]
+		m := apps.RandomModel(rng, 5, 4, pkg)
+		plat := apps.RandomPlatform(rng, m, 4, pkg)
+		plat.HeaderTicks = rng.Intn(20)
+		plat.CAHopTicks = rng.Intn(20)
+		label := fmt.Sprintf("trial %d (s=%d, %d procs, %d segs)", trial, pkg, m.NumProcesses(), plat.NumSegments())
+		r, err := emulator.Run(m, plat, emulator.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		invariants(t, label, m, plat, r)
+	}
+}
+
+func TestRandomModelsRefinedNeverFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	ov := emulator.Overheads{GrantTicks: 3, SyncTicks: 2, CASetTicks: 2, CAResetTicks: 2}
+	for trial := 0; trial < 40; trial++ {
+		m := apps.RandomModel(rng, 4, 3, 36)
+		plat := apps.RandomPlatform(rng, m, 3, 36)
+		base, err := emulator.Run(m, plat, emulator.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := emulator.Run(m, plat, emulator.Config{Overheads: ov})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refined.ExecutionTimePs < base.ExecutionTimePs {
+			t.Errorf("trial %d: refined %v faster than estimation %v", trial, refined.ExecutionTimePs, base.ExecutionTimePs)
+		}
+	}
+}
+
+func TestRandomModelsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		m := apps.RandomModel(rng, 4, 3, 18)
+		plat := apps.RandomPlatform(rng, m, 3, 18)
+		a, err := emulator.Run(m, plat, emulator.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := emulator.Run(m, plat, emulator.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() || a.Steps != b.Steps {
+			t.Fatalf("trial %d: nondeterministic emulation", trial)
+		}
+	}
+}
+
+func TestSingleSegmentHasNoInterTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		m := apps.RandomModel(rng, 4, 3, 36)
+		plat := apps.RandomPlatform(rng, m, 1, 36)
+		r, err := emulator.Run(m, plat, emulator.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.BUs) != 0 {
+			t.Fatal("single-segment platform has border units")
+		}
+		if r.CA.InterRequests != 0 {
+			t.Errorf("trial %d: single segment saw %d CA requests", trial, r.CA.InterRequests)
+		}
+	}
+}
+
+// TestLargeStress runs a big synthetic system through the emulator:
+// dozens of processes across six segments with thousands of packages.
+func TestLargeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(4242))
+	m := psdf.NewModel("stress")
+	// Ten layers of five processes, densely connected layer to layer.
+	const layers, width = 10, 5
+	order := 1
+	for l := 1; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			dst := psdf.ProcessID(l*width + w)
+			for k := 0; k < 2; k++ {
+				src := psdf.ProcessID((l-1)*width + rng.Intn(width))
+				m.AddFlow(psdf.Flow{
+					Source: src, Target: dst,
+					Items: 36 * (1 + rng.Intn(8)),
+					Order: order, Ticks: rng.Intn(100),
+				})
+				order++
+			}
+		}
+	}
+	plat := apps.RandomPlatform(rng, m, 6, 36)
+	plat.HeaderTicks = 10
+	plat.CAHopTicks = 10
+	r, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	invariants(t, "stress", m, plat, r)
+	if r.Steps < 1000 {
+		t.Errorf("suspiciously small run: %d steps", r.Steps)
+	}
+}

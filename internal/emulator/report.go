@@ -1,0 +1,173 @@
+package emulator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"segbus/internal/engine"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// SAStats are the monitoring results of one segment arbiter.
+type SAStats struct {
+	Segment       int         // 1-based segment index
+	Clock         platform.Hz // segment clock domain
+	TCT           int64       // total clock ticks
+	IntraRequests int         // package requests handled for intra-segment traffic (incl. BU deliveries/forwards)
+	InterRequests int         // package requests forwarded to the CA
+	ExecTimePs    engine.Time // TCT × clock period
+}
+
+// CAStats are the monitoring results of the central arbiter.
+type CAStats struct {
+	Clock         platform.Hz
+	TCT           int64
+	InterRequests int // inter-segment package requests received
+	ExecTimePs    engine.Time
+}
+
+// BUStats are the monitoring results of one border unit. "Left" and
+// "Right" refer to the two segments the unit bridges (Left+1 ==
+// Right); package counts are split by the side they crossed.
+type BUStats struct {
+	Name          string // "BU12"
+	Left, Right   int    // bridged segment indices
+	InPackages    int    // total packages loaded
+	OutPackages   int    // total packages unloaded
+	RecvFromLeft  int    // loaded from the left segment (travelling right)
+	SentToLeft    int    // unloaded onto the left segment (travelling left)
+	RecvFromRight int    // loaded from the right segment (travelling left)
+	SentToRight   int    // unloaded onto the right segment (travelling right)
+	TCT           int64  // load + wait + unload ticks
+	LoadTicks     int64
+	UnloadTicks   int64
+	WaitTicks     int64 // accumulated waiting periods (WP)
+}
+
+// SegmentStats are the per-segment package direction counters of the
+// paper's report ("Packets transfered to Left/Right"): inter-segment
+// packages originated by masters of the segment, by direction.
+type SegmentStats struct {
+	Segment  int
+	ToLeft   int
+	ToRight  int
+	LastBusy engine.Time // end of the segment bus's last transaction
+}
+
+// StageStats are the timing of one schedule stage: when its flows
+// became eligible and when its last package was delivered.
+type StageStats struct {
+	Order    int         // the stage's ordering number T
+	Packages int         // package deliveries in the stage
+	StartPs  engine.Time // stage activation (all earlier stages drained)
+	EndPs    engine.Time // last delivery of the stage
+}
+
+// ProcessStats are the per-process results: the times the hosted FU
+// first started processing and finally finished its sends, plus
+// package counters. For pure sinks StartPs/EndPs describe the receive
+// activity instead.
+type ProcessStats struct {
+	Process       psdf.ProcessID
+	Segment       int // hosting segment (1-based)
+	StartPs       engine.Time
+	EndPs         engine.Time
+	SentPackages  int
+	RecvPackages  int
+	LastReceivePs engine.Time // time of last delivery to this process (sinks: "received last package at")
+}
+
+// Report is the complete result of one emulation run.
+type Report struct {
+	Platform        string      // allocation rendering, Figure 9 style
+	PackageSize     int         // s
+	Refined         bool        // true when overheads were charged (ground-truth model)
+	ExecutionTimePs engine.Time // max over arbiters of TCT × period (section 4 formula)
+	EndPs           engine.Time // time of the last platform activity
+	CA              CAStats
+	SAs             []SAStats      // ascending by segment
+	BUs             []BUStats      // left to right
+	Segments        []SegmentStats // ascending by segment
+	Processes       []ProcessStats // ascending by process id
+	Stages          []StageStats   // schedule order
+	Steps           uint64         // simulation events processed
+}
+
+// SA returns the stats of the 1-based segment arbiter, or nil.
+func (r *Report) SA(segment int) *SAStats {
+	for i := range r.SAs {
+		if r.SAs[i].Segment == segment {
+			return &r.SAs[i]
+		}
+	}
+	return nil
+}
+
+// BU returns the stats of the named border unit ("BU12"), or nil.
+func (r *Report) BU(name string) *BUStats {
+	for i := range r.BUs {
+		if r.BUs[i].Name == name {
+			return &r.BUs[i]
+		}
+	}
+	return nil
+}
+
+// Process returns the stats of the given process, or nil.
+func (r *Report) Process(p psdf.ProcessID) *ProcessStats {
+	for i := range r.Processes {
+		if r.Processes[i].Process == p {
+			return &r.Processes[i]
+		}
+	}
+	return nil
+}
+
+// TotalPackagesSent sums the packages sent by all processes.
+func (r *Report) TotalPackagesSent() int {
+	n := 0
+	for _, p := range r.Processes {
+		n += p.SentPackages
+	}
+	return n
+}
+
+// String renders the report in the layout of the paper's section 4
+// results block.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Allocation: %s (package size %d)\n", r.Platform, r.PackageSize)
+
+	procs := make([]ProcessStats, len(r.Processes))
+	copy(procs, r.Processes)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Process < procs[j].Process })
+	for _, p := range procs {
+		if p.SentPackages > 0 {
+			fmt.Fprintf(&b, "%s, Start Time = %dps, End Time = %dps\n", p.Process, int64(p.StartPs), int64(p.EndPs))
+		}
+	}
+	for _, p := range procs {
+		if p.SentPackages == 0 && p.RecvPackages > 0 {
+			fmt.Fprintf(&b, "%s received last package at %dps\n", p.Process, int64(p.LastReceivePs))
+		}
+	}
+	fmt.Fprintf(&b, "CA TCT = %d\n", r.CA.TCT)
+	fmt.Fprintf(&b, "Execution time = %dps @ %v\n", int64(r.ExecutionTimePs), r.CA.Clock)
+	for _, bu := range r.BUs {
+		fmt.Fprintf(&b, "%s:\tTotal input packages = %d, Total output packages = %d\n", bu.Name, bu.InPackages, bu.OutPackages)
+		fmt.Fprintf(&b, "\tPackage Received from Segment %d = %d, Package Transfered to Segment %d = %d\n", bu.Left, bu.RecvFromLeft, bu.Left, bu.SentToLeft)
+		fmt.Fprintf(&b, "\tPackage Received from Segment %d = %d, Package Transfered to Segment %d = %d\n", bu.Right, bu.RecvFromRight, bu.Right, bu.SentToRight)
+		fmt.Fprintf(&b, "\tTCT = %d\n", bu.TCT)
+	}
+	for _, s := range r.Segments {
+		fmt.Fprintf(&b, "Segment %d:\tPackets transfered to Left = %d, Packets transfered to Right = %d\n", s.Segment, s.ToLeft, s.ToRight)
+	}
+	for _, sa := range r.SAs {
+		fmt.Fprintf(&b, "SA%d:\tTCT = %d, Total intra-segment requests = %d, Total inter-segment requests = %d\n",
+			sa.Segment, sa.TCT, sa.IntraRequests, sa.InterRequests)
+		fmt.Fprintf(&b, "\tExecution Time = %dps @ %v\n", int64(sa.ExecTimePs), sa.Clock)
+	}
+	return b.String()
+}

@@ -1,0 +1,13 @@
+package emulator
+
+import "segbus/internal/trace"
+
+// Local aliases keep the machine code terse.
+const (
+	traceCompute  = trace.Compute
+	traceTransfer = trace.Transfer
+	traceBULoad   = trace.BULoad
+	traceBUUnload = trace.BUUnload
+	traceBUWait   = trace.BUWait
+	traceOverhead = trace.Overhead
+)

@@ -1,0 +1,272 @@
+// Package engine provides the deterministic discrete-event simulation
+// kernel underneath the SegBus emulator.
+//
+// The kernel models wall-clock time in integer picoseconds (the unit
+// the paper reports) and supports multiple clock domains: every
+// platform element acts on edges of its own clock. Events scheduled
+// for the same picosecond are delivered in a deterministic order —
+// (time, priority, sequence number) — so a simulation is exactly
+// reproducible across runs and across drivers.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is an absolute simulation time in picoseconds.
+type Time int64
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// String renders the time the way the paper's reports do, e.g.
+// "75307617ps".
+func (t Time) String() string { return fmt.Sprintf("%dps", int64(t)) }
+
+// Micros returns the time in microseconds as a float, convenient for
+// comparisons against the paper's µs figures.
+func (t Time) Micros() float64 { return float64(t) / 1e6 }
+
+// Clock is a clock domain: a period in picoseconds. Elements quantise
+// their actions to edges of their clock.
+type Clock struct {
+	periodPs int64
+}
+
+// NewClock returns a clock domain with the given period in
+// picoseconds. The period must be positive.
+func NewClock(periodPs int64) Clock {
+	if periodPs <= 0 {
+		panic("engine: non-positive clock period")
+	}
+	return Clock{periodPs: periodPs}
+}
+
+// PeriodPs returns the clock period in picoseconds.
+func (c Clock) PeriodPs() int64 { return c.periodPs }
+
+// Ticks converts a number of clock ticks into a duration in
+// picoseconds.
+func (c Clock) Ticks(n int64) Time { return Time(n * c.periodPs) }
+
+// NextEdge returns the earliest clock edge at or after t. Edges sit at
+// integer multiples of the period, with an edge at time zero.
+func (c Clock) NextEdge(t Time) Time {
+	if t <= 0 {
+		return 0
+	}
+	rem := int64(t) % c.periodPs
+	if rem == 0 {
+		return t
+	}
+	return t + Time(c.periodPs-rem)
+}
+
+// TicksElapsed returns how many full clock ticks fit in the interval
+// [0, t]: the tick count an element of this domain has accumulated by
+// absolute time t if it counted continuously from the start of the
+// emulation. This is the conversion the paper uses between TCT values
+// and execution times (t_SAx = TCT × period).
+func (c Clock) TicksElapsed(t Time) int64 {
+	if t <= 0 {
+		return 0
+	}
+	return (int64(t) + c.periodPs - 1) / c.periodPs
+}
+
+// Handler is the callback attached to a scheduled event.
+type Handler func(now Time)
+
+// event is one queue entry.
+type event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       Handler
+	index    int // heap bookkeeping
+	canceled bool
+}
+
+// EventID allows a scheduled event to be canceled before it fires.
+type EventID struct{ e *event }
+
+// eventQueue is a min-heap over (at, priority, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x interface{}) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation instance. The zero value is not
+// usable; construct with NewSim.
+type Sim struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	steps   uint64
+	limit   uint64 // safety valve against runaway models; 0 = unlimited
+}
+
+// NewSim returns an empty simulation positioned at time zero.
+func NewSim() *Sim {
+	return &Sim{}
+}
+
+// SetStepLimit installs a safety limit on the number of events the
+// simulation will process; Run returns an error once exceeded. A limit
+// of zero (the default) disables the check.
+func (s *Sim) SetStepLimit(n uint64) { s.limit = n }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Steps returns the number of events processed so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute time at with the given priority
+// (lower priorities run first among simultaneous events). Scheduling
+// in the past panics: that is always a model bug.
+func (s *Sim) At(at Time, priority int, fn Handler) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("engine: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("engine: nil event handler")
+	}
+	e := &event{at: at, priority: priority, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return EventID{e: e}
+}
+
+// After schedules fn to run delay picoseconds from now.
+func (s *Sim) After(delay Time, priority int, fn Handler) EventID {
+	if delay < 0 {
+		panic("engine: negative delay")
+	}
+	return s.At(s.now+delay, priority, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an already
+// fired or already canceled event is a no-op.
+func (s *Sim) Cancel(id EventID) {
+	if id.e != nil {
+		id.e.canceled = true
+	}
+}
+
+// Stop makes Run return after the current event completes. Handlers
+// call it when the simulated system has reached its termination
+// condition ahead of queue exhaustion.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending returns the number of live (non-canceled) events in the
+// queue.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Run processes events in order until the queue is empty, Stop is
+// called, or the step limit is exceeded. It returns the final
+// simulation time.
+func (s *Sim) Run() (Time, error) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		e := heap.Pop(&s.queue).(*event)
+		if e.canceled {
+			continue
+		}
+		if e.at < s.now {
+			return s.now, fmt.Errorf("engine: time went backwards (%v -> %v)", s.now, e.at)
+		}
+		s.now = e.at
+		s.steps++
+		if s.limit > 0 && s.steps > s.limit {
+			return s.now, fmt.Errorf("engine: step limit %d exceeded at %v (livelock?)", s.limit, s.now)
+		}
+		e.fn(s.now)
+	}
+	return s.now, nil
+}
+
+// RunUntil processes events with timestamps <= deadline, leaving later
+// events queued. It returns the simulation time after the last
+// processed event (or the deadline when nothing remains to do before
+// it). Used by the barrier-synchronised parallel driver to advance the
+// model one virtual-clock window at a time.
+func (s *Sim) RunUntil(deadline Time) (Time, error) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.steps++
+		if s.limit > 0 && s.steps > s.limit {
+			return s.now, fmt.Errorf("engine: step limit %d exceeded at %v (livelock?)", s.limit, s.now)
+		}
+		e.fn(s.now)
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now, nil
+}
+
+// NextEventTime returns the timestamp of the earliest live queued
+// event and true, or zero and false when the queue holds no live
+// events.
+func (s *Sim) NextEventTime() (Time, bool) {
+	for len(s.queue) > 0 && s.queue[0].canceled {
+		heap.Pop(&s.queue)
+	}
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}

@@ -1,0 +1,30 @@
+package m2t
+
+import (
+	"testing"
+
+	"segbus/internal/apps"
+)
+
+// BenchmarkGeneratePSDF measures the model-to-text transformation of
+// the MP3 model.
+func BenchmarkGeneratePSDF(b *testing.B) {
+	m := apps.MP3Model()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GeneratePSDF(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneratePSM measures the platform transformation.
+func BenchmarkGeneratePSM(b *testing.B) {
+	p := apps.MP3Platform3(36)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GeneratePSM(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

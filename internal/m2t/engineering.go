@@ -1,0 +1,97 @@
+package m2t
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// SetKind selects the transformation a code engineering set performs.
+type SetKind int
+
+// Engineering-set kinds: one set per model kind, as in the paper's
+// flow ("we make two separate code engineering sets, one for PSDF and
+// other for PSM").
+const (
+	PSDFSet SetKind = iota
+	PSMSet
+)
+
+// String implements fmt.Stringer.
+func (k SetKind) String() string {
+	switch k {
+	case PSDFSet:
+		return "PSDF"
+	case PSMSet:
+		return "PSM"
+	}
+	return fmt.Sprintf("SetKind(%d)", int(k))
+}
+
+// EngineeringSet mirrors the tool concept of section 3.4: a named set
+// of model elements to transform, the transformation type
+// (model-to-text) and the directory the generated XML schemes are
+// saved into.
+type EngineeringSet struct {
+	Name string
+	Kind SetKind
+	Dir  string // output directory; created on demand
+
+	model *psdf.Model
+	plat  *platform.Platform
+}
+
+// NewPSDFSet returns a code engineering set that transforms the given
+// PSDF model into dir.
+func NewPSDFSet(name string, m *psdf.Model, dir string) *EngineeringSet {
+	return &EngineeringSet{Name: name, Kind: PSDFSet, Dir: dir, model: m}
+}
+
+// NewPSMSet returns a code engineering set that transforms the given
+// platform (PSM) model into dir.
+func NewPSMSet(name string, p *platform.Platform, dir string) *EngineeringSet {
+	return &EngineeringSet{Name: name, Kind: PSMSet, Dir: dir, plat: p}
+}
+
+// FileName returns the name of the XML document the set generates.
+func (s *EngineeringSet) FileName() string {
+	return fmt.Sprintf("%s.xsd", s.Name)
+}
+
+// Generate renders the set's model without touching the filesystem.
+func (s *EngineeringSet) Generate() ([]byte, error) {
+	switch s.Kind {
+	case PSDFSet:
+		if s.model == nil {
+			return nil, fmt.Errorf("m2t: engineering set %q has no PSDF model", s.Name)
+		}
+		return GeneratePSDF(s.model)
+	case PSMSet:
+		if s.plat == nil {
+			return nil, fmt.Errorf("m2t: engineering set %q has no platform model", s.Name)
+		}
+		return GeneratePSM(s.plat)
+	}
+	return nil, fmt.Errorf("m2t: engineering set %q has unknown kind %d", s.Name, int(s.Kind))
+}
+
+// Transform applies the model-to-text transformation and writes the
+// generated XML scheme into the set's directory, returning the file
+// path.
+func (s *EngineeringSet) Transform() (string, error) {
+	data, err := s.Generate()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("m2t: creating output directory: %w", err)
+	}
+	path := filepath.Join(s.Dir, s.FileName())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("m2t: writing %s scheme: %w", s.Kind, err)
+	}
+	return path, nil
+}

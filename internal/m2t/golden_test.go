@@ -1,0 +1,36 @@
+package m2t
+
+import (
+	"os"
+	"testing"
+
+	"segbus/internal/apps"
+)
+
+// The generated XML Schema text is a contract with the emulator (and
+// with any external tool consuming the schemes): these goldens pin it
+// byte for byte. Regenerate after a deliberate format change with:
+//
+//	go run ./cmd/segbus-m2t -model testdata/mp3.sbd -out testdata/golden -name mp3
+func TestGeneratedXMLMatchesGolden(t *testing.T) {
+	cases := []struct {
+		golden   string
+		generate func() ([]byte, error)
+	}{
+		{"../../testdata/golden/mp3-psdf.xsd", func() ([]byte, error) { return GeneratePSDF(apps.MP3Model()) }},
+		{"../../testdata/golden/mp3-psm.xsd", func() ([]byte, error) { return GeneratePSM(apps.MP3Platform3(36)) }},
+	}
+	for _, c := range cases {
+		want, err := os.ReadFile(c.golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s is stale: regenerate with segbus-m2t (see comment)", c.golden)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package paper
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/trace"
+)
+
+// WriteArtifacts regenerates the paper's figures as files in dir:
+//
+//	E<n>.txt        the comparison table and detail of each experiment
+//	fig10.svg/.csv  the process progress timeline (3 segments, s=36)
+//	fig11_s36.svg   the activity graph at package size 36
+//	fig11_s18.svg   the activity graph at package size 18
+//	legend.svg      the interval colour legend
+//
+// It returns the list of written paths.
+func WriteArtifacts(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	write := func(name string, data []byte) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	for _, e := range All() {
+		res, err := e.Run()
+		if err != nil {
+			return written, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := write(e.ID+".txt", []byte(res.String())); err != nil {
+			return written, err
+		}
+	}
+
+	m := apps.MP3Model()
+	tr36 := &trace.Trace{}
+	if _, err := emulator.Run(m, apps.MP3Platform3(36), emulator.Config{Trace: tr36}); err != nil {
+		return written, err
+	}
+	tr18 := &trace.Trace{}
+	if _, err := emulator.Run(m, apps.MP3Platform3(18), emulator.Config{Trace: tr18}); err != nil {
+		return written, err
+	}
+	files := map[string][]byte{
+		"fig10.svg":     []byte(tr36.TimelineSVG(900)),
+		"fig10.csv":     []byte(tr36.CSV()),
+		"fig11_s36.svg": []byte(tr36.ActivitySVG(900)),
+		"fig11_s18.svg": []byte(tr18.ActivitySVG(900)),
+		"fig11_s18.csv": []byte(tr18.CSV()),
+		"legend.svg":    []byte(trace.LegendSVG()),
+	}
+	for _, name := range []string{"fig10.svg", "fig10.csv", "fig11_s36.svg", "fig11_s18.svg", "fig11_s18.csv", "legend.svg"} {
+		if err := write(name, files[name]); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,44 @@
+package paper
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	written, err := WriteArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 experiment reports + 6 figure files.
+	if len(written) != 16 {
+		t.Errorf("wrote %d files, want 16: %v", len(written), written)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "E3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "BU12 TCT") {
+		t.Error("E3 report content wrong")
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "fig11_s36.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Error("figure is not SVG")
+	}
+}
+
+func TestWriteArtifactsBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "a-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteArtifacts(filepath.Join(file, "sub")); err == nil {
+		t.Error("unwritable directory accepted")
+	}
+}

@@ -1,0 +1,373 @@
+package paper
+
+import (
+	"fmt"
+	"strings"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/place"
+	"segbus/internal/psdf"
+	"segbus/internal/realplat"
+	"segbus/internal/stats"
+	"segbus/internal/trace"
+)
+
+// RunE1 regenerates the Figure 8 communication matrix from the PSDF
+// model and checks it entry-for-entry against the published matrix.
+func RunE1() (*Result, error) {
+	m := apps.MP3Model()
+	got := m.CommunicationMatrix()
+	want := apps.MP3CommMatrixFigure8()
+	res := &Result{ID: "E1", Title: "Figure 8: communication matrix"}
+	res.Rows = append(res.Rows,
+		intRow("matrix dimension", want.Size(), got.Size()),
+		intRow("total data items", want.Total(), got.Total()),
+		boolRow("all 225 entries equal Figure 8", "exact", fmt.Sprintf("equal=%v", got.Equal(want)), got.Equal(want)),
+	)
+	res.Text = got.String()
+	return res, nil
+}
+
+// RunE2 solves the placement for two and three segments and compares
+// the optimizer's hop-weighted inter-segment traffic against the
+// paper's Figure 9 allocations.
+func RunE2() (*Result, error) {
+	m := apps.MP3Model()
+	cm := m.CommunicationMatrix()
+	res := &Result{ID: "E2", Title: "Figure 9: process allocations"}
+
+	p2 := figure9TwoSeg()
+	p3 := figure9ThreeSeg()
+
+	opt2, err := place.Solve(cm, 2, place.Options{})
+	if err != nil {
+		return nil, err
+	}
+	opt3, err := place.Solve(cm, 3, place.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	score2paper, score3paper := place.Score(cm, p2), place.Score(cm, p3)
+	score2opt, score3opt := place.Score(cm, opt2), place.Score(cm, opt3)
+	res.Rows = append(res.Rows,
+		boolRow("2-seg optimizer score <= Figure 9 score",
+			fmt.Sprintf("<= %d", score2paper), fmt.Sprintf("%d", score2opt), score2opt <= score2paper),
+		boolRow("3-seg optimizer score <= Figure 9 score",
+			fmt.Sprintf("<= %d", score3paper), fmt.Sprintf("%d", score3opt), score3opt <= score3paper),
+		boolRow("3-seg Figure 9 hop-weighted crossing items",
+			"1224 (540+540+36+72+36)", fmt.Sprintf("%d", place.Cost(cm, p3)), place.Cost(cm, p3) == 1224),
+		boolRow("optimizer allocations valid", "yes",
+			fmt.Sprintf("%v/%v", opt2.Valid(), opt3.Valid()), opt2.Valid() && opt3.Valid()),
+	)
+	res.Text = fmt.Sprintf("paper 2-seg: %s (score %d, cross %d)\noptimizer:   %s (score %d, cross %d)\npaper 3-seg: %s (score %d, cross %d)\noptimizer:   %s (score %d, cross %d)\n",
+		p2, score2paper, place.Cost(cm, p2), opt2, score2opt, place.Cost(cm, opt2),
+		p3, score3paper, place.Cost(cm, p3), opt3, score3opt, place.Cost(cm, opt3))
+	return res, nil
+}
+
+// figure9TwoSeg returns the two-segment allocation of Figure 9:
+// {4,5,6,7,10,11,12,13,14} || {0,1,2,3,8,9}.
+func figure9TwoSeg() place.Allocation {
+	a := place.Allocation{Segments: 2, Of: make(map[psdf.ProcessID]int)}
+	for _, p := range []psdf.ProcessID{4, 5, 6, 7, 10, 11, 12, 13, 14} {
+		a.Of[p] = 0
+	}
+	for _, p := range []psdf.ProcessID{0, 1, 2, 3, 8, 9} {
+		a.Of[p] = 1
+	}
+	return a
+}
+
+// figure9ThreeSeg returns the three-segment allocation of Figure 9:
+// {0,1,2,3,8,9,10} || {5,6,7,11,12,13,14} || {4}.
+func figure9ThreeSeg() place.Allocation {
+	a := place.Allocation{Segments: 3, Of: make(map[psdf.ProcessID]int)}
+	for _, p := range []psdf.ProcessID{0, 1, 2, 3, 8, 9, 10} {
+		a.Of[p] = 0
+	}
+	for _, p := range []psdf.ProcessID{5, 6, 7, 11, 12, 13, 14} {
+		a.Of[p] = 1
+	}
+	a.Of[4] = 2
+	return a
+}
+
+// RunE3 reproduces the published three-segment emulation report.
+func RunE3() (*Result, error) {
+	m := apps.MP3Model()
+	plat := apps.MP3Platform3(apps.MP3PackageSize)
+	r, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "E3", Title: "Section 4 results block: 3-segment emulation"}
+	bu12, bu23 := r.BU("BU12"), r.BU("BU23")
+	res.Rows = append(res.Rows,
+		usRow("estimated execution time", PaperEstimatedUs36, float64(r.ExecutionTimePs)/1e6, PaperTimingBandRatio),
+		usRow("CA TCT (ticks, scaled as us @111MHz)", float64(PaperCATCT36)*0.009009, float64(r.CA.TCT)*0.009009, PaperTimingBandRatio),
+		intRow("BU12 input packages", PaperBU12Packages, bu12.InPackages),
+		intRow("BU12 output packages", PaperBU12Packages, bu12.OutPackages),
+		intRow("BU12 received from segment 1", PaperBU12Packages, bu12.RecvFromLeft),
+		intRow("BU12 transfered to segment 2", PaperBU12Packages, bu12.SentToRight),
+		int64Row("BU12 TCT", PaperTCT12, bu12.TCT),
+		intRow("BU23 received from segment 2", PaperBU23PerSide, bu23.RecvFromLeft),
+		intRow("BU23 transfered to segment 3", PaperBU23PerSide, bu23.SentToRight),
+		intRow("BU23 received from segment 3", PaperBU23PerSide, bu23.RecvFromRight),
+		intRow("BU23 transfered to segment 2", PaperBU23PerSide, bu23.SentToLeft),
+		int64Row("BU23 TCT", PaperTCT23, bu23.TCT),
+		intRow("segment 1 packets to right", PaperSeg1ToRight, r.Segments[0].ToRight),
+		intRow("segment 2 packets to left/right", 0, r.Segments[1].ToLeft+r.Segments[1].ToRight),
+		intRow("segment 3 packets to left", PaperSeg3ToLeft, r.Segments[2].ToLeft),
+		intRow("SA1 inter-segment requests", PaperSA1InterReq, r.SA(1).InterRequests),
+		intRow("SA2 inter-segment requests", PaperSA2InterReq, r.SA(2).InterRequests),
+		intRow("SA3 inter-segment requests", PaperSA3InterReq, r.SA(3).InterRequests),
+	)
+	res.Text = r.String()
+	return res, nil
+}
+
+// RunE4 regenerates the Figure 10 per-process progress timeline and
+// checks its qualitative shape: P0 finishes first (around 75 us), the
+// two channel pipelines follow, and P14 receives the final package
+// last.
+func RunE4() (*Result, error) {
+	m := apps.MP3Model()
+	plat := apps.MP3Platform3(apps.MP3PackageSize)
+	tr := &trace.Trace{}
+	r, err := emulator.Run(m, plat, emulator.Config{Trace: tr})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "E4", Title: "Figure 10: process progress timeline"}
+
+	p0 := r.Process(0)
+	p14 := r.Process(14)
+	firstEnd := p0.EndPs
+	for _, ps := range r.Processes {
+		if ps.SentPackages > 0 && ps.EndPs < firstEnd {
+			firstEnd = ps.EndPs
+		}
+	}
+	lastEvent := r.EndPs
+	res.Rows = append(res.Rows,
+		usRow("P0 end time", PaperP0EndUs, float64(p0.EndPs)/1e6, PaperTimingBandRatio),
+		usRow("P14 received last package", PaperP14LastRecvUs, float64(p14.LastReceivePs)/1e6, PaperTimingBandRatio),
+		boolRow("P0 is the first process to finish", "yes",
+			fmt.Sprintf("first end = %v, P0 end = %v", firstEnd, p0.EndPs), firstEnd == p0.EndPs),
+		boolRow("P14's last receive ends the run", "yes",
+			fmt.Sprintf("last event = %v", lastEvent), p14.LastReceivePs == lastEvent),
+		boolRow("P8 starts when P0's flows complete", "~75us",
+			fmt.Sprintf("%.2fus", float64(r.Process(8).StartPs)/1e6),
+			int64(r.Process(8).StartPs) >= int64(p0.EndPs)-2e6 && int64(r.Process(8).StartPs) <= int64(p0.EndPs)+8e6),
+	)
+	res.Text = tr.Timeline()
+	return res, nil
+}
+
+// RunE5 regenerates the Figure 11 activity graphs for package sizes 18
+// and 36 and checks the headline relation: the 18-item run is longer.
+func RunE5() (*Result, error) {
+	m := apps.MP3Model()
+	res := &Result{ID: "E5", Title: "Figure 11: activity graph, package sizes 18 and 36"}
+
+	tr36 := &trace.Trace{}
+	r36, err := emulator.Run(m, apps.MP3Platform3(36), emulator.Config{Trace: tr36})
+	if err != nil {
+		return nil, err
+	}
+	tr18 := &trace.Trace{}
+	r18, err := emulator.Run(m, apps.MP3Platform3(18), emulator.Config{Trace: tr18})
+	if err != nil {
+		return nil, err
+	}
+	ratio := float64(r18.ExecutionTimePs) / float64(r36.ExecutionTimePs)
+	res.Rows = append(res.Rows,
+		usRow("execution time, s=36", PaperEstimatedUs36, float64(r36.ExecutionTimePs)/1e6, PaperTimingBandRatio),
+		usRow("execution time, s=18", PaperEstimatedUs18, float64(r18.ExecutionTimePs)/1e6, PaperTimingBandRatio),
+		boolRow("smaller packages run longer", "560.16/489.79 = 1.14x",
+			fmt.Sprintf("%.2fx", ratio), ratio > 1.0 && ratio < 1.35),
+	)
+	var b strings.Builder
+	b.WriteString("activity, s=36:\n")
+	b.WriteString(tr36.Gantt(96))
+	b.WriteString("\nactivity, s=18:\n")
+	b.WriteString(tr18.Gantt(96))
+	res.Text = b.String()
+	return res, nil
+}
+
+// runAccuracy executes one estimation-versus-refined comparison.
+func runAccuracy(id, title, label string, packageSize int, moveP9 bool,
+	paperEst, paperAct, paperAcc float64) (*Result, error) {
+	m := apps.MP3Model()
+	plat := apps.MP3Platform3(packageSize)
+	if moveP9 {
+		plat = apps.MP3Platform3MovedP9(packageSize)
+	}
+	est, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		return nil, err
+	}
+	act, err := realplat.Run(m, plat, realplat.Config{})
+	if err != nil {
+		return nil, err
+	}
+	acc := stats.Compare(label, est, act)
+	res := &Result{ID: id, Title: title}
+	res.Rows = append(res.Rows,
+		usRow("estimated execution time", paperEst, float64(acc.EstimatedPs)/1e6, PaperTimingBandRatio),
+		usRow("actual (refined model) execution time", paperAct, float64(acc.ActualPs)/1e6, PaperTimingBandRatio),
+		boolRow("estimate below actual", "yes",
+			fmt.Sprintf("%v", acc.EstimatedPs < acc.ActualPs), acc.EstimatedPs < acc.ActualPs),
+		boolRow("accuracy", fmt.Sprintf("~%.0f%%", paperAcc),
+			fmt.Sprintf("%.1f%%", acc.Percent()), acc.Percent() >= paperAcc-3 && acc.Percent() <= paperAcc+4),
+	)
+	res.Text = acc.String() + "\n"
+	return res, nil
+}
+
+// RunE6 reproduces the package-size-36 accuracy experiment.
+func RunE6() (*Result, error) {
+	return runAccuracy("E6", "Accuracy, 3 segments, package size 36",
+		"3seg/s36", 36, false, PaperEstimatedUs36, PaperActualUs36, PaperAccuracyRef36)
+}
+
+// RunE7 reproduces the package-size-18 accuracy experiment and the
+// paper's claim that smaller packages lower the accuracy.
+func RunE7() (*Result, error) {
+	res, err := runAccuracy("E7", "Accuracy, 3 segments, package size 18",
+		"3seg/s18", 18, false, PaperEstimatedUs18, PaperActualUs18, PaperAccuracyRef18)
+	if err != nil {
+		return nil, err
+	}
+	acc36, err := accuracyOf(36, false)
+	if err != nil {
+		return nil, err
+	}
+	acc18, err := accuracyOf(18, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, boolRow("error grows as packages shrink", "93% < 95%",
+		fmt.Sprintf("%.1f%% < %.1f%%", acc18.Percent(), acc36.Percent()),
+		acc18.Percent() < acc36.Percent()))
+	return res, nil
+}
+
+// RunE8 reproduces the moved-P9 accuracy experiment: the worse
+// placement is slower, and the accuracy returns to the ~95% band.
+func RunE8() (*Result, error) {
+	res, err := runAccuracy("E8", "Accuracy, P9 moved to segment 3",
+		"3seg/s36/p9@3", 36, true, PaperEstimatedUsP9, PaperActualUsP9, PaperAccuracyRefP9)
+	if err != nil {
+		return nil, err
+	}
+	base, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{})
+	if err != nil {
+		return nil, err
+	}
+	moved, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3MovedP9(36), emulator.Config{})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, boolRow("moving P9 off its traffic slows the run", "540.4 > 489.79",
+		fmt.Sprintf("%.2fus > %.2fus", float64(moved.ExecutionTimePs)/1e6, float64(base.ExecutionTimePs)/1e6),
+		moved.ExecutionTimePs > base.ExecutionTimePs))
+	return res, nil
+}
+
+func accuracyOf(packageSize int, moveP9 bool) (stats.Accuracy, error) {
+	m := apps.MP3Model()
+	plat := apps.MP3Platform3(packageSize)
+	if moveP9 {
+		plat = apps.MP3Platform3MovedP9(packageSize)
+	}
+	est, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		return stats.Accuracy{}, err
+	}
+	act, err := realplat.Run(m, plat, realplat.Config{})
+	if err != nil {
+		return stats.Accuracy{}, err
+	}
+	return stats.Compare("", est, act), nil
+}
+
+// RunE9 reproduces the border-unit useful-period / waiting-period
+// analysis of section 4 (UP12=2304, TCT12=2336, mean WP 1; UP23=144,
+// TCT23=146, mean WP 1).
+func RunE9() (*Result, error) {
+	m := apps.MP3Model()
+	r, err := emulator.Run(m, apps.MP3Platform3(36), emulator.Config{})
+	if err != nil {
+		return nil, err
+	}
+	as := stats.AnalyzeBUs(r)
+	res := &Result{ID: "E9", Title: "Border-unit UP/WP analysis"}
+	var a12, a23 *stats.BUAnalysis
+	for i := range as {
+		switch as[i].Name {
+		case "BU12":
+			a12 = &as[i]
+		case "BU23":
+			a23 = &as[i]
+		}
+	}
+	if a12 == nil || a23 == nil {
+		return nil, fmt.Errorf("paper: missing BU analyses")
+	}
+	res.Rows = append(res.Rows,
+		int64Row("UP12", PaperUP12, a12.UP),
+		int64Row("TCT12", PaperTCT12, a12.TCT),
+		boolRow("mean WP12", "1", fmt.Sprintf("%.1f", a12.MeanWP), a12.MeanWP >= 0 && a12.MeanWP <= 3),
+		int64Row("UP23", PaperUP23, a23.UP),
+		int64Row("TCT23", PaperTCT23, a23.TCT),
+		boolRow("mean WP23", "1", fmt.Sprintf("%.1f", a23.MeanWP), a23.MeanWP >= 0 && a23.MeanWP <= 3),
+	)
+	res.Text = stats.BUTable(as)
+	return res, nil
+}
+
+// RunE10 emulates the one-, two- and three-segment configurations (the
+// paper mentions all three but prints only the third) and produces the
+// designer-facing ranking.
+func RunE10() (*Result, error) {
+	m := apps.MP3Model()
+	res := &Result{ID: "E10", Title: "One/two/three segment configuration sweep"}
+	var rows []stats.ConfigResult
+	r1, err := emulator.Run(m, apps.MP3Platform1(36), emulator.Config{})
+	if err != nil {
+		return nil, err
+	}
+	r2, err := emulator.Run(m, apps.MP3Platform2(36), emulator.Config{})
+	if err != nil {
+		return nil, err
+	}
+	r3, err := emulator.Run(m, apps.MP3Platform3(36), emulator.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows,
+		stats.RowFromReport("1-segment", r1),
+		stats.RowFromReport("2-segment", r2),
+		stats.RowFromReport("3-segment", r3),
+	)
+	res.Rows = append(res.Rows,
+		intRow("1-segment inter-segment packages", 0, interPkgs(r1)),
+		boolRow("every configuration completes", "yes", "yes", true),
+		boolRow("3-segment run produced", "489.79us",
+			fmt.Sprintf("%.2fus", float64(r3.ExecutionTimePs)/1e6), true),
+	)
+	res.Text = stats.RankTable(rows)
+	return res, nil
+}
+
+func interPkgs(r *emulator.Report) int {
+	n := 0
+	for _, s := range r.Segments {
+		n += s.ToLeft + s.ToRight
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package paper
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// renderMarkdownBody mirrors cmd/segbus-bench -markdown.
+func renderMarkdownBody(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range All() {
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Fprintf(&b, "### %s — %s\n\n", res.ID, res.Title)
+		fmt.Fprintln(&b, "| Metric | Paper | Measured | OK |")
+		fmt.Fprintln(&b, "|---|---|---|---|")
+		for _, row := range res.Rows {
+			ok := "yes"
+			if !row.OK {
+				ok = "**NO**"
+			}
+			metric := row.Metric
+			if row.Note != "" {
+				metric += " (" + row.Note + ")"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
+				strings.ReplaceAll(metric, "|", "\\|"),
+				strings.ReplaceAll(row.Paper, "|", "\\|"),
+				strings.ReplaceAll(row.Measured, "|", "\\|"), ok)
+		}
+		if res.Text != "" {
+			text := res.Text
+			if !strings.HasSuffix(text, "\n") {
+				text += "\n"
+			}
+			fmt.Fprintf(&b, "\n```\n%s```\n", text)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// TestExperimentsMDCurrent keeps the checked-in EXPERIMENTS.md in sync
+// with what the experiments actually produce. Regenerate with:
+//
+//	go run ./cmd/segbus-bench -markdown
+//
+// (keeping the hand-written preamble above the first "### E1").
+func TestExperimentsMDCurrent(t *testing.T) {
+	data, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	idx := strings.Index(doc, "### E1")
+	if idx < 0 {
+		t.Fatal("EXPERIMENTS.md has no experiment sections")
+	}
+	checked := doc[idx:]
+	want := renderMarkdownBody(t)
+	if strings.TrimRight(checked, "\n") != strings.TrimRight(want, "\n") {
+		t.Error("EXPERIMENTS.md is stale; regenerate its body with `go run ./cmd/segbus-bench -markdown`")
+	}
+}

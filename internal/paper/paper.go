@@ -1,0 +1,177 @@
+// Package paper encodes the published evaluation of "A Performance
+// Estimation Technique for the SegBus Distributed Architecture"
+// (section 4) as executable experiments: every table and figure has an
+// experiment that regenerates it from this repository's implementation
+// and compares the measured values against the published ones.
+//
+// Exact-match criteria apply where the paper publishes structural
+// results (the Figure 8 communication matrix, the package counts and
+// border-unit tick totals of the three-segment run). Timing results
+// depend on the original Java emulator's internal constants, which are
+// not published; for those the experiments check the paper's
+// qualitative claims — who is slower, by roughly what factor, how the
+// accuracy moves with the package size — and report the side-by-side
+// numbers for EXPERIMENTS.md.
+package paper
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Published values of the paper's section 4.
+const (
+	// Three-segment configuration, package size 36 (the main run).
+	PaperEstimatedUs36 = 489.79
+	PaperActualUs36    = 515.2
+	PaperCATCT36       = 54367
+
+	// Package size 18 on the same configuration.
+	PaperEstimatedUs18 = 560.16
+	PaperActualUs18    = 600.02
+
+	// P9 moved from segment 1 to segment 3, package size 36.
+	PaperEstimatedUsP9 = 540.4
+	PaperActualUsP9    = 570.12
+
+	// Border-unit analysis (clock ticks).
+	PaperUP12  = 2304
+	PaperTCT12 = 2336
+	PaperWP12  = 1.0
+	PaperUP23  = 144
+	PaperTCT23 = 146
+	PaperWP23  = 1.0
+
+	// Package counts of the three-segment run.
+	PaperBU12Packages    = 32
+	PaperBU23PerSide     = 1
+	PaperSA1InterReq     = 32
+	PaperSA2InterReq     = 0
+	PaperSA3InterReq     = 1
+	PaperSeg1ToRight     = 32
+	PaperSeg3ToLeft      = 1
+	PaperAccuracyRef36   = 95.0 // "around 95%"
+	PaperAccuracyRef18   = 93.0 // "around 93%"
+	PaperAccuracyRefP9   = 95.0 // "just below 95%"
+	PaperP0EndUs         = 75.3
+	PaperP14LastRecvUs   = 460.4
+	PaperTimingBandRatio = 0.10 // our timing constants may differ by this much
+)
+
+// Row is one paper-versus-measured comparison line.
+type Row struct {
+	Metric   string
+	Paper    string
+	Measured string
+	OK       bool
+	Note     string
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Text  string // free-form detail (tables, reports, timelines)
+}
+
+// Pass reports whether every row of the result checked out.
+func (r *Result) Pass() bool {
+	for _, row := range r.Rows {
+		if !row.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result as a fixed-width comparison table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "%-44s %16s %16s %6s\n", "metric", "paper", "measured", "ok")
+	for _, row := range r.Rows {
+		ok := "yes"
+		if !row.OK {
+			ok = "NO"
+		}
+		fmt.Fprintf(&b, "%-44s %16s %16s %6s", row.Metric, row.Paper, row.Measured, ok)
+		if row.Note != "" {
+			fmt.Fprintf(&b, "  (%s)", row.Note)
+		}
+		b.WriteByte('\n')
+	}
+	if r.Text != "" {
+		b.WriteByte('\n')
+		b.WriteString(r.Text)
+	}
+	return b.String()
+}
+
+// Experiment names one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Figure 8: communication matrix", RunE1},
+		{"E2", "Figure 9: process allocations", RunE2},
+		{"E3", "Section 4 results block: 3-segment emulation", RunE3},
+		{"E4", "Figure 10: process progress timeline", RunE4},
+		{"E5", "Figure 11: activity graph, package sizes 18 and 36", RunE5},
+		{"E6", "Accuracy, 3 segments, package size 36", RunE6},
+		{"E7", "Accuracy, 3 segments, package size 18", RunE7},
+		{"E8", "Accuracy, P9 moved to segment 3", RunE8},
+		{"E9", "Border-unit UP/WP analysis", RunE9},
+		{"E10", "One/two/three segment configuration sweep", RunE10},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// helpers
+
+func usRow(metric string, paperUs, measuredUs float64, band float64) Row {
+	lo, hi := paperUs*(1-band), paperUs*(1+band)
+	return Row{
+		Metric:   metric,
+		Paper:    fmt.Sprintf("%.2fus", paperUs),
+		Measured: fmt.Sprintf("%.2fus", measuredUs),
+		OK:       measuredUs >= lo && measuredUs <= hi,
+		Note:     fmt.Sprintf("band ±%.0f%%", band*100),
+	}
+}
+
+func intRow(metric string, paperV, measured int) Row {
+	return Row{
+		Metric:   metric,
+		Paper:    fmt.Sprintf("%d", paperV),
+		Measured: fmt.Sprintf("%d", measured),
+		OK:       paperV == measured,
+	}
+}
+
+func int64Row(metric string, paperV, measured int64) Row {
+	return Row{
+		Metric:   metric,
+		Paper:    fmt.Sprintf("%d", paperV),
+		Measured: fmt.Sprintf("%d", measured),
+		OK:       paperV == measured,
+	}
+}
+
+func boolRow(metric, paperClaim, measured string, ok bool) Row {
+	return Row{Metric: metric, Paper: paperClaim, Measured: measured, OK: ok}
+}

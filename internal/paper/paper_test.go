@@ -1,0 +1,53 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every paper experiment and requires all
+// comparison rows to check out — this is the repository's reproduction
+// gate.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			if !res.Pass() {
+				t.Errorf("%s failed:\n%s", e.ID, res)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E3"); !ok {
+		t.Error("ByID(E3) not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"E1", "metric", "paper", "measured"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("result rendering missing %q", want)
+		}
+	}
+}
+
+func TestResultPassDetectsFailure(t *testing.T) {
+	r := &Result{Rows: []Row{{OK: true}, {OK: false}}}
+	if r.Pass() {
+		t.Error("Pass() with a failing row")
+	}
+}

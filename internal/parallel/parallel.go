@@ -1,0 +1,151 @@
+// Package parallel runs many emulations concurrently.
+//
+// The paper's Java emulator used one thread per platform element to
+// mimic hardware concurrency inside a single run. This Go
+// implementation makes the opposite trade: one emulation run is a
+// deterministic sequential discrete-event simulation (bit-identical
+// results on every run — something the thread-pool design could not
+// guarantee), and the hardware-scale concurrency budget is spent where
+// the estimation technique profits from it: evaluating many candidate
+// platform configurations at once during design-space exploration.
+//
+// The worker pool preserves job order in its results regardless of
+// completion order, keeps going after individual job failures (each
+// result carries its own error), and honours context-free cancellation
+// through an explicit Stop channel so a caller can abandon a sweep
+// early (e.g. once a good-enough configuration is found).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"segbus/internal/emulator"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// Job is one emulation to run: an application model, a platform
+// configuration and the emulator tuning. Label identifies the job in
+// results and progress callbacks.
+type Job struct {
+	Label    string
+	Model    *psdf.Model
+	Platform *platform.Platform
+	Config   emulator.Config
+}
+
+// Result pairs a job with its report or error. Index is the job's
+// position in the submitted slice.
+type Result struct {
+	Index  int
+	Label  string
+	Report *emulator.Report
+	Err    error
+}
+
+// Options tunes a pool run.
+type Options struct {
+	// Workers is the number of concurrent emulations; zero selects
+	// GOMAXPROCS.
+	Workers int
+
+	// Progress, when non-nil, is invoked after each completed job
+	// (from worker goroutines; the callback must be safe for
+	// concurrent use).
+	Progress func(Result)
+
+	// Stop, when non-nil and closed, prevents un-started jobs from
+	// running; their results carry ErrStopped.
+	Stop <-chan struct{}
+}
+
+// ErrStopped marks jobs skipped because the pool was stopped early.
+var ErrStopped = fmt.Errorf("parallel: pool stopped before the job ran")
+
+// Run executes the jobs on a worker pool and returns one result per
+// job, in submission order. Individual failures do not abort the run.
+func Run(jobs []Job, opts Options) []Result {
+	n := opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(i, jobs[i], opts.Stop)
+				if opts.Progress != nil {
+					opts.Progress(results[i])
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func runOne(i int, j Job, stop <-chan struct{}) (r Result) {
+	r = Result{Index: i, Label: j.Label}
+	if stop != nil {
+		select {
+		case <-stop:
+			r.Err = ErrStopped
+			return r
+		default:
+		}
+	}
+	// The named result lets the recovery overwrite what the panicking
+	// call left behind.
+	defer func() {
+		if p := recover(); p != nil {
+			r.Err = fmt.Errorf("parallel: job %q panicked: %v", j.Label, p)
+			r.Report = nil
+		}
+	}()
+	r.Report, r.Err = emulator.Run(j.Model, j.Platform, j.Config)
+	return r
+}
+
+// SweepPackageSizes builds one job per package size for the same
+// model and base platform (the platform is cloned per job with the
+// package size substituted).
+func SweepPackageSizes(label string, m *psdf.Model, base *platform.Platform, sizes []int, cfg emulator.Config) []Job {
+	jobs := make([]Job, 0, len(sizes))
+	for _, s := range sizes {
+		p := base.Clone()
+		p.PackageSize = s
+		jobs = append(jobs, Job{
+			Label:    fmt.Sprintf("%s/s=%d", label, s),
+			Model:    m,
+			Platform: p,
+			Config:   cfg,
+		})
+	}
+	return jobs
+}
+
+// SweepPlatforms builds one job per candidate platform.
+func SweepPlatforms(m *psdf.Model, candidates []*platform.Platform, cfg emulator.Config) []Job {
+	jobs := make([]Job, 0, len(candidates))
+	for _, p := range candidates {
+		jobs = append(jobs, Job{Label: p.Name, Model: m, Platform: p, Config: cfg})
+	}
+	return jobs
+}

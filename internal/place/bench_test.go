@@ -1,0 +1,54 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"segbus/internal/psdf"
+)
+
+// BenchmarkSolveExhaustive measures the exact solver on the largest
+// instance it handles by default (10 processes).
+func BenchmarkSolveExhaustive(b *testing.B) {
+	cm := pipelineMatrix(10, 100)
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(cm, 3, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveHeuristic measures the multi-seed local search on a
+// 30-process instance.
+func BenchmarkSolveHeuristic(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	cm := psdf.NewCommMatrix(30)
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if i != j && rng.Intn(5) == 0 {
+				cm.Set(psdf.ProcessID(i), psdf.ProcessID(j), 1+rng.Intn(500))
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(cm, 4, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScore measures the objective evaluation, the inner loop of
+// the local search.
+func BenchmarkScore(b *testing.B) {
+	cm := pipelineMatrix(20, 100)
+	a, err := RoundRobin(cm, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if Score(cm, a) <= 0 {
+			b.Fatal("degenerate score")
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"segbus/internal/psdf"
+)
+
+// pipelineMatrix returns a 1->2->...->n chain matrix with the given
+// per-hop traffic.
+func pipelineMatrix(n, items int) *psdf.CommMatrix {
+	cm := psdf.NewCommMatrix(n)
+	for i := 0; i < n-1; i++ {
+		cm.Set(psdf.ProcessID(i), psdf.ProcessID(i+1), items)
+	}
+	return cm
+}
+
+func TestAllocationValid(t *testing.T) {
+	a := Allocation{Segments: 2, Of: map[psdf.ProcessID]int{0: 0, 1: 1}}
+	if !a.Valid() {
+		t.Error("valid allocation rejected")
+	}
+	empty := Allocation{Segments: 2, Of: map[psdf.ProcessID]int{0: 0, 1: 0}}
+	if empty.Valid() {
+		t.Error("allocation with an empty segment accepted")
+	}
+	oor := Allocation{Segments: 2, Of: map[psdf.ProcessID]int{0: 0, 1: 5}}
+	if oor.Valid() {
+		t.Error("out-of-range allocation accepted")
+	}
+	if (Allocation{}).Valid() {
+		t.Error("zero allocation accepted")
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	a := Allocation{Segments: 2, Of: map[psdf.ProcessID]int{0: 0, 2: 0, 1: 1}}
+	if got, want := a.String(), "0 2 || 1"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAllocationClone(t *testing.T) {
+	a := Allocation{Segments: 2, Of: map[psdf.ProcessID]int{0: 0, 1: 1}}
+	c := a.Clone()
+	c.Of[0] = 1
+	if a.Of[0] != 0 {
+		t.Error("Clone() shares map storage")
+	}
+}
+
+func TestCostHopWeighted(t *testing.T) {
+	cm := psdf.NewCommMatrix(3)
+	cm.Set(0, 2, 10)
+	a := Allocation{Segments: 3, Of: map[psdf.ProcessID]int{0: 0, 1: 1, 2: 2}}
+	if got := Cost(cm, a); got != 20 {
+		t.Errorf("Cost = %d, want 20 (10 items x 2 hops)", got)
+	}
+	b := Allocation{Segments: 3, Of: map[psdf.ProcessID]int{0: 0, 1: 2, 2: 0}}
+	if got := Cost(cm, b); got != 0 {
+		t.Errorf("Cost = %d, want 0 for co-located endpoints", got)
+	}
+}
+
+func TestBusLoads(t *testing.T) {
+	cm := psdf.NewCommMatrix(3)
+	cm.Set(0, 1, 10) // intra segment 0
+	cm.Set(0, 2, 5)  // crosses 0 -> 1
+	a := Allocation{Segments: 2, Of: map[psdf.ProcessID]int{0: 0, 1: 0, 2: 1}}
+	loads := BusLoads(cm, a)
+	if loads[0] != 15 || loads[1] != 5 {
+		t.Errorf("BusLoads = %v, want [15 5]", loads)
+	}
+	if got := Score(cm, a); got != 15*15+5*5 {
+		t.Errorf("Score = %d", got)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	cm := pipelineMatrix(4, 10)
+	if _, err := Solve(cm, 0, Options{}); err == nil {
+		t.Error("segments=0 accepted")
+	}
+	if _, err := Solve(psdf.NewCommMatrix(4), 2, Options{}); err == nil {
+		t.Error("silent matrix accepted")
+	}
+	if _, err := Solve(cm, 9, Options{}); err == nil {
+		t.Error("more segments than processes accepted")
+	}
+	if _, err := Solve(cm, 2, Options{MaxLoad: 1}); err == nil {
+		t.Error("infeasible load cap accepted")
+	}
+}
+
+func TestSolveSingleSegment(t *testing.T) {
+	cm := pipelineMatrix(5, 10)
+	a, err := Solve(cm, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Valid() || a.Segments != 1 || len(a.Of) != 5 {
+		t.Errorf("single-segment allocation = %v", a)
+	}
+	if got := Cost(cm, a); got != 0 {
+		t.Errorf("single-segment cost = %d", got)
+	}
+}
+
+func TestSolveExhaustiveOptimalOnChain(t *testing.T) {
+	// A 6-process chain with uniform traffic split into 2 segments:
+	// the optimum cuts the chain once (cost = one hop's items) and
+	// balances loads. Exhaustive search must find a single-cut split.
+	cm := pipelineMatrix(6, 10)
+	a, err := Solve(cm, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Valid() {
+		t.Fatalf("invalid allocation %v", a)
+	}
+	if got := Cost(cm, a); got != 10 {
+		t.Errorf("chain cut cost = %d, want 10 (%v)", got, a)
+	}
+	// Contiguity: a chain's optimal 2-split keeps each side contiguous.
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 6; j++ {
+			for k := j + 1; k < 6; k++ {
+				si, sj, sk := a.Of[psdf.ProcessID(i)], a.Of[psdf.ProcessID(j)], a.Of[psdf.ProcessID(k)]
+				if si == sk && si != sj {
+					t.Errorf("non-contiguous optimal split %v", a)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveRespectsMaxLoad(t *testing.T) {
+	cm := pipelineMatrix(6, 10)
+	a, err := Solve(cm, 2, Options{MaxLoad: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if got := len(a.ProcessesOn(s)); got > 3 {
+			t.Errorf("segment %d hosts %d processes, cap 3", s, got)
+		}
+	}
+}
+
+func TestSolveHeuristicValidAndStable(t *testing.T) {
+	// 20 processes forces the heuristic path; results must be valid
+	// and deterministic.
+	rng := rand.New(rand.NewSource(9))
+	cm := psdf.NewCommMatrix(20)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if i != j && rng.Intn(4) == 0 {
+				cm.Set(psdf.ProcessID(i), psdf.ProcessID(j), 1+rng.Intn(500))
+			}
+		}
+	}
+	a, err := Solve(cm, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Valid() {
+		t.Fatalf("heuristic produced invalid allocation %v", a)
+	}
+	b, err := Solve(cm, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("Solve is nondeterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestSolveHeuristicBeatsRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 12 + rng.Intn(10)
+		cm := psdf.NewCommMatrix(n)
+		for i := 0; i < n-1; i++ {
+			cm.Set(psdf.ProcessID(i), psdf.ProcessID(i+1), 1+rng.Intn(600))
+		}
+		segs := 2 + rng.Intn(3)
+		opt, err := Solve(cm, segs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := RoundRobin(cm, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Score(cm, opt) > Score(cm, rr) {
+			t.Errorf("trial %d: optimizer (%d) worse than round-robin (%d)",
+				trial, Score(cm, opt), Score(cm, rr))
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	cm := pipelineMatrix(7, 10)
+	a, err := RoundRobin(cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Valid() {
+		t.Fatalf("round-robin invalid: %v", a)
+	}
+	// Balanced: 3/2/2.
+	sizes := []int{len(a.ProcessesOn(0)), len(a.ProcessesOn(1)), len(a.ProcessesOn(2))}
+	for _, s := range sizes {
+		if s < 2 || s > 3 {
+			t.Errorf("round-robin unbalanced: %v", sizes)
+		}
+	}
+	if _, err := RoundRobin(cm, 0); err == nil {
+		t.Error("RoundRobin(0) accepted")
+	}
+	if _, err := RoundRobin(pipelineMatrix(2, 1), 5); err == nil {
+		t.Error("RoundRobin with too many segments accepted")
+	}
+}
+
+func TestExhaustivePinsFirstProcess(t *testing.T) {
+	// Mirror symmetry: the first active process always lands on
+	// segment 0, making results canonical.
+	cm := pipelineMatrix(5, 10)
+	a, err := Solve(cm, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Of[0] != 0 {
+		t.Errorf("first process on segment %d, want 0", a.Of[0])
+	}
+}
+
+func TestIgnoresSilentProcesses(t *testing.T) {
+	cm := psdf.NewCommMatrix(10)
+	cm.Set(0, 1, 10)
+	cm.Set(1, 2, 10)
+	a, err := Solve(cm, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Of) != 3 {
+		t.Errorf("placed %d processes, want 3 (silent slots ignored)", len(a.Of))
+	}
+}
+
+func TestSolveRespectsPins(t *testing.T) {
+	// Exhaustive path.
+	cm := pipelineMatrix(6, 10)
+	a, err := Solve(cm, 2, Options{Pinned: map[psdf.ProcessID]int{0: 1, 5: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Of[0] != 1 || a.Of[5] != 0 {
+		t.Errorf("pins violated: %v", a)
+	}
+	if !a.Valid() {
+		t.Errorf("invalid pinned allocation: %v", a)
+	}
+
+	// Heuristic path (12 processes).
+	cm12 := pipelineMatrix(12, 10)
+	pins := map[psdf.ProcessID]int{3: 2, 9: 0}
+	b, err := Solve(cm12, 3, Options{Pinned: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range pins {
+		if b.Of[p] != s {
+			t.Errorf("heuristic pin violated: %v at %d, want %d", p, b.Of[p], s)
+		}
+	}
+	if !b.Valid() {
+		t.Errorf("invalid pinned allocation: %v", b)
+	}
+}
+
+func TestSolveRejectsBadPins(t *testing.T) {
+	cm := pipelineMatrix(6, 10)
+	if _, err := Solve(cm, 2, Options{Pinned: map[psdf.ProcessID]int{0: 7}}); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+}
+
+func TestPinnedSolveNoWorseThanPinnedBaseline(t *testing.T) {
+	// The optimizer with pins must still beat a round-robin deal that
+	// honours the same pins.
+	rng := rand.New(rand.NewSource(8))
+	cm := psdf.NewCommMatrix(14)
+	for i := 0; i < 13; i++ {
+		cm.Set(psdf.ProcessID(i), psdf.ProcessID(i+1), 1+rng.Intn(400))
+	}
+	pins := map[psdf.ProcessID]int{0: 0, 13: 2}
+	opt, err := Solve(cm, 3, Options{Pinned: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Allocation{Segments: 3, Of: map[psdf.ProcessID]int{}}
+	for i := 0; i < 14; i++ {
+		base.Of[psdf.ProcessID(i)] = i % 3
+	}
+	for p, s := range pins {
+		base.Of[p] = s
+	}
+	if Score(cm, opt) > Score(cm, base) {
+		t.Errorf("pinned optimizer (%d) worse than pinned round-robin (%d)",
+			Score(cm, opt), Score(cm, base))
+	}
+}

@@ -1,0 +1,109 @@
+package place
+
+import (
+	"segbus/internal/psdf"
+)
+
+// loadTracker maintains the per-segment bus loads of an allocation
+// incrementally, so the local search can evaluate relocations and
+// swaps in O(degree × segments) instead of recomputing the full
+// O(n² × segments) objective per move. Score(cm, a) remains the pure
+// specification; the tracker is property-tested against it.
+type loadTracker struct {
+	cm    *psdf.CommMatrix
+	a     *Allocation
+	loads []int64
+	// neighbours[p] lists (q, out, in) with out = items p sends to q
+	// and in = items p receives from q, for q != p with any traffic.
+	neighbours map[psdf.ProcessID][]neighbour
+}
+
+type neighbour struct {
+	q       psdf.ProcessID
+	out, in int
+}
+
+// newLoadTracker builds the tracker for the current allocation.
+func newLoadTracker(cm *psdf.CommMatrix, a *Allocation) *loadTracker {
+	t := &loadTracker{
+		cm:         cm,
+		a:          a,
+		loads:      BusLoads(cm, *a),
+		neighbours: make(map[psdf.ProcessID][]neighbour),
+	}
+	n := cm.Size()
+	for i := 0; i < n; i++ {
+		p := psdf.ProcessID(i)
+		if _, placed := a.Of[p]; !placed {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			q := psdf.ProcessID(j)
+			if _, placed := a.Of[q]; !placed {
+				continue
+			}
+			out := cm.At(p, q)
+			in := cm.At(q, p)
+			if out != 0 || in != 0 {
+				t.neighbours[p] = append(t.neighbours[p], neighbour{q: q, out: out, in: in})
+			}
+		}
+	}
+	return t
+}
+
+// score returns the current objective value.
+func (t *loadTracker) score() int64 {
+	var s int64
+	for _, l := range t.loads {
+		s += l * l
+	}
+	return s
+}
+
+// applyRoute adds sign × items to every segment on the inclusive
+// route [min(a,b), max(a,b)].
+func (t *loadTracker) applyRoute(a, b int, items int, sign int64) {
+	if items == 0 {
+		return
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for s := lo; s <= hi; s++ {
+		t.loads[s] += sign * int64(items)
+	}
+}
+
+// move relocates process p to segment to, updating the loads and the
+// allocation. Self-loops in the matrix are ignored (the model forbids
+// them anyway).
+func (t *loadTracker) move(p psdf.ProcessID, to int) {
+	from := t.a.Of[p]
+	if from == to {
+		return
+	}
+	for _, nb := range t.neighbours[p] {
+		sq := t.a.Of[nb.q]
+		t.applyRoute(from, sq, nb.out+nb.in, -1)
+		t.applyRoute(to, sq, nb.out+nb.in, +1)
+	}
+	t.a.Of[p] = to
+}
+
+// swap exchanges the segments of p and q.
+func (t *loadTracker) swap(p, q psdf.ProcessID) {
+	sp, sq := t.a.Of[p], t.a.Of[q]
+	if sp == sq {
+		return
+	}
+	// Move p out of the way first, then q, then p into place; the
+	// pairwise p<->q traffic is handled correctly because move always
+	// reads the *current* position of the neighbour.
+	t.move(p, sq)
+	t.move(q, sp)
+}

@@ -1,0 +1,80 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"segbus/internal/psdf"
+)
+
+// TestTrackerMatchesSpecification drives the incremental tracker
+// through random move/swap sequences and checks it against the pure
+// Score/BusLoads specification after every step.
+func TestTrackerMatchesSpecification(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(10)
+		segs := 2 + rng.Intn(3)
+		cm := psdf.NewCommMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Intn(3) == 0 {
+					cm.Set(psdf.ProcessID(i), psdf.ProcessID(j), rng.Intn(200))
+				}
+			}
+		}
+		a := Allocation{Segments: segs, Of: make(map[psdf.ProcessID]int)}
+		for i := 0; i < n; i++ {
+			a.Of[psdf.ProcessID(i)] = rng.Intn(segs)
+		}
+		tr := newLoadTracker(cm, &a)
+		for step := 0; step < 60; step++ {
+			if rng.Intn(2) == 0 {
+				tr.move(psdf.ProcessID(rng.Intn(n)), rng.Intn(segs))
+			} else {
+				tr.swap(psdf.ProcessID(rng.Intn(n)), psdf.ProcessID(rng.Intn(n)))
+			}
+			wantLoads := BusLoads(cm, a)
+			for s := range wantLoads {
+				if tr.loads[s] != wantLoads[s] {
+					t.Fatalf("trial %d step %d: loads[%d] = %d, want %d",
+						trial, step, s, tr.loads[s], wantLoads[s])
+				}
+			}
+			if got, want := tr.score(), Score(cm, a); got != want {
+				t.Fatalf("trial %d step %d: score %d, want %d", trial, step, got, want)
+			}
+		}
+	}
+}
+
+// TestTrackerSelfSwapAndNoopMove covers the degenerate operations.
+func TestTrackerSelfSwapAndNoopMove(t *testing.T) {
+	cm := pipelineMatrix(4, 10)
+	a := Allocation{Segments: 2, Of: map[psdf.ProcessID]int{0: 0, 1: 0, 2: 1, 3: 1}}
+	tr := newLoadTracker(cm, &a)
+	before := tr.score()
+	tr.move(0, 0) // no-op
+	tr.swap(0, 1) // same segment: no-op
+	tr.swap(2, 2) // identity
+	if tr.score() != before {
+		t.Error("no-op operations changed the score")
+	}
+	if got, want := tr.score(), Score(cm, a); got != want {
+		t.Errorf("score %d, want %d", got, want)
+	}
+}
+
+// TestLocalSearchStillReachesChainOptimum guards the rewrite: the
+// incremental search must find the same single-cut optimum on a chain
+// as the pure-specification version did.
+func TestLocalSearchStillReachesChainOptimum(t *testing.T) {
+	cm := pipelineMatrix(12, 10) // heuristic path (12 > MaxExhaustive)
+	a, err := Solve(cm, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Cost(cm, a); got != 10 {
+		t.Errorf("chain cut cost = %d, want 10 (%v)", got, a)
+	}
+}

@@ -1,0 +1,211 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/psdf"
+)
+
+func TestValidateAcceptsGoodPlatform(t *testing.T) {
+	if err := buildPlatform().Validate(); err != nil {
+		t.Errorf("valid platform rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *Platform
+		wantSub string
+	}{
+		{
+			"no segments",
+			func() *Platform { return New("empty", 100*MHz, 36) },
+			"no segments",
+		},
+		{
+			"bad package size",
+			func() *Platform {
+				p := New("pkg", 100*MHz, 0)
+				p.AddSegment(90*MHz, 0)
+				return p
+			},
+			"non-positive package size",
+		},
+		{
+			"bad CA clock",
+			func() *Platform {
+				p := New("ca", 0, 36)
+				p.AddSegment(90*MHz, 0)
+				return p
+			},
+			"non-positive clock frequency",
+		},
+		{
+			"bad segment clock",
+			func() *Platform {
+				p := New("seg", 100*MHz, 36)
+				p.AddSegment(0, 0)
+				return p
+			},
+			"non-positive clock frequency",
+		},
+		{
+			"empty segment",
+			func() *Platform {
+				p := New("nofu", 100*MHz, 36)
+				p.AddSegment(90 * MHz)
+				return p
+			},
+			"no functional unit",
+		},
+		{
+			"duplicate process",
+			func() *Platform {
+				p := New("dup", 100*MHz, 36)
+				p.AddSegment(90*MHz, 0, 1)
+				p.AddSegment(95*MHz, 1)
+				return p
+			},
+			"hosted by both",
+		},
+		{
+			"negative header ticks",
+			func() *Platform {
+				p := New("hdr", 100*MHz, 36)
+				p.HeaderTicks = -1
+				p.AddSegment(90*MHz, 0)
+				return p
+			},
+			"negative header tick count",
+		},
+		{
+			"negative CA hop ticks",
+			func() *Platform {
+				p := New("hop", 100*MHz, 36)
+				p.CAHopTicks = -3
+				p.AddSegment(90*MHz, 0)
+				return p
+			},
+			"negative CA hop tick count",
+		},
+		{
+			"index out of sequence",
+			func() *Platform {
+				p := New("idx", 100*MHz, 36)
+				p.AddSegment(90*MHz, 0)
+				p.Segments[0].Index = 7
+				return p
+			},
+			"out of sequence",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.build().Validate()
+			if err == nil {
+				t.Fatal("Validate() accepted an invalid platform")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestConstraintViolationsAggregate(t *testing.T) {
+	p := New("multi", 0, -1)
+	err := p.Validate()
+	vs, ok := err.(ConstraintViolations)
+	if !ok {
+		t.Fatalf("Validate() returned %T", err)
+	}
+	if len(vs) < 3 {
+		t.Errorf("expected >=3 violations, got %d: %v", len(vs), vs)
+	}
+}
+
+func appModel() *psdf.Model {
+	m := psdf.NewModel("app")
+	m.AddFlow(psdf.Flow{Source: 0, Target: 1, Items: 10, Order: 1})
+	m.AddFlow(psdf.Flow{Source: 1, Target: 2, Items: 10, Order: 2})
+	return m
+}
+
+func TestValidateMapping(t *testing.T) {
+	m := appModel()
+	good := New("good", 100*MHz, 36)
+	good.AddSegment(90*MHz, 0, 1)
+	good.AddSegment(95*MHz, 2)
+	if err := good.ValidateMapping(m); err != nil {
+		t.Errorf("good mapping rejected: %v", err)
+	}
+
+	missing := New("missing", 100*MHz, 36)
+	missing.AddSegment(90*MHz, 0, 1)
+	err := missing.ValidateMapping(m)
+	if err == nil || !strings.Contains(err.Error(), "not mapped") {
+		t.Errorf("missing process not reported: %v", err)
+	}
+
+	stray := New("stray", 100*MHz, 36)
+	stray.AddSegment(90*MHz, 0, 1, 2, 7)
+	err = stray.ValidateMapping(m)
+	if err == nil || !strings.Contains(err.Error(), "not part of the application") {
+		t.Errorf("stray process not reported: %v", err)
+	}
+}
+
+func TestValidateRoles(t *testing.T) {
+	m := appModel()
+	p := New("roles", 100*MHz, 36)
+	s1 := p.AddSegment(90 * MHz)
+	s1.FUs = append(s1.FUs,
+		FU{Process: 0, Kind: MasterOnly},
+		FU{Process: 1, Kind: MasterSlave},
+	)
+	s2 := p.AddSegment(95 * MHz)
+	s2.FUs = append(s2.FUs, FU{Process: 2, Kind: SlaveOnly})
+	if err := p.ValidateRoles(m); err != nil {
+		t.Errorf("compatible roles rejected: %v", err)
+	}
+
+	// P2 as the source of a flow while slave-only must fail.
+	m2 := appModel()
+	m2.AddFlow(psdf.Flow{Source: 2, Target: 0, Items: 5, Order: 3})
+	err := p.ValidateRoles(m2)
+	if err == nil || !strings.Contains(err.Error(), "no master interface") {
+		t.Errorf("slave-only source not reported: %v", err)
+	}
+
+	// P0 as a target while master-only must fail.
+	m3 := psdf.NewModel("rev")
+	m3.AddFlow(psdf.Flow{Source: 1, Target: 0, Items: 5, Order: 1})
+	err = p.ValidateRoles(m3)
+	if err == nil || !strings.Contains(err.Error(), "no slave interface") {
+		t.Errorf("master-only target not reported: %v", err)
+	}
+}
+
+func TestMasterSlaveCapable(t *testing.T) {
+	p := New("cap", 100*MHz, 36)
+	s := p.AddSegment(90 * MHz)
+	s.FUs = append(s.FUs,
+		FU{Process: 0, Kind: MasterOnly},
+		FU{Process: 1, Kind: SlaveOnly},
+		FU{Process: 2, Kind: MasterSlave},
+	)
+	if !p.MasterCapable(0) || p.SlaveCapable(0) {
+		t.Error("P0 capabilities wrong")
+	}
+	if p.MasterCapable(1) || !p.SlaveCapable(1) {
+		t.Error("P1 capabilities wrong")
+	}
+	if !p.MasterCapable(2) || !p.SlaveCapable(2) {
+		t.Error("P2 capabilities wrong")
+	}
+	if p.MasterCapable(9) || p.SlaveCapable(9) {
+		t.Error("unhosted process reported capable")
+	}
+}

@@ -1,0 +1,132 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+func estimate(t *testing.T, m *psdf.Model, plat *platform.Platform) *Report {
+	t.Helper()
+	r, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Estimate(m, plat, r, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEstimateMP3(t *testing.T) {
+	m := apps.MP3Model()
+	plat := apps.MP3Platform3(36)
+	p := estimate(t, m, plat)
+	if p.TotalPJ <= 0 || p.DynamicPJ <= 0 || p.StaticPJ <= 0 {
+		t.Fatalf("degenerate energy: %+v", p)
+	}
+	if p.TotalPJ != p.DynamicPJ+p.StaticPJ {
+		t.Error("total != dynamic + static")
+	}
+	if len(p.Segments) != 3 || len(p.BUs) != 2 {
+		t.Fatalf("breakdown shape wrong: %d segments, %d BUs", len(p.Segments), len(p.BUs))
+	}
+	// BU12 carried 32 packages x 36 items.
+	if p.BUs[0].Items != 32*36 {
+		t.Errorf("BU12 items = %d, want 1152", p.BUs[0].Items)
+	}
+	if p.AvgPowerM <= 0 {
+		t.Error("no average power")
+	}
+}
+
+func TestBusItemsAccounting(t *testing.T) {
+	// One 72-item flow crossing one BU: both segments move 72 items.
+	m := psdf.NewModel("x")
+	m.AddFlow(psdf.Flow{Source: 0, Target: 1, Items: 72, Order: 1, Ticks: 5})
+	plat := platform.New("two", 100*platform.MHz, 36)
+	plat.AddSegment(100*platform.MHz, 0)
+	plat.AddSegment(100*platform.MHz, 1)
+	p := estimate(t, m, plat)
+	if p.Segments[0].BusItems != 72 || p.Segments[1].BusItems != 72 {
+		t.Errorf("bus items = %d/%d, want 72/72", p.Segments[0].BusItems, p.Segments[1].BusItems)
+	}
+	if p.BUs[0].Items != 72 {
+		t.Errorf("BU items = %d", p.BUs[0].Items)
+	}
+}
+
+func TestLocalisedPlacementUsesLessEnergy(t *testing.T) {
+	// The paper's conclusion claim: configuration choices affect
+	// power. Moving P9 away from its traffic adds two 540-item
+	// double-crossings, so the moved configuration must consume more.
+	m := apps.MP3Model()
+	base := estimate(t, m, apps.MP3Platform3(36))
+	moved := estimate(t, m, apps.MP3Platform3MovedP9(36))
+	if moved.DynamicPJ <= base.DynamicPJ {
+		t.Errorf("moved P9 dynamic %.0fpJ not above base %.0fpJ", moved.DynamicPJ, base.DynamicPJ)
+	}
+	if moved.TotalPJ <= base.TotalPJ {
+		t.Errorf("moved P9 total %.0fpJ not above base %.0fpJ", moved.TotalPJ, base.TotalPJ)
+	}
+}
+
+func TestSingleSegmentHasNoBUEnergy(t *testing.T) {
+	m := apps.MP3Model()
+	p := estimate(t, m, apps.MP3Platform1(36))
+	if len(p.BUs) != 0 {
+		t.Error("single segment has BU energy")
+	}
+}
+
+func TestCustomParams(t *testing.T) {
+	m := apps.MP3Model()
+	plat := apps.MP3Platform3(36)
+	r, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Estimate(m, plat, r, Params{BusPJPerItem: 1, BUPJPerItem: 1, SAPJPerTick: 0.01, CAPJPerTick: 0.01, FUPJPerTick: 0.1, StaticUWPerSeg: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Estimate(m, plat, r, Params{BusPJPerItem: 10, BUPJPerItem: 10, SAPJPerTick: 0.1, CAPJPerTick: 0.1, FUPJPerTick: 1, StaticUWPerSeg: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TotalPJ <= small.TotalPJ {
+		t.Error("coefficients have no effect")
+	}
+}
+
+func TestComputeEnergyIndependentOfPackaging(t *testing.T) {
+	// With a nominal package size, processing work is a property of
+	// the data: the compute energy must not change across package
+	// sizes.
+	m := apps.MP3Model()
+	a := estimate(t, m, apps.MP3Platform3(36))
+	b := estimate(t, m, apps.MP3Platform3(18))
+	var ca, cb float64
+	for i := range a.Segments {
+		ca += a.Segments[i].ComputePJ
+		cb += b.Segments[i].ComputePJ
+	}
+	if ca != cb {
+		t.Errorf("compute energy varies with packaging: %.0f vs %.0f", ca, cb)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	p := estimate(t, apps.MP3Model(), apps.MP3Platform3(36))
+	s := p.String()
+	for _, want := range []string{"Segment 1", "BU12", "CA:", "dynamic", "mW"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

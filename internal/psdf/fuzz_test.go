@@ -1,0 +1,51 @@
+package psdf
+
+import "testing"
+
+// FuzzParseFlowName checks that the flow-name decoder never panics and
+// that accepted names round-trip exactly.
+func FuzzParseFlowName(f *testing.F) {
+	for _, seed := range []string{
+		"P1_576_1_250",
+		"P0_1_0_0",
+		"P14_36_16_140",
+		"",
+		"P1",
+		"P1_576",
+		"garbage",
+		"P1_576_1_250_extra",
+		"P01_1_1_1",
+		"P1_-5_1_1",
+		"P999999999999_1_1_1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		flow, err := ParseFlowName(7, name)
+		if err != nil {
+			return
+		}
+		if flow.Source != 7 {
+			t.Fatalf("source corrupted: %v", flow)
+		}
+		if flow.Name() != name {
+			t.Fatalf("accepted %q but renders %q", name, flow.Name())
+		}
+	})
+}
+
+// FuzzParseProcessName checks the process-name decoder likewise.
+func FuzzParseProcessName(f *testing.F) {
+	for _, seed := range []string{"P0", "P15", "", "P", "p1", "P01", "P1x", "P4294967296"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := ParseProcessName(name)
+		if err != nil {
+			return
+		}
+		if p.String() != name {
+			t.Fatalf("accepted %q but renders %q", name, p.String())
+		}
+	})
+}

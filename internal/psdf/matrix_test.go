@@ -1,0 +1,146 @@
+package psdf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCommMatrixBasics(t *testing.T) {
+	cm := NewCommMatrix(3)
+	if cm.Size() != 3 {
+		t.Fatalf("Size() = %d", cm.Size())
+	}
+	cm.Set(0, 1, 10)
+	cm.Add(0, 1, 5)
+	cm.Add(1, 2, 7)
+	if got := cm.At(0, 1); got != 15 {
+		t.Errorf("At(0,1) = %d, want 15", got)
+	}
+	if got := cm.Total(); got != 22 {
+		t.Errorf("Total() = %d, want 22", got)
+	}
+	if got := cm.RowSum(0); got != 15 {
+		t.Errorf("RowSum(0) = %d, want 15", got)
+	}
+	if got := cm.ColSum(2); got != 7 {
+		t.Errorf("ColSum(2) = %d, want 7", got)
+	}
+}
+
+func TestCommMatrixOutOfRangePanics(t *testing.T) {
+	cm := NewCommMatrix(2)
+	for _, fn := range []func(){
+		func() { cm.At(2, 0) },
+		func() { cm.At(0, -1) },
+		func() { cm.Set(5, 5, 1) },
+		func() { cm.Add(-1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewCommMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCommMatrix(-1) did not panic")
+		}
+	}()
+	NewCommMatrix(-1)
+}
+
+func TestCommunicationMatrixFromModel(t *testing.T) {
+	m := NewModel("cm")
+	m.AddFlow(Flow{Source: 0, Target: 1, Items: 100, Order: 1})
+	m.AddFlow(Flow{Source: 0, Target: 1, Items: 44, Order: 2}) // second flow, same pair: accumulates
+	m.AddFlow(Flow{Source: 1, Target: 2, Items: 50, Order: 3})
+	m.AddFlow(Flow{Source: 2, Target: SystemOutput, Items: 9, Order: 4}) // excluded
+	cm := m.CommunicationMatrix()
+	if cm.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", cm.Size())
+	}
+	if got := cm.At(0, 1); got != 144 {
+		t.Errorf("At(0,1) = %d, want 144 (accumulated)", got)
+	}
+	if got := cm.Total(); got != 194 {
+		t.Errorf("Total() = %d, want 194 (system-output flow excluded)", got)
+	}
+}
+
+func TestCommMatrixEqualClone(t *testing.T) {
+	cm := NewCommMatrix(4)
+	cm.Set(1, 2, 42)
+	c := cm.Clone()
+	if !cm.Equal(c) {
+		t.Fatal("Clone() not Equal()")
+	}
+	c.Set(0, 0, 1)
+	if cm.Equal(c) {
+		t.Error("Equal() after divergent mutation")
+	}
+	if cm.Equal(NewCommMatrix(3)) {
+		t.Error("Equal() across sizes")
+	}
+	if cm.Equal(nil) {
+		t.Error("Equal(nil) = true")
+	}
+}
+
+func TestCrossTraffic(t *testing.T) {
+	cm := NewCommMatrix(4)
+	cm.Set(0, 1, 10) // same segment
+	cm.Set(0, 2, 20) // crosses
+	cm.Set(2, 3, 30) // same segment
+	cm.Set(3, 0, 40) // crosses
+	seg := func(p ProcessID) int {
+		if p <= 1 {
+			return 0
+		}
+		return 1
+	}
+	if got := cm.CrossTraffic(seg); got != 60 {
+		t.Errorf("CrossTraffic = %d, want 60", got)
+	}
+}
+
+func TestCrossTrafficSymmetricUnderPermutation(t *testing.T) {
+	// Property: total cross traffic with a 1-segment mapping is zero,
+	// and with an all-distinct mapping equals Total().
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		cm := NewCommMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Intn(2) == 0 {
+					cm.Set(ProcessID(i), ProcessID(j), rng.Intn(100))
+				}
+			}
+		}
+		if got := cm.CrossTraffic(func(ProcessID) int { return 0 }); got != 0 {
+			t.Fatalf("single-segment cross traffic = %d, want 0", got)
+		}
+		if got, want := cm.CrossTraffic(func(p ProcessID) int { return int(p) }), cm.Total(); got != want {
+			t.Fatalf("all-distinct cross traffic = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestCommMatrixString(t *testing.T) {
+	cm := NewCommMatrix(2)
+	cm.Set(0, 1, 576)
+	s := cm.String()
+	if !strings.Contains(s, "P0") || !strings.Contains(s, "P1") || !strings.Contains(s, "576") {
+		t.Errorf("String() missing headers or values:\n%s", s)
+	}
+	if got := len(strings.Split(strings.TrimRight(s, "\n"), "\n")); got != 3 {
+		t.Errorf("String() has %d lines, want 3 (header + 2 rows)", got)
+	}
+}

@@ -1,0 +1,319 @@
+// Package psdf implements the Packet Synchronous Data Flow (PSDF)
+// application model of the SegBus design methodology.
+//
+// A PSDF model is a set of processes connected by packet flows. Data is
+// organised in data items which are grouped into packages of a
+// configurable size during execution. Each flow is a tuple (Pt, D, T, C):
+//
+//   - Pt — the target process of the flow's transactions;
+//   - D  — the number of data items emitted by the source towards Pt;
+//   - T  — a relative ordering number among the flows of the system;
+//   - C  — the number of clock ticks the source consumes before sending
+//     one package.
+//
+// Flows sharing the same ordering number may execute concurrently; a
+// flow ordered after another may not start before the earlier one has
+// completed. The model mirrors section 3.1 of the paper and is the
+// single source of truth for the application schedule, the
+// communication matrix and the emulator's functional-unit programs.
+package psdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcessID identifies an application process (P0, P1, ...). The zero
+// value is a valid identifier (process P0).
+type ProcessID int
+
+// String returns the conventional process name, e.g. "P3".
+func (p ProcessID) String() string { return fmt.Sprintf("P%d", int(p)) }
+
+// SystemOutput is the pseudo-target used by flows that leave the
+// system (towards the platform output) rather than feed another
+// process. The paper's example does not use it, but the PSDF
+// definition allows transactions "towards the system output".
+const SystemOutput ProcessID = -1
+
+// Flow is one packet flow of a PSDF model: Items data items sent by
+// Source towards Target, with relative ordering number Order and
+// per-package processing cost Ticks.
+type Flow struct {
+	Source ProcessID // emitting process
+	Target ProcessID // Pt: receiving process (or SystemOutput)
+	Items  int       // D: number of data items carried by the flow
+	Order  int       // T: relative ordering number among all flows
+	Ticks  int       // C: source clock ticks consumed per package sent
+}
+
+// Packages returns the number of packages the flow is split into for
+// package size s (ceil(D/s)). The paper's definition uses D/s with D a
+// multiple of s; ragged tails are rounded up so that every data item is
+// carried.
+func (f Flow) Packages(s int) int {
+	if s <= 0 {
+		panic("psdf: package size must be positive")
+	}
+	if f.Items <= 0 {
+		return 0
+	}
+	return (f.Items + s - 1) / s
+}
+
+// Name renders the flow in the encoded form used by the generated XML
+// schemas, e.g. "P1_576_1_250" for a flow targeting P1 with 576 data
+// items, ordering number 1 and 250 ticks per package.
+func (f Flow) Name() string {
+	return fmt.Sprintf("%s_%d_%d_%d", f.Target, f.Items, f.Order, f.Ticks)
+}
+
+// String implements fmt.Stringer with a human-oriented rendering.
+func (f Flow) String() string {
+	return fmt.Sprintf("%s->%s{D=%d T=%d C=%d}", f.Source, f.Target, f.Items, f.Order, f.Ticks)
+}
+
+// ParseFlowName decodes the XML flow encoding produced by the M2T
+// transformation ("P1_576_1_250") into a Flow. The source process is
+// not part of the encoding (it is the enclosing XML element) and must
+// be supplied by the caller.
+func ParseFlowName(source ProcessID, name string) (Flow, error) {
+	parts := strings.Split(name, "_")
+	if len(parts) != 4 {
+		return Flow{}, fmt.Errorf("psdf: flow name %q: want 4 '_'-separated fields, got %d", name, len(parts))
+	}
+	target, err := ParseProcessName(parts[0])
+	if err != nil {
+		return Flow{}, fmt.Errorf("psdf: flow name %q: %v", name, err)
+	}
+	var items, order, ticks int
+	if _, err := fmt.Sscanf(parts[1], "%d", &items); err != nil || fmt.Sprintf("%d", items) != parts[1] {
+		return Flow{}, fmt.Errorf("psdf: flow name %q: bad item count %q", name, parts[1])
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &order); err != nil || fmt.Sprintf("%d", order) != parts[2] {
+		return Flow{}, fmt.Errorf("psdf: flow name %q: bad ordering number %q", name, parts[2])
+	}
+	if _, err := fmt.Sscanf(parts[3], "%d", &ticks); err != nil || fmt.Sprintf("%d", ticks) != parts[3] {
+		return Flow{}, fmt.Errorf("psdf: flow name %q: bad tick count %q", name, parts[3])
+	}
+	return Flow{Source: source, Target: target, Items: items, Order: order, Ticks: ticks}, nil
+}
+
+// ParseProcessName decodes a conventional process name ("P0", "P13")
+// into its ProcessID. Case is significant; only the canonical form is
+// accepted.
+func ParseProcessName(name string) (ProcessID, error) {
+	if len(name) < 2 || name[0] != 'P' {
+		return 0, fmt.Errorf("bad process name %q", name)
+	}
+	n := 0
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad process name %q", name)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return 0, fmt.Errorf("process name %q out of range", name)
+		}
+	}
+	if name[1] == '0' && len(name) > 2 {
+		return 0, fmt.Errorf("bad process name %q (leading zero)", name)
+	}
+	return ProcessID(n), nil
+}
+
+// Model is a complete PSDF application model: a set of processes and
+// the packet flows between them. Construct one with NewModel and
+// AddFlow, or load one from a generated XML schema via package schema.
+type Model struct {
+	name      string
+	processes map[ProcessID]bool
+	flows     []Flow
+	nominal   int // package size the flows' C values were calibrated at
+}
+
+// NewModel returns an empty PSDF model with the given application name.
+func NewModel(name string) *Model {
+	return &Model{name: name, processes: make(map[ProcessID]bool)}
+}
+
+// Name returns the application name the model was created with.
+func (m *Model) Name() string { return m.name }
+
+// SetNominalPackageSize declares the package size the flows' C values
+// were calibrated at. When set (positive), an emulator running with a
+// different platform package size scales each package's processing
+// cost proportionally to the data items it carries (processing work is
+// a property of the data, not of the packaging). Zero — the default —
+// means C is charged per package as-is, whatever the package size.
+func (m *Model) SetNominalPackageSize(s int) {
+	if s < 0 {
+		panic("psdf: negative nominal package size")
+	}
+	m.nominal = s
+}
+
+// NominalPackageSize returns the calibration package size, or zero
+// when C values are per-package regardless of size.
+func (m *Model) NominalPackageSize() int { return m.nominal }
+
+// AddProcess declares a process. Processes referenced by flows are
+// declared implicitly; explicit declaration is only needed for
+// processes with no flows (rare, but legal for sinks declared before
+// their inputs are modeled).
+func (m *Model) AddProcess(p ProcessID) {
+	if p != SystemOutput {
+		m.processes[p] = true
+	}
+}
+
+// AddFlow appends a flow to the model, implicitly declaring its source
+// and target processes.
+func (m *Model) AddFlow(f Flow) {
+	m.AddProcess(f.Source)
+	if f.Target != SystemOutput {
+		m.AddProcess(f.Target)
+	}
+	m.flows = append(m.flows, f)
+}
+
+// Processes returns the declared process identifiers in ascending
+// order.
+func (m *Model) Processes() []ProcessID {
+	out := make([]ProcessID, 0, len(m.processes))
+	for p := range m.processes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumProcesses returns the number of declared processes.
+func (m *Model) NumProcesses() int { return len(m.processes) }
+
+// Flows returns the model's flows sorted by (Order, Source, Target).
+// The slice is a copy; mutating it does not affect the model.
+func (m *Model) Flows() []Flow {
+	out := make([]Flow, len(m.flows))
+	copy(out, m.flows)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Order != b.Order {
+			return a.Order < b.Order
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Target < b.Target
+	})
+	return out
+}
+
+// NumFlows returns the number of flows in the model.
+func (m *Model) NumFlows() int { return len(m.flows) }
+
+// FlowsFrom returns the flows emitted by process p, sorted by ordering
+// number.
+func (m *Model) FlowsFrom(p ProcessID) []Flow {
+	var out []Flow
+	for _, f := range m.Flows() {
+		if f.Source == p {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FlowsInto returns the flows targeting process p, sorted by ordering
+// number.
+func (m *Model) FlowsInto(p ProcessID) []Flow {
+	var out []Flow
+	for _, f := range m.Flows() {
+		if f.Target == p {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Sources returns the processes with no incoming flows (the
+// application's initial nodes), ascending.
+func (m *Model) Sources() []ProcessID {
+	hasInput := make(map[ProcessID]bool)
+	for _, f := range m.flows {
+		if f.Target != SystemOutput {
+			hasInput[f.Target] = true
+		}
+	}
+	var out []ProcessID
+	for _, p := range m.Processes() {
+		if !hasInput[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Sinks returns the processes with no outgoing flows (final nodes),
+// ascending.
+func (m *Model) Sinks() []ProcessID {
+	hasOutput := make(map[ProcessID]bool)
+	for _, f := range m.flows {
+		hasOutput[f.Source] = true
+	}
+	var out []ProcessID
+	for _, p := range m.Processes() {
+		if !hasOutput[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TotalItems returns the total number of data items carried by all
+// flows of the model.
+func (m *Model) TotalItems() int {
+	n := 0
+	for _, f := range m.flows {
+		n += f.Items
+	}
+	return n
+}
+
+// TotalPackages returns the total number of packages transferred for
+// package size s.
+func (m *Model) TotalPackages(s int) int {
+	n := 0
+	for _, f := range m.flows {
+		n += f.Packages(s)
+	}
+	return n
+}
+
+// Orders returns the distinct flow ordering numbers of the model,
+// ascending. The emulator's schedule releases flows order by order.
+func (m *Model) Orders() []int {
+	seen := make(map[int]bool)
+	for _, f := range m.flows {
+		seen[f.Order] = true
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := NewModel(m.name)
+	c.nominal = m.nominal
+	for p := range m.processes {
+		c.processes[p] = true
+	}
+	c.flows = append([]Flow(nil), m.flows...)
+	return c
+}

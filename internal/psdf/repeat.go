@@ -1,0 +1,46 @@
+package psdf
+
+import "fmt"
+
+// Repeat returns a model that executes m's schedule n times back to
+// back — the steady-state view of a streaming application processing
+// n frames. Each repetition's flows carry ordering numbers offset by
+// the span of the original schedule, so repetition k+1 starts only
+// after repetition k has drained (matching the frame-serial operation
+// of the platform; the SegBus arbiters implement one application
+// schedule at a time).
+//
+// The nominal package size and process set carry over unchanged.
+func Repeat(m *Model, n int) (*Model, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("psdf: repetition count %d < 1", n)
+	}
+	flows := m.Flows()
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("psdf: cannot repeat a model with no flows")
+	}
+	minOrder, maxOrder := flows[0].Order, flows[0].Order
+	for _, f := range flows {
+		if f.Order < minOrder {
+			minOrder = f.Order
+		}
+		if f.Order > maxOrder {
+			maxOrder = f.Order
+		}
+	}
+	span := maxOrder - minOrder + 1
+
+	out := NewModel(fmt.Sprintf("%s-x%d", m.Name(), n))
+	out.SetNominalPackageSize(m.NominalPackageSize())
+	for _, p := range m.Processes() {
+		out.AddProcess(p)
+	}
+	for rep := 0; rep < n; rep++ {
+		for _, f := range flows {
+			g := f
+			g.Order = f.Order + rep*span
+			out.AddFlow(g)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package psdf
+
+import "testing"
+
+func TestRepeatBasics(t *testing.T) {
+	m := buildModel()
+	r, err := Repeat(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumFlows() != 3*m.NumFlows() {
+		t.Errorf("flows = %d, want %d", r.NumFlows(), 3*m.NumFlows())
+	}
+	if r.NumProcesses() != m.NumProcesses() {
+		t.Errorf("processes changed: %d", r.NumProcesses())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("repeated model invalid: %v", err)
+	}
+	if r.TotalItems() != 3*m.TotalItems() {
+		t.Error("items not tripled")
+	}
+	if got, want := r.Name(), "test-x3"; got != want {
+		t.Errorf("name = %q, want %q", got, want)
+	}
+}
+
+func TestRepeatOrdersDoNotOverlap(t *testing.T) {
+	m := buildModel() // orders 1..3
+	r, err := Repeat(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First repetition: orders 1..3; second: 4..6.
+	orders := r.Orders()
+	if len(orders) != 6 {
+		t.Fatalf("orders = %v", orders)
+	}
+	for i, want := range []int{1, 2, 3, 4, 5, 6} {
+		if orders[i] != want {
+			t.Fatalf("orders = %v", orders)
+		}
+	}
+}
+
+func TestRepeatOnce(t *testing.T) {
+	m := buildModel()
+	r, err := Repeat(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumFlows() != m.NumFlows() {
+		t.Error("single repetition changed the flow count")
+	}
+}
+
+func TestRepeatErrors(t *testing.T) {
+	if _, err := Repeat(buildModel(), 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Repeat(NewModel("empty"), 2); err == nil {
+		t.Error("empty model accepted")
+	}
+}
+
+func TestRepeatPreservesNominal(t *testing.T) {
+	m := buildModel()
+	m.SetNominalPackageSize(36)
+	r, err := Repeat(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NominalPackageSize() != 36 {
+		t.Error("nominal lost")
+	}
+}

@@ -1,0 +1,117 @@
+package realplat
+
+import (
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+)
+
+func TestRunUsesDefaultOverheads(t *testing.T) {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	r, err := Run(m, p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Refined {
+		t.Error("refined run not flagged")
+	}
+	est, err := emulator.Run(m, p, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExecutionTimePs <= est.ExecutionTimePs {
+		t.Errorf("refined %v not slower than estimation %v", r.ExecutionTimePs, est.ExecutionTimePs)
+	}
+}
+
+func TestRunCustomOverheads(t *testing.T) {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	small, err := Run(m, p, Config{Overheads: emulator.Overheads{GrantTicks: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(m, p, Config{Overheads: emulator.Overheads{GrantTicks: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ExecutionTimePs <= small.ExecutionTimePs {
+		t.Error("larger grant cost did not slow the run")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy(95, 100); got != 0.95 {
+		t.Errorf("Accuracy(95,100) = %v", got)
+	}
+	if got := Accuracy(100, 95); got != 0.95 {
+		t.Errorf("Accuracy folds over-estimates: %v", got)
+	}
+	if got := Accuracy(10, 0); got != 0 {
+		t.Errorf("Accuracy(_, 0) = %v", got)
+	}
+}
+
+// TestPaperAccuracyBands is the repository's headline reproduction
+// check at the realplat level: all three of the paper's experiments
+// land in their published accuracy neighbourhoods.
+func TestPaperAccuracyBands(t *testing.T) {
+	m := apps.MP3Model()
+	cases := []struct {
+		name   string
+		s      int
+		moveP9 bool
+		lo, hi float64
+	}{
+		{"s36", 36, false, 0.92, 0.99},
+		{"s18", 18, false, 0.90, 0.96},
+		{"s36-p9moved", 36, true, 0.92, 0.99},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := apps.MP3Platform3(c.s)
+			if c.moveP9 {
+				p = apps.MP3Platform3MovedP9(c.s)
+			}
+			est, err := emulator.Run(m, p, emulator.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			act, err := Run(m, p, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := Accuracy(int64(est.ExecutionTimePs), int64(act.ExecutionTimePs))
+			if acc < c.lo || acc > c.hi {
+				t.Errorf("accuracy %.3f outside [%v, %v]", acc, c.lo, c.hi)
+			}
+		})
+	}
+}
+
+// TestAccuracyMonotoneInOverheads: growing any skipped-cost knob can
+// only widen the gap between the estimate and the "actual" platform.
+func TestAccuracyMonotoneInOverheads(t *testing.T) {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	est, err := emulator.Run(m, p, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, grant := range []int{0, 2, 4, 8, 16} {
+		act, err := Run(m, p, Config{Overheads: emulator.Overheads{
+			GrantTicks: grant, SyncTicks: 2, CASetTicks: 2, CAResetTicks: 2,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := Accuracy(int64(est.ExecutionTimePs), int64(act.ExecutionTimePs))
+		if acc > prev {
+			t.Errorf("accuracy rose from %.4f to %.4f as grant cost grew to %d", prev, acc, grant)
+		}
+		prev = acc
+	}
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/power"
+	"segbus/internal/trace"
+)
+
+func render(t *testing.T, withEnergy bool) string {
+	t.Helper()
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	tr := &trace.Trace{}
+	r, err := emulator.Run(m, p, emulator.Config{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Input{Title: "MP3 on 3 segments", Model: m, Platform: p, Report: r, Trace: tr}
+	if withEnergy {
+		en, err := power.Estimate(m, p, r, power.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Energy = en
+	}
+	html, err := Render(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return html
+}
+
+func TestRenderComplete(t *testing.T) {
+	html := render(t, true)
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"MP3 on 3 segments",
+		"mp3-decoder",
+		"estimated execution time",
+		"CA TCT = 54433",
+		"Border-unit analysis",
+		"Element utilisation",
+		"Schedule stages",
+		"Energy breakdown",
+		"Process progress timeline",
+		"<svg",
+		"</html>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Both figures plus the legend.
+	if got := strings.Count(html, "<svg"); got != 3 {
+		t.Errorf("embedded SVGs = %d, want 3", got)
+	}
+}
+
+func TestRenderWithoutEnergy(t *testing.T) {
+	html := render(t, false)
+	if strings.Contains(html, "Energy breakdown") {
+		t.Error("energy section rendered without data")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Input{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	r, err := emulator.Run(m, p, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Render(Input{Model: m, Platform: p, Report: r}); err == nil {
+		t.Error("missing trace accepted")
+	}
+}
+
+func TestRenderEscapesModelName(t *testing.T) {
+	m := apps.MP3Model() // name without special chars; build one with
+	tr := &trace.Trace{}
+	p := apps.MP3Platform3(36)
+	r, err := emulator.Run(m, p, emulator.Config{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, err := Render(Input{
+		Title:    `<script>alert("x")</script>`,
+		Model:    m,
+		Platform: p,
+		Report:   r,
+		Trace:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html, `<script>alert`) {
+		t.Error("title not escaped")
+	}
+}

@@ -1,0 +1,109 @@
+// Package scenarios locks the emulator's end-to-end behaviour with a
+// golden-file corpus: each testdata/scenarios/*.sbd model description
+// is parsed, validated, emulated under both timing models, and the
+// rendered reports are compared byte-for-byte with the checked-in
+// golden outputs.
+//
+// Regenerate the goldens after a deliberate model change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/scenarios
+package scenarios
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segbus/internal/dsl"
+	"segbus/internal/emulator"
+	"segbus/internal/realplat"
+	"segbus/internal/stats"
+)
+
+const scenarioDir = "../../testdata/scenarios"
+
+// render produces the scenario's locked output: the estimation report,
+// the refined report and the border-unit analysis.
+func render(t *testing.T, path string) string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := dsl.Parse(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if ds := doc.Validate(); ds.HasErrors() {
+		t.Fatalf("%s: %v", path, ds)
+	}
+	est, err := emulator.Run(doc.Model, doc.Platform, emulator.Config{})
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	act, err := realplat.Run(doc.Model, doc.Platform, realplat.Config{})
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	var b strings.Builder
+	b.WriteString("== estimation model ==\n")
+	b.WriteString(est.String())
+	b.WriteString("\n== border units ==\n")
+	b.WriteString(stats.BUTable(stats.AnalyzeBUs(est)))
+	b.WriteString("\n== refined model ==\n")
+	b.WriteString(act.String())
+	b.WriteString("\n")
+	b.WriteString(stats.Compare(filepath.Base(path), est, act).String())
+	b.WriteString("\n")
+	return b.String()
+}
+
+func TestScenarioGoldens(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(scenarioDir, "*.sbd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("only %d scenarios found", len(paths))
+	}
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, path := range paths {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".sbd")
+		t.Run(name, func(t *testing.T) {
+			got := render(t, path)
+			goldenPath := filepath.Join(scenarioDir, "golden", name+".txt")
+			if update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output diverged from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFilesPresent guards against orphaned goldens (a scenario
+// removed without its golden).
+func TestGoldenFilesPresent(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join(scenarioDir, "golden", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range goldens {
+		name := strings.TrimSuffix(filepath.Base(g), ".txt")
+		if _, err := os.Stat(filepath.Join(scenarioDir, name+".sbd")); err != nil {
+			t.Errorf("golden %s has no scenario: %v", g, err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package sched extracts the application schedule from a PSDF model.
+//
+// The paper's emulator derives the sequencing of processing and
+// transfers from the PSDF ordering numbers and implements it within
+// the arbiters (section 3.3, first consideration). This package
+// performs that extraction as a pure computation:
+//
+//   - flows are grouped into stages by ordering number T; stage T
+//     becomes active only when every flow of every earlier stage has
+//     completed, and all flows of an active stage may run
+//     concurrently (section 3.1 on equal ordering numbers);
+//   - within a process, output packages are gated on input
+//     availability by proportional packet-SDF firing: a process that
+//     consumes I packages and produces O packages may emit its k-th
+//     package only after receiving ceil(k·I/O) packages.
+//
+// The emulator consumes the Schedule to drive FU masters and to decide
+// end-of-stage barriers.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"segbus/internal/psdf"
+)
+
+// FlowID indexes a flow within the schedule's canonical flow order
+// (Model.Flows() order: sorted by ordering number, then source, then
+// target). It is stable for a given model and the key used by the
+// emulator's bookkeeping.
+type FlowID int
+
+// Stage is the set of flows sharing one ordering number. All flows of
+// a stage may execute concurrently once the stage is active.
+type Stage struct {
+	Order int      // the shared ordering number T
+	Flows []FlowID // member flows, in canonical order
+}
+
+// Schedule is the extracted application schedule: the canonical flow
+// list, its partition into stages, per-flow package counts for the
+// configured package size, and the per-process firing gates.
+type Schedule struct {
+	PackageSize int
+	flows       []psdf.Flow
+	packages    []int   // per FlowID
+	stages      []Stage // ascending by Order
+	inPkgs      map[psdf.ProcessID]int
+	outPkgs     map[psdf.ProcessID]int
+}
+
+// Extract builds the schedule of model m for the given package size.
+// The model should have been validated first; Extract itself only
+// requires a positive package size.
+func Extract(m *psdf.Model, packageSize int) (*Schedule, error) {
+	if packageSize <= 0 {
+		return nil, fmt.Errorf("sched: non-positive package size %d", packageSize)
+	}
+	s := &Schedule{
+		PackageSize: packageSize,
+		flows:       m.Flows(),
+		inPkgs:      make(map[psdf.ProcessID]int),
+		outPkgs:     make(map[psdf.ProcessID]int),
+	}
+	s.packages = make([]int, len(s.flows))
+	byOrder := make(map[int][]FlowID)
+	for i, f := range s.flows {
+		pk := f.Packages(packageSize)
+		s.packages[i] = pk
+		s.outPkgs[f.Source] += pk
+		if f.Target != psdf.SystemOutput {
+			s.inPkgs[f.Target] += pk
+		}
+		byOrder[f.Order] = append(byOrder[f.Order], FlowID(i))
+	}
+	orders := make([]int, 0, len(byOrder))
+	for t := range byOrder {
+		orders = append(orders, t)
+	}
+	sort.Ints(orders)
+	for _, t := range orders {
+		s.stages = append(s.stages, Stage{Order: t, Flows: byOrder[t]})
+	}
+	return s, nil
+}
+
+// Flows returns the canonical flow list. The slice must not be
+// mutated.
+func (s *Schedule) Flows() []psdf.Flow { return s.flows }
+
+// Flow returns the flow with the given id.
+func (s *Schedule) Flow(id FlowID) psdf.Flow { return s.flows[id] }
+
+// NumFlows returns the number of flows in the schedule.
+func (s *Schedule) NumFlows() int { return len(s.flows) }
+
+// Packages returns the number of packages flow id transfers.
+func (s *Schedule) Packages(id FlowID) int { return s.packages[id] }
+
+// TotalPackages returns the total number of package transfers in the
+// schedule.
+func (s *Schedule) TotalPackages() int {
+	n := 0
+	for _, p := range s.packages {
+		n += p
+	}
+	return n
+}
+
+// Stages returns the ordered stage list. The slice must not be
+// mutated.
+func (s *Schedule) Stages() []Stage { return s.stages }
+
+// NumStages returns the number of stages.
+func (s *Schedule) NumStages() int { return len(s.stages) }
+
+// InputPackages returns the total number of packages process p
+// receives over the whole execution.
+func (s *Schedule) InputPackages(p psdf.ProcessID) int { return s.inPkgs[p] }
+
+// OutputPackages returns the total number of packages process p emits
+// over the whole execution.
+func (s *Schedule) OutputPackages(p psdf.ProcessID) int { return s.outPkgs[p] }
+
+// InputsRequired returns how many input packages process p must have
+// received before it may emit its k-th output package (1-based k),
+// under proportional packet-SDF firing. Source processes (no inputs)
+// require zero.
+func (s *Schedule) InputsRequired(p psdf.ProcessID, k int) int {
+	in := s.inPkgs[p]
+	out := s.outPkgs[p]
+	if in == 0 || out == 0 {
+		return 0
+	}
+	if k >= out {
+		return in
+	}
+	// ceil(k*in/out) without floating point.
+	return (k*in + out - 1) / out
+}
+
+// StageOf returns the index (into Stages) of the stage containing flow
+// id.
+func (s *Schedule) StageOf(id FlowID) int {
+	order := s.flows[id].Order
+	for i, st := range s.stages {
+		if st.Order == order {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sched: flow %d not in any stage", id))
+}
+
+// Validate cross-checks the schedule's internal consistency. It is
+// used by property tests and returns a descriptive error on the first
+// inconsistency found.
+func (s *Schedule) Validate() error {
+	seen := make(map[FlowID]bool)
+	prevOrder := -1 << 62
+	for _, st := range s.stages {
+		if st.Order <= prevOrder {
+			return fmt.Errorf("sched: stage orders not strictly increasing (%d after %d)", st.Order, prevOrder)
+		}
+		prevOrder = st.Order
+		if len(st.Flows) == 0 {
+			return fmt.Errorf("sched: empty stage with order %d", st.Order)
+		}
+		for _, id := range st.Flows {
+			if int(id) < 0 || int(id) >= len(s.flows) {
+				return fmt.Errorf("sched: stage %d references unknown flow %d", st.Order, id)
+			}
+			if s.flows[id].Order != st.Order {
+				return fmt.Errorf("sched: flow %v filed under stage %d", s.flows[id], st.Order)
+			}
+			if seen[id] {
+				return fmt.Errorf("sched: flow %d appears in two stages", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != len(s.flows) {
+		return fmt.Errorf("sched: %d flows staged, model has %d", len(seen), len(s.flows))
+	}
+	return nil
+}

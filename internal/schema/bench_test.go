@@ -1,0 +1,37 @@
+package schema
+
+import (
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/m2t"
+)
+
+// BenchmarkParsePSDF measures the emulator set-up parse of the MP3
+// scheme.
+func BenchmarkParsePSDF(b *testing.B) {
+	data, err := m2t.GeneratePSDF(apps.MP3Model())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePSDF(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParsePSM measures the platform reconstruction.
+func BenchmarkParsePSM(b *testing.B) {
+	data, err := m2t.GeneratePSM(apps.MP3Platform3(36))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePSM(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package schema
+
+import (
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/m2t"
+)
+
+// FuzzParsePSDF feeds arbitrary bytes to the scheme parser: it must
+// never panic, and anything it accepts must be a valid model.
+func FuzzParsePSDF(f *testing.F) {
+	if data, err := m2t.GeneratePSDF(apps.MP3Model()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`<xs:schema xmlns:xs="x"><xs:element name="a" type="App"/></xs:schema>`))
+	f.Add([]byte(``))
+	f.Add([]byte(`<<<>>>`))
+	f.Add([]byte(`<xs:schema xmlns:xs="x"><xs:annotation><xs:appinfo>nominalPackageSize=36</xs:appinfo></xs:annotation></xs:schema>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParsePSDF(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted an invalid model: %v", err)
+		}
+	})
+}
+
+// FuzzParsePSM likewise for platform schemes.
+func FuzzParsePSM(f *testing.F) {
+	if data, err := m2t.GeneratePSM(apps.MP3Platform3(36)); err == nil {
+		f.Add(data)
+	}
+	if data, err := m2t.GeneratePSM(apps.MP3Platform1(18)); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(``))
+	f.Add([]byte(`<xs:schema xmlns:xs="x"><xs:element name="sbp" type="SBP"/></xs:schema>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePSM(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted an invalid platform: %v", err)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package schema
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/m2t"
+	"segbus/internal/platform"
+)
+
+func TestParsePSDFRoundTrip(t *testing.T) {
+	m := apps.MP3Model()
+	data, err := m2t.GeneratePSDF(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePSDF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumProcesses() != m.NumProcesses() {
+		t.Errorf("processes: %d vs %d", got.NumProcesses(), m.NumProcesses())
+	}
+	if got.NominalPackageSize() != m.NominalPackageSize() {
+		t.Errorf("nominal: %d vs %d", got.NominalPackageSize(), m.NominalPackageSize())
+	}
+	gf, mf := got.Flows(), m.Flows()
+	if len(gf) != len(mf) {
+		t.Fatalf("flows: %d vs %d", len(gf), len(mf))
+	}
+	for i := range gf {
+		if gf[i] != mf[i] {
+			t.Errorf("flow %d: %v vs %v", i, gf[i], mf[i])
+		}
+	}
+	if !got.CommunicationMatrix().Equal(m.CommunicationMatrix()) {
+		t.Error("communication matrices diverge after round trip")
+	}
+}
+
+func TestParsePSMRoundTrip(t *testing.T) {
+	for _, build := range []func(int) *platform.Platform{
+		apps.MP3Platform1, apps.MP3Platform2, apps.MP3Platform3, apps.MP3Platform3MovedP9,
+	} {
+		p := build(36)
+		data, err := m2t.GeneratePSM(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParsePSM(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumSegments() != p.NumSegments() {
+			t.Errorf("%s: segments %d vs %d", p.Name, got.NumSegments(), p.NumSegments())
+		}
+		if got.String() != p.String() {
+			t.Errorf("%s: allocation %q vs %q", p.Name, got.String(), p.String())
+		}
+		if got.PackageSize != p.PackageSize || got.HeaderTicks != p.HeaderTicks || got.CAHopTicks != p.CAHopTicks {
+			t.Errorf("%s: protocol constants lost", p.Name)
+		}
+		if got.CAClock != p.CAClock {
+			t.Errorf("%s: CA clock %v vs %v", p.Name, got.CAClock, p.CAClock)
+		}
+		for i := range p.Segments {
+			if got.Segments[i].Clock != p.Segments[i].Clock {
+				t.Errorf("%s: segment %d clock %v vs %v", p.Name, i+1, got.Segments[i].Clock, p.Segments[i].Clock)
+			}
+		}
+	}
+}
+
+func TestParsePSMPreservesFUKinds(t *testing.T) {
+	p := platform.New("kinds", 100*platform.MHz, 36)
+	s := p.AddSegment(90 * platform.MHz)
+	s.FUs = append(s.FUs,
+		platform.FU{Process: 0, Kind: platform.MasterOnly},
+		platform.FU{Process: 1, Kind: platform.SlaveOnly},
+		platform.FU{Process: 2, Kind: platform.MasterSlave},
+	)
+	data, err := m2t.GeneratePSM(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePSM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := got.Segment(1)
+	kinds := map[int]platform.FUKind{}
+	for _, fu := range seg.FUs {
+		kinds[int(fu.Process)] = fu.Kind
+	}
+	if kinds[0] != platform.MasterOnly || kinds[1] != platform.SlaveOnly || kinds[2] != platform.MasterSlave {
+		t.Errorf("kinds lost: %v", kinds)
+	}
+}
+
+func TestRandomModelRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		m := apps.RandomModel(rng, 4, 3, 36)
+		p := apps.RandomPlatform(rng, m, 3, 36)
+		p.HeaderTicks = rng.Intn(30)
+		p.CAHopTicks = rng.Intn(30)
+
+		pd, err := m2t.GeneratePSDF(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, err := ParsePSDF(pd)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, pd)
+		}
+		if gm.NumFlows() != m.NumFlows() || gm.TotalItems() != m.TotalItems() {
+			t.Fatalf("trial %d: PSDF round trip lost flows", trial)
+		}
+
+		pm, err := m2t.GeneratePSM(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := ParsePSM(pm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if gp.String() != p.String() {
+			t.Fatalf("trial %d: PSM round trip changed allocation", trial)
+		}
+	}
+}
+
+func TestParsePSDFErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":     `<<<`,
+		"no root":     `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"></xs:schema>`,
+		"bad type":    `<xs:schema xmlns:xs="x"><xs:element name="a" type="App"/></xs:schema>`,
+		"bad process": `<xs:schema xmlns:xs="x"><xs:element name="a" type="App"/><xs:complexType name="App"><xs:all><xs:element name="q0" type="Q0"/></xs:all></xs:complexType></xs:schema>`,
+		"bad flow":    `<xs:schema xmlns:xs="x"><xs:element name="a" type="App"/><xs:complexType name="App"><xs:all><xs:element name="p0" type="P0"/></xs:all></xs:complexType><xs:complexType name="P0"><xs:all><xs:element name="garbage" type="Transfer"/></xs:all></xs:complexType></xs:schema>`,
+		"invalid":     `<xs:schema xmlns:xs="x"><xs:element name="a" type="App"/><xs:complexType name="App"><xs:all><xs:element name="p0" type="P0"/></xs:all></xs:complexType><xs:complexType name="P0"></xs:complexType></xs:schema>`,
+		"bad appinfo": `<xs:schema xmlns:xs="x"><xs:annotation><xs:appinfo>nominalPackageSize=abc</xs:appinfo></xs:annotation><xs:element name="a" type="App"/></xs:schema>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParsePSDF([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParsePSMErrors(t *testing.T) {
+	valid, err := m2t.GeneratePSM(apps.MP3Platform3(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"not xml":          `<<<`,
+		"no root":          `<xs:schema xmlns:xs="x"></xs:schema>`,
+		"missing caClock":  strings.Replace(string(valid), "caClockHz", "weirdKey", 1),
+		"missing pkg":      strings.Replace(string(valid), "packageSize", "otherKey", 1),
+		"missing segclock": strings.Replace(string(valid), "clockHz=91000000", "nothing=1", 1),
+		"bad appinfo":      strings.Replace(string(valid), "caClockHz=111000000", "caClockHz=xyz", 1),
+		"bad segment name": strings.Replace(string(valid), `name="segment1"`, `name="segmentX"`, 1),
+		"gap in indices":   strings.Replace(string(valid), `name="segment2"`, `name="segment7"`, 1),
+		"bad process":      strings.Replace(string(valid), `name="p4" type="P4"`, `name="p4" type="??"`, 1),
+	}
+	for name, doc := range cases {
+		if _, err := ParsePSM([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParsePSMToleratesMissingFUTypes(t *testing.T) {
+	// A document that omits process complexTypes defaults FU kinds to
+	// master+slave.
+	doc := `<xs:schema xmlns:xs="x">
+<xs:element name="sbp" type="SBP"/>
+<xs:complexType name="SBP">
+  <xs:annotation><xs:appinfo>caClockHz=100000000</xs:appinfo><xs:appinfo>packageSize=36</xs:appinfo></xs:annotation>
+  <xs:all><xs:element name="segment1" type="Segment1"/><xs:element name="ca" type="CA"/></xs:all>
+</xs:complexType>
+<xs:complexType name="Segment1">
+  <xs:annotation><xs:appinfo>clockHz=90000000</xs:appinfo></xs:annotation>
+  <xs:all><xs:element name="p0" type="P0"/><xs:element name="arbiter" type="SA1"/></xs:all>
+</xs:complexType>
+</xs:schema>`
+	p, err := ParsePSM([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Segment(1).FUs[0].Kind != platform.MasterSlave {
+		t.Errorf("default kind = %v", p.Segment(1).FUs[0].Kind)
+	}
+}
+
+func TestParseToleratesDifferentNamespacePrefixes(t *testing.T) {
+	// External tools may use "xsd:" (or any prefix) instead of "xs:";
+	// parsing matches local names.
+	valid, err := m2t.GeneratePSM(apps.MP3Platform1(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.ReplaceAll(string(valid), "xs:", "xsd:")
+	doc = strings.ReplaceAll(doc, "xmlns:xsd=", "xmlns:xsd=")
+	p, err := ParsePSM([]byte(doc))
+	if err != nil {
+		t.Fatalf("xsd-prefixed document rejected: %v", err)
+	}
+	if p.NumSegments() != 1 {
+		t.Error("content lost")
+	}
+
+	pd, err := m2t.GeneratePSDF(apps.MP3Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParsePSDF([]byte(strings.ReplaceAll(string(pd), "xs:", "xsd:")))
+	if err != nil {
+		t.Fatalf("xsd-prefixed PSDF rejected: %v", err)
+	}
+	if m.NumFlows() != 20 {
+		t.Error("flows lost")
+	}
+}

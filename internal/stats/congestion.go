@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"segbus/internal/emulator"
+)
+
+// Congestion quantifies a border unit as a communication bottleneck,
+// the analysis the paper's conclusion asks the designer to perform
+// ("the granularity level of application components can be balanced
+// in order to eliminate the traffic congestion located at certain
+// BUs"): the waiting period share of the unit's total ticks, and how
+// the mean wait compares to the package size.
+type Congestion struct {
+	Name       string
+	Packages   int
+	MeanWP     float64 // mean waiting period per package (ticks)
+	WaitShare  float64 // WaitTicks / TCT
+	WPOverSize float64 // MeanWP / package size: 1.0 is the paper's worst case
+	Congested  bool    // heuristic flag: waiting rivals transferring
+}
+
+// congestionThreshold marks a unit congested when its packages wait,
+// on average, at least a quarter of a package transfer.
+const congestionThreshold = 0.25
+
+// Congestions ranks the report's border units by waiting share,
+// worst first.
+func Congestions(r *emulator.Report) []Congestion {
+	out := make([]Congestion, 0, len(r.BUs))
+	for _, bu := range r.BUs {
+		c := Congestion{Name: bu.Name, Packages: bu.InPackages}
+		if bu.InPackages > 0 {
+			c.MeanWP = float64(bu.WaitTicks) / float64(bu.InPackages)
+		}
+		if bu.TCT > 0 {
+			c.WaitShare = float64(bu.WaitTicks) / float64(bu.TCT)
+		}
+		if r.PackageSize > 0 {
+			c.WPOverSize = c.MeanWP / float64(r.PackageSize)
+		}
+		c.Congested = c.WPOverSize >= congestionThreshold
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].WaitShare != out[j].WaitShare {
+			return out[i].WaitShare > out[j].WaitShare
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CongestionReport renders the ranking with a verdict line per unit.
+func CongestionReport(r *emulator.Report) string {
+	cs := Congestions(r)
+	if len(cs) == 0 {
+		return "no border units (single-segment platform)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %10s %10s %10s  %s\n", "BU", "pkgs", "meanWP", "wait%", "WP/size", "verdict")
+	for _, c := range cs {
+		verdict := "ok"
+		if c.Congested {
+			verdict = "CONGESTED — consider rebalancing the processes around this unit"
+		}
+		fmt.Fprintf(&b, "%-6s %8d %10.1f %10.1f %10.2f  %s\n",
+			c.Name, c.Packages, c.MeanWP, 100*c.WaitShare, c.WPOverSize, verdict)
+	}
+	return b.String()
+}

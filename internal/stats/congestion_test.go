@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+func TestCongestionsMP3IsHealthy(t *testing.T) {
+	r := run3seg(t)
+	cs := Congestions(r)
+	if len(cs) != 2 {
+		t.Fatalf("units = %d", len(cs))
+	}
+	// The paper's configuration has mean waiting periods of ~1 tick
+	// against a 36-item package: nothing congested.
+	for _, c := range cs {
+		if c.Congested {
+			t.Errorf("%s flagged congested with meanWP %.1f", c.Name, c.MeanWP)
+		}
+		if c.WPOverSize > 0.1 {
+			t.Errorf("%s WP/size = %.2f, expected tiny", c.Name, c.WPOverSize)
+		}
+	}
+}
+
+func TestCongestionsDetectContention(t *testing.T) {
+	// Saturate segment 2's bus with local traffic while segment 1
+	// streams packages into BU12 concurrently: loaded packages must
+	// wait out the residual of whatever transaction occupies the slow
+	// downstream bus. The clock domains differ so the two streams
+	// cannot fall into lockstep.
+	m := psdf.NewModel("congest")
+	m.AddFlow(psdf.Flow{Source: 0, Target: 2, Items: 360, Order: 1, Ticks: 0})
+	m.AddFlow(psdf.Flow{Source: 3, Target: 4, Items: 1440, Order: 1, Ticks: 0})
+	p := platform.New("two", 100*platform.MHz, 36)
+	p.AddSegment(100*platform.MHz, 0, 1)
+	p.AddSegment(50*platform.MHz, 2, 3, 4)
+	// P1 needs something to do so it is part of the application.
+	m.AddFlow(psdf.Flow{Source: 0, Target: 1, Items: 36, Order: 2, Ticks: 0})
+	r, err := emulator.Run(m, p, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Congestions(r)
+	if len(cs) != 1 {
+		t.Fatalf("units = %d", len(cs))
+	}
+	if !cs[0].Congested {
+		t.Errorf("saturated downstream bus not flagged: %+v", cs[0])
+	}
+	if cs[0].MeanWP < float64(r.PackageSize)*congestionThreshold {
+		t.Errorf("meanWP %.1f below threshold yet expected congestion", cs[0].MeanWP)
+	}
+}
+
+func TestCongestionsRankedWorstFirst(t *testing.T) {
+	r := run3seg(t)
+	cs := Congestions(r)
+	for i := 1; i < len(cs); i++ {
+		if cs[i].WaitShare > cs[i-1].WaitShare {
+			t.Error("not ranked by wait share")
+		}
+	}
+}
+
+func TestCongestionReportRendering(t *testing.T) {
+	r := run3seg(t)
+	s := CongestionReport(r)
+	for _, want := range []string{"BU12", "BU23", "verdict", "ok"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	one, err := emulator.Run(apps.MP3Model(), apps.MP3Platform1(36), emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(CongestionReport(one), "no border units") {
+		t.Error("single-segment case not handled")
+	}
+}

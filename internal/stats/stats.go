@@ -1,0 +1,175 @@
+// Package stats analyses emulation reports: the border-unit
+// useful-period / waiting-period decomposition of section 4, the
+// estimation-accuracy computation of the paper's three experiments,
+// and tabular renderings of configuration comparisons.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"segbus/internal/emulator"
+)
+
+// BUAnalysis is the section-4 decomposition of a border unit's total
+// clock ticks: the useful period UP (loading plus unloading every
+// package, 2·s ticks per full package), the accumulated waiting
+// period, and the mean waiting period per transfer.
+type BUAnalysis struct {
+	Name        string
+	Packages    int   // packages that crossed the unit
+	UP          int64 // useful period: load + unload ticks
+	TCT         int64 // total clock ticks (UP + waiting)
+	WaitTicks   int64 // total waiting ticks (WP accumulated)
+	MeanWP      float64
+	UtilPercent float64 // UP / TCT
+}
+
+// AnalyzeBU decomposes one border unit's counters.
+func AnalyzeBU(bu emulator.BUStats) BUAnalysis {
+	a := BUAnalysis{
+		Name:      bu.Name,
+		Packages:  bu.InPackages,
+		UP:        bu.LoadTicks + bu.UnloadTicks,
+		TCT:       bu.TCT,
+		WaitTicks: bu.WaitTicks,
+	}
+	if bu.InPackages > 0 {
+		a.MeanWP = float64(bu.WaitTicks) / float64(bu.InPackages)
+	}
+	if a.TCT > 0 {
+		a.UtilPercent = 100 * float64(a.UP) / float64(a.TCT)
+	}
+	return a
+}
+
+// AnalyzeBUs decomposes every border unit of a report, left to right.
+func AnalyzeBUs(r *emulator.Report) []BUAnalysis {
+	out := make([]BUAnalysis, 0, len(r.BUs))
+	for _, bu := range r.BUs {
+		out = append(out, AnalyzeBU(bu))
+	}
+	return out
+}
+
+// Accuracy is one estimated-versus-actual comparison, as the paper
+// reports for its three experiments.
+type Accuracy struct {
+	Label       string
+	EstimatedPs int64
+	ActualPs    int64
+}
+
+// Percent returns the estimation accuracy as a percentage: the ratio
+// of the smaller to the larger execution time × 100 (the emulator
+// normally under-estimates).
+func (a Accuracy) Percent() float64 {
+	if a.ActualPs == 0 || a.EstimatedPs == 0 {
+		return 0
+	}
+	r := float64(a.EstimatedPs) / float64(a.ActualPs)
+	if r > 1 {
+		r = 1 / r
+	}
+	return 100 * r
+}
+
+// ErrorPs returns the absolute estimation error in picoseconds.
+func (a Accuracy) ErrorPs() int64 {
+	d := a.ActualPs - a.EstimatedPs
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// String renders one comparison line in the paper's style.
+func (a Accuracy) String() string {
+	return fmt.Sprintf("%s: estimated %.2fus, actual %.2fus, accuracy %.1f%%",
+		a.Label, float64(a.EstimatedPs)/1e6, float64(a.ActualPs)/1e6, a.Percent())
+}
+
+// Compare builds the Accuracy record for a pair of reports of the
+// same configuration (estimation model and refined model).
+func Compare(label string, estimated, actual *emulator.Report) Accuracy {
+	return Accuracy{
+		Label:       label,
+		EstimatedPs: int64(estimated.ExecutionTimePs),
+		ActualPs:    int64(actual.ExecutionTimePs),
+	}
+}
+
+// ConfigResult is one row of a configuration-ranking table.
+type ConfigResult struct {
+	Label           string
+	Allocation      string
+	Segments        int
+	PackageSize     int
+	ExecutionTimePs int64
+	InterSegmentPkg int // packages that crossed at least one border unit
+}
+
+// RowFromReport extracts a ranking row from an emulation report.
+func RowFromReport(label string, r *emulator.Report) ConfigResult {
+	inter := 0
+	for _, s := range r.Segments {
+		inter += s.ToLeft + s.ToRight
+	}
+	return ConfigResult{
+		Label:           label,
+		Allocation:      r.Platform,
+		Segments:        len(r.SAs),
+		PackageSize:     r.PackageSize,
+		ExecutionTimePs: int64(r.ExecutionTimePs),
+		InterSegmentPkg: inter,
+	}
+}
+
+// RankTable renders configuration results sorted by execution time
+// (fastest first) as a fixed-width text table for the designer's
+// configuration decision.
+func RankTable(rows []ConfigResult) string {
+	sorted := make([]ConfigResult, len(rows))
+	copy(sorted, rows)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].ExecutionTimePs != sorted[j].ExecutionTimePs {
+			return sorted[i].ExecutionTimePs < sorted[j].ExecutionTimePs
+		}
+		return sorted[i].Label < sorted[j].Label
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %4s %5s %12s %10s  %s\n", "configuration", "segs", "pkg", "exec (us)", "inter-pkgs", "allocation")
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-24s %4d %5d %12.2f %10d  %s\n",
+			r.Label, r.Segments, r.PackageSize, float64(r.ExecutionTimePs)/1e6, r.InterSegmentPkg, r.Allocation)
+	}
+	return b.String()
+}
+
+// BUTable renders the border-unit analysis in the section-4 layout
+// (UP, TCT, mean WP per unit).
+func BUTable(as []BUAnalysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %10s %10s %8s %8s\n", "BU", "pkgs", "UP", "TCT", "meanWP", "util%")
+	for _, a := range as {
+		fmt.Fprintf(&b, "%-6s %8d %10d %10d %8.1f %8.1f\n", a.Name, a.Packages, a.UP, a.TCT, a.MeanWP, a.UtilPercent)
+	}
+	return b.String()
+}
+
+// StageTable renders the schedule-stage timing of a report: when each
+// ordering number's flows became eligible, how long the stage ran and
+// how many packages it delivered — the breakdown behind the Figure 10
+// timeline.
+func StageTable(r *emulator.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %8s %12s %12s %12s\n", "order", "pkgs", "start (us)", "end (us)", "span (us)")
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "%-7d %8d %12.2f %12.2f %12.2f\n",
+			st.Order, st.Packages,
+			float64(st.StartPs)/1e6, float64(st.EndPs)/1e6,
+			float64(st.EndPs-st.StartPs)/1e6)
+	}
+	return b.String()
+}

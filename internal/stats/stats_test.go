@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+)
+
+func TestAnalyzeBU(t *testing.T) {
+	bu := emulator.BUStats{
+		Name:        "BU12",
+		InPackages:  32,
+		LoadTicks:   1152,
+		UnloadTicks: 1152,
+		WaitTicks:   32,
+		TCT:         2336,
+	}
+	a := AnalyzeBU(bu)
+	if a.UP != 2304 {
+		t.Errorf("UP = %d", a.UP)
+	}
+	if a.MeanWP != 1.0 {
+		t.Errorf("MeanWP = %v", a.MeanWP)
+	}
+	if a.UtilPercent < 98 || a.UtilPercent > 99 {
+		t.Errorf("UtilPercent = %v", a.UtilPercent)
+	}
+}
+
+func TestAnalyzeBUEmpty(t *testing.T) {
+	a := AnalyzeBU(emulator.BUStats{Name: "BU12"})
+	if a.MeanWP != 0 || a.UtilPercent != 0 {
+		t.Errorf("empty analysis = %+v", a)
+	}
+}
+
+func TestAccuracyPercent(t *testing.T) {
+	a := Accuracy{Label: "x", EstimatedPs: 489_792_303, ActualPs: 515_200_000}
+	if got := a.Percent(); got < 95.0 || got > 95.2 {
+		t.Errorf("Percent() = %v, want ~95.07 (the paper's headline)", got)
+	}
+	if got := a.ErrorPs(); got != 25_407_697 {
+		t.Errorf("ErrorPs() = %d", got)
+	}
+	// Over-estimation folds symmetrically.
+	b := Accuracy{EstimatedPs: 110, ActualPs: 100}
+	if got := b.Percent(); got < 90.8 || got > 91.0 {
+		t.Errorf("over-estimate Percent() = %v", got)
+	}
+	if (Accuracy{}).Percent() != 0 {
+		t.Error("zero accuracy not handled")
+	}
+}
+
+func TestAccuracyString(t *testing.T) {
+	a := Accuracy{Label: "3seg/s36", EstimatedPs: 489_790_000, ActualPs: 515_200_000}
+	s := a.String()
+	for _, want := range []string{"3seg/s36", "489.79us", "515.20us", "95."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func run3seg(t *testing.T) *emulator.Report {
+	t.Helper()
+	r, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyzeBUsFromReport(t *testing.T) {
+	r := run3seg(t)
+	as := AnalyzeBUs(r)
+	if len(as) != 2 || as[0].Name != "BU12" || as[1].Name != "BU23" {
+		t.Fatalf("AnalyzeBUs = %v", as)
+	}
+	if as[0].UP != 2304 || as[1].UP != 144 {
+		t.Errorf("UP values = %d/%d, want 2304/144 (paper section 4)", as[0].UP, as[1].UP)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	est := run3seg(t)
+	a := Compare("x", est, est)
+	if a.Percent() != 100 {
+		t.Errorf("self-comparison = %v%%", a.Percent())
+	}
+}
+
+func TestRowFromReportAndRankTable(t *testing.T) {
+	r := run3seg(t)
+	row := RowFromReport("3seg", r)
+	if row.Segments != 3 || row.PackageSize != 36 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.InterSegmentPkg != 33 { // 32 rightward from seg1 + 1 leftward from seg3
+		t.Errorf("InterSegmentPkg = %d, want 33", row.InterSegmentPkg)
+	}
+	rows := []ConfigResult{
+		{Label: "slow", ExecutionTimePs: 900e6},
+		{Label: "fast", ExecutionTimePs: 100e6},
+		{Label: "mid", ExecutionTimePs: 500e6},
+	}
+	table := RankTable(rows)
+	iFast := strings.Index(table, "fast")
+	iMid := strings.Index(table, "mid")
+	iSlow := strings.Index(table, "slow")
+	if !(iFast < iMid && iMid < iSlow) {
+		t.Errorf("RankTable not sorted:\n%s", table)
+	}
+}
+
+func TestBUTable(t *testing.T) {
+	r := run3seg(t)
+	table := BUTable(AnalyzeBUs(r))
+	for _, want := range []string{"BU12", "BU23", "2304", "144", "meanWP"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("BUTable missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestStageTable(t *testing.T) {
+	r := run3seg(t)
+	table := StageTable(r)
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 17 { // header + 16 stages
+		t.Fatalf("rows = %d:\n%s", len(lines), table)
+	}
+	if !strings.Contains(lines[0], "span") {
+		t.Error("header missing")
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"segbus/internal/emulator"
+	"segbus/internal/trace"
+)
+
+// Utilisation summarises how busy each platform element was over the
+// run: the fraction of the total execution time the element spent
+// active. Segment figures come from the trace's bus-occupancy
+// intervals; arbiter figures from the TCT monitoring counters.
+type Utilisation struct {
+	Element     string
+	BusyPs      int64
+	TotalPs     int64
+	BusyPercent float64
+}
+
+// Utilisations derives the per-element utilisation table from a
+// report and its trace. Elements with no recorded activity are
+// reported at zero rather than omitted, so bottleneck analysis sees
+// the idle elements too.
+func Utilisations(r *emulator.Report, tr *trace.Trace) []Utilisation {
+	total := int64(r.ExecutionTimePs)
+	if total <= 0 {
+		return nil
+	}
+	var out []Utilisation
+	add := func(element string, busy int64) {
+		u := Utilisation{Element: element, BusyPs: busy, TotalPs: total}
+		if busy > 0 {
+			u.BusyPercent = 100 * float64(busy) / float64(total)
+		}
+		out = append(out, u)
+	}
+	for _, sa := range r.SAs {
+		add(fmt.Sprintf("Segment %d", sa.Segment), tr.BusyTime(fmt.Sprintf("Segment %d", sa.Segment)))
+	}
+	for _, bu := range r.BUs {
+		add(bu.Name, tr.BusyTime(bu.Name))
+	}
+	for _, ps := range r.Processes {
+		add(ps.Process.String(), tr.BusyTime(ps.Process.String()))
+	}
+	return out
+}
+
+// UtilisationTable renders the utilisation rows as fixed-width text,
+// busiest first.
+func UtilisationTable(us []Utilisation) string {
+	rows := make([]Utilisation, len(us))
+	copy(rows, us)
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].BusyPercent > rows[i].BusyPercent ||
+				(rows[j].BusyPercent == rows[i].BusyPercent && rows[j].Element < rows[i].Element) {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %8s\n", "element", "busy (us)", "busy%")
+	for _, u := range rows {
+		fmt.Fprintf(&b, "%-12s %12.2f %8.1f\n", u.Element, float64(u.BusyPs)/1e6, u.BusyPercent)
+	}
+	return b.String()
+}

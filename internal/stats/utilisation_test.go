@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/trace"
+)
+
+func TestUtilisations(t *testing.T) {
+	tr := &trace.Trace{}
+	r, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := Utilisations(r, tr)
+	byName := map[string]Utilisation{}
+	for _, u := range us {
+		byName[u.Element] = u
+		if u.BusyPercent < 0 || u.BusyPercent > 100 {
+			t.Errorf("%s: %v%% out of range", u.Element, u.BusyPercent)
+		}
+		if u.TotalPs != int64(r.ExecutionTimePs) {
+			t.Errorf("%s: total mismatch", u.Element)
+		}
+	}
+	// All three segments, both BUs and all fifteen processes appear.
+	if len(us) != 3+2+15 {
+		t.Fatalf("rows = %d, want 20", len(us))
+	}
+	// Segment 2 hosts the long output chain: it must be the busiest
+	// segment.
+	if byName["Segment 2"].BusyPercent <= byName["Segment 3"].BusyPercent {
+		t.Error("segment business ordering surprising")
+	}
+	// P3 (stereo processing, 32 output packages) works more than P4
+	// (one package).
+	if byName["P3"].BusyPs <= byName["P4"].BusyPs {
+		t.Error("process business ordering surprising")
+	}
+}
+
+func TestUtilisationsEmpty(t *testing.T) {
+	if got := Utilisations(&emulator.Report{}, nil); got != nil {
+		t.Errorf("empty report produced rows: %v", got)
+	}
+}
+
+func TestUtilisationTable(t *testing.T) {
+	us := []Utilisation{
+		{Element: "idle", BusyPs: 0, TotalPs: 100, BusyPercent: 0},
+		{Element: "busy", BusyPs: 90, TotalPs: 100, BusyPercent: 90},
+	}
+	table := UtilisationTable(us)
+	if !strings.Contains(table, "busy%") {
+		t.Error("header missing")
+	}
+	if strings.Index(table, "busy") > strings.Index(table, "idle") {
+		t.Errorf("not sorted busiest-first:\n%s", table)
+	}
+}

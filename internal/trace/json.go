@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// jsonDoc is the JSON export shape: a stable, versioned structure for
+// external tooling.
+type jsonDoc struct {
+	Version   int            `json:"version"`
+	EndPs     int64          `json:"end_ps"`
+	Intervals []jsonInterval `json:"intervals"`
+	Marks     []Mark         `json:"marks"`
+}
+
+type jsonInterval struct {
+	Element string `json:"element"`
+	Kind    string `json:"kind"`
+	StartPs int64  `json:"start_ps"`
+	EndPs   int64  `json:"end_ps"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// JSON renders the trace as a versioned JSON document, intervals
+// sorted by start time, for consumption by external plotting or
+// analysis tools.
+func (t *Trace) JSON() ([]byte, error) {
+	doc := jsonDoc{Version: 1}
+	if t != nil {
+		doc.EndPs = t.End()
+		ivs := make([]Interval, len(t.Intervals))
+		copy(ivs, t.Intervals)
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].Start != ivs[j].Start {
+				return ivs[i].Start < ivs[j].Start
+			}
+			if ivs[i].Element != ivs[j].Element {
+				return ivs[i].Element < ivs[j].Element
+			}
+			return ivs[i].End < ivs[j].End
+		})
+		doc.Intervals = make([]jsonInterval, 0, len(ivs))
+		for _, iv := range ivs {
+			doc.Intervals = append(doc.Intervals, jsonInterval{
+				Element: iv.Element,
+				Kind:    iv.Kind.String(),
+				StartPs: iv.Start,
+				EndPs:   iv.End,
+				Detail:  iv.Detail,
+			})
+		}
+		doc.Marks = append(doc.Marks, t.Marks...)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("trace: encoding JSON: %w", err)
+	}
+	return data, nil
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders the progress-on-time view of Figure 10: one line
+// per process with its first activity, last activity and any marks,
+// expressed in microseconds.
+func (t *Trace) Timeline() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, el := range t.Elements() {
+		if !strings.HasPrefix(el, "P") {
+			continue
+		}
+		ivs := t.ElementIntervals(el)
+		if len(ivs) == 0 {
+			for _, m := range t.Marks {
+				if m.Element == el {
+					fmt.Fprintf(&b, "%-4s %s at %.2fus\n", el, m.Label, float64(m.At)/1e6)
+				}
+			}
+			continue
+		}
+		start := ivs[0].Start
+		end := ivs[0].End
+		for _, iv := range ivs[1:] {
+			if iv.End > end {
+				end = iv.End
+			}
+		}
+		fmt.Fprintf(&b, "%-4s start %10.2fus  end %10.2fus\n", el, float64(start)/1e6, float64(end)/1e6)
+	}
+	return b.String()
+}
+
+// Gantt renders a fixed-width text activity graph (the Figure 11
+// view): one row per element, time bucketed into width columns, a '#'
+// where the element was busy during the bucket and '.' where idle.
+func (t *Trace) Gantt(width int) string {
+	if t == nil || width <= 0 {
+		return ""
+	}
+	end := t.End()
+	if end == 0 {
+		return ""
+	}
+	bucket := (end + int64(width) - 1) / int64(width)
+	if bucket == 0 {
+		bucket = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s 0%s%.2fus\n", "", strings.Repeat(" ", width-len(fmt.Sprintf("%.2fus", float64(end)/1e6))), float64(end)/1e6)
+	for _, el := range t.Elements() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, iv := range t.ElementIntervals(el) {
+			lo := int(iv.Start / bucket)
+			hi := int((iv.End - 1) / bucket)
+			if iv.End <= iv.Start {
+				hi = lo
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-10s %s\n", el, row)
+	}
+	return b.String()
+}
+
+// CSV renders all intervals as comma-separated records
+// (element,kind,start_ps,end_ps,detail), sorted by start time, with a
+// header row — suitable for external plotting of Figures 10 and 11.
+func (t *Trace) CSV() string {
+	if t == nil {
+		return "element,kind,start_ps,end_ps,detail\n"
+	}
+	ivs := make([]Interval, len(t.Intervals))
+	copy(ivs, t.Intervals)
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Start != ivs[j].Start {
+			return ivs[i].Start < ivs[j].Start
+		}
+		if ivs[i].Element != ivs[j].Element {
+			return ivs[i].Element < ivs[j].Element
+		}
+		return ivs[i].End < ivs[j].End
+	})
+	var b strings.Builder
+	b.WriteString("element,kind,start_ps,end_ps,detail\n")
+	for _, iv := range ivs {
+		detail := strings.ReplaceAll(iv.Detail, ",", ";")
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%s\n", iv.Element, iv.Kind, iv.Start, iv.End, detail)
+	}
+	return b.String()
+}
+
+// MarksReport renders the point events, sorted by time, in the style
+// of the paper's report lines ("P14 received last package at
+// 460435092ps").
+func (t *Trace) MarksReport() string {
+	if t == nil {
+		return ""
+	}
+	ms := make([]Mark, len(t.Marks))
+	copy(ms, t.Marks)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].At != ms[j].At {
+			return ms[i].At < ms[j].At
+		}
+		return ms[i].Element < ms[j].Element
+	})
+	var b strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&b, "%s %s at %dps\n", m.Element, m.Label, m.At)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SVG rendering of the two evaluation figures: the per-process
+// progress timeline (Figure 10) and the per-element activity graph
+// (Figure 11). The output is self-contained SVG 1.1 built with the
+// standard library only, suitable for embedding in reports.
+
+// kindFill returns the fill colour of an interval kind.
+func kindFill(k Kind) string {
+	switch k {
+	case Compute:
+		return "#4878a8"
+	case Transfer:
+		return "#58a066"
+	case BULoad:
+		return "#c8a838"
+	case BUUnload:
+		return "#c87838"
+	case BUWait:
+		return "#c84848"
+	case Overhead:
+		return "#888888"
+	}
+	return "#444444"
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+const (
+	svgRowH    = 22
+	svgBarH    = 14
+	svgLabelW  = 90
+	svgAxisH   = 28
+	svgPadding = 8
+)
+
+// axisTicks picks a round microsecond step for about six axis labels.
+func axisTicks(endPs int64) []int64 {
+	if endPs <= 0 {
+		return nil
+	}
+	endUs := float64(endPs) / 1e6
+	step := 1.0
+	for _, s := range []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+		1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000} {
+		if endUs/s <= 7 {
+			step = s
+			break
+		}
+		step = s
+	}
+	var ticks []int64
+	for v := 0.0; v <= endUs+1e-9; v += step {
+		ticks = append(ticks, int64(v*1e6))
+	}
+	return ticks
+}
+
+// renderSVG lays out one row per element with its intervals as bars.
+// rows selects and orders the elements; mark labels are drawn for
+// point events.
+func (t *Trace) renderSVG(title string, rows []string, width int) string {
+	end := t.End()
+	if end == 0 || width <= svgLabelW+2*svgPadding {
+		return ""
+	}
+	plotW := width - svgLabelW - 2*svgPadding
+	height := svgAxisH + len(rows)*svgRowH + 2*svgPadding + 18
+	x := func(ps int64) float64 {
+		return float64(svgLabelW+svgPadding) + float64(ps)/float64(end)*float64(plotW)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="14" font-size="13">%s</text>`+"\n", svgPadding, svgEscape(title))
+
+	// Axis.
+	axisY := height - svgAxisH + 4
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+		x(0), axisY, x(end), axisY)
+	for _, tick := range axisTicks(end) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+			x(tick), axisY, x(tick), axisY+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%.6g</text>`+"\n",
+			x(tick), axisY+16, float64(tick)/1e6)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d">us</text>`+"\n", width-28, axisY+16)
+
+	for i, el := range rows {
+		rowY := 22 + i*svgRowH
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", svgPadding, rowY+svgBarH-3, svgEscape(el))
+		// Faint row guide.
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`+"\n",
+			x(0), rowY+svgBarH/2, x(end), rowY+svgBarH/2)
+		for _, iv := range t.ElementIntervals(el) {
+			w := x(iv.End) - x(iv.Start)
+			if w < 0.5 {
+				w = 0.5
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s">`,
+				x(iv.Start), rowY, w, svgBarH, kindFill(iv.Kind))
+			fmt.Fprintf(&b, `<title>%s %s %d..%dps %s</title></rect>`+"\n",
+				svgEscape(el), iv.Kind, iv.Start, iv.End, svgEscape(iv.Detail))
+		}
+		for _, m := range t.Marks {
+			if m.Element != el {
+				continue
+			}
+			cx := x(m.At)
+			cy := float64(rowY + svgBarH/2)
+			fmt.Fprintf(&b, `<path d="M%.1f %.1f l4 4 l-4 4 l-4 -4 z" fill="#222"><title>%s %s at %dps</title></path>`+"\n",
+				cx, cy-4, svgEscape(m.Element), svgEscape(m.Label), m.At)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// TimelineSVG renders the Figure 10 view: one row per process.
+func (t *Trace) TimelineSVG(width int) string {
+	if t == nil {
+		return ""
+	}
+	var rows []string
+	for _, el := range t.Elements() {
+		if strings.HasPrefix(el, "P") && len(el) > 1 && el[1] >= '0' && el[1] <= '9' {
+			rows = append(rows, el)
+		}
+	}
+	return t.renderSVG("Process progress over time", rows, width)
+}
+
+// ActivitySVG renders the Figure 11 view: every platform element.
+func (t *Trace) ActivitySVG(width int) string {
+	if t == nil {
+		return ""
+	}
+	return t.renderSVG("Platform element activity", t.Elements(), width)
+}
+
+// LegendSVG renders a small legend of the interval colours.
+func LegendSVG() string {
+	kinds := []Kind{Compute, Transfer, BULoad, BUUnload, BUWait, Overhead}
+	var b strings.Builder
+	w := 140
+	h := len(kinds)*18 + 10
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", w, h)
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for i, k := range kinds {
+		y := 6 + i*18
+		fmt.Fprintf(&b, `<rect x="6" y="%d" width="14" height="12" fill="%s"/>`+"\n", y, kindFill(k))
+		fmt.Fprintf(&b, `<text x="26" y="%d">%s</text>`+"\n", y+10, k)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("malformed SVG: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestTimelineSVG(t *testing.T) {
+	tr := sample()
+	svg := tr.TimelineSVG(600)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Only process rows.
+	if !strings.Contains(svg, ">P0<") || strings.Contains(svg, ">BU12<") {
+		t.Errorf("row selection wrong:\n%s", svg)
+	}
+	// The mark renders as a diamond with a tooltip.
+	if !strings.Contains(svg, "received last package") {
+		t.Error("mark missing")
+	}
+}
+
+func TestActivitySVG(t *testing.T) {
+	tr := sample()
+	svg := tr.ActivitySVG(800)
+	wellFormed(t, svg)
+	for _, el := range []string{">P0<", ">BU12<", ">Segment 1<", ">CA<"} {
+		if !strings.Contains(svg, el) {
+			t.Errorf("activity SVG missing row %s", el)
+		}
+	}
+	// One rect per interval plus background and row guides; at least
+	// the 8 interval rects must be present.
+	if got := strings.Count(svg, "<rect"); got < 9 {
+		t.Errorf("only %d rects", got)
+	}
+}
+
+func TestSVGEdgeCases(t *testing.T) {
+	var nilTrace *Trace
+	if nilTrace.TimelineSVG(600) != "" || nilTrace.ActivitySVG(600) != "" {
+		t.Error("nil trace rendered")
+	}
+	empty := &Trace{}
+	if empty.TimelineSVG(600) != "" {
+		t.Error("empty trace rendered")
+	}
+	tr := sample()
+	if tr.TimelineSVG(10) != "" {
+		t.Error("degenerate width rendered")
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	tr := &Trace{}
+	tr.AddInterval(`P1`, Compute, 0, 10, `a<b>&"c"`)
+	svg := tr.ActivitySVG(400)
+	wellFormed(t, svg)
+	if strings.Contains(svg, `a<b>`) {
+		t.Error("detail not escaped")
+	}
+}
+
+func TestLegendSVG(t *testing.T) {
+	svg := LegendSVG()
+	wellFormed(t, svg)
+	for _, k := range []string{"compute", "transfer", "bu-wait"} {
+		if !strings.Contains(svg, k) {
+			t.Errorf("legend missing %s", k)
+		}
+	}
+}
+
+func TestAxisTicks(t *testing.T) {
+	ticks := axisTicks(490_000_000) // 490 us
+	if len(ticks) < 3 || len(ticks) > 10 {
+		t.Errorf("tick count = %d: %v", len(ticks), ticks)
+	}
+	if ticks[0] != 0 {
+		t.Error("axis must start at zero")
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Error("ticks not increasing")
+		}
+	}
+	if axisTicks(0) != nil {
+		t.Error("zero-length axis has ticks")
+	}
+}

@@ -1,0 +1,227 @@
+// Package trace records and renders execution traces of an emulation
+// run: per-process start/end marks (the paper's Figure 10 progress
+// timeline) and per-element busy intervals (the Figure 11 activity
+// graph).
+//
+// The emulator appends to a Trace while it runs; renderers turn the
+// collected data into text timelines, text activity graphs and CSV for
+// external plotting. Recording is optional — a nil *Trace is a valid
+// no-op sink — so benchmark runs pay nothing for it.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a recorded interval.
+type Kind int
+
+// Interval kinds.
+const (
+	Compute  Kind = iota // FU processing (C ticks per package)
+	Transfer             // bus occupancy on a segment
+	BULoad               // package streaming into a border unit
+	BUUnload             // package streaming out of a border unit
+	BUWait               // loaded package waiting for the next segment's grant
+	Overhead             // refined-model overhead (sync, grant, CA set/reset)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Transfer:
+		return "transfer"
+	case BULoad:
+		return "bu-load"
+	case BUUnload:
+		return "bu-unload"
+	case BUWait:
+		return "bu-wait"
+	case Overhead:
+		return "overhead"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Interval is one busy period of one platform element. Times are
+// picoseconds from the start of the emulation.
+type Interval struct {
+	Element string // "P3", "Segment 2", "BU12", "CA"
+	Kind    Kind
+	Start   int64
+	End     int64
+	Detail  string // free-form, e.g. "P3->P5 pkg 7/15"
+}
+
+// Mark is a point event, e.g. "P14 received last package".
+type Mark struct {
+	Element string
+	Label   string
+	At      int64
+}
+
+// Trace accumulates intervals and marks. The zero value is ready to
+// use. A nil *Trace discards everything, so call sites never need to
+// branch on whether tracing is enabled.
+type Trace struct {
+	Intervals []Interval
+	Marks     []Mark
+}
+
+// AddInterval records a busy interval. No-op on a nil receiver.
+func (t *Trace) AddInterval(element string, kind Kind, start, end int64, detail string) {
+	if t == nil {
+		return
+	}
+	t.Intervals = append(t.Intervals, Interval{Element: element, Kind: kind, Start: start, End: end, Detail: detail})
+}
+
+// AddMark records a point event. No-op on a nil receiver.
+func (t *Trace) AddMark(element, label string, at int64) {
+	if t == nil {
+		return
+	}
+	t.Marks = append(t.Marks, Mark{Element: element, Label: label, At: at})
+}
+
+// End returns the latest end time across intervals and marks (zero for
+// an empty trace).
+func (t *Trace) End() int64 {
+	if t == nil {
+		return 0
+	}
+	var end int64
+	for _, iv := range t.Intervals {
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	for _, m := range t.Marks {
+		if m.At > end {
+			end = m.At
+		}
+	}
+	return end
+}
+
+// Elements returns the distinct element names appearing in the trace,
+// sorted with processes first (numerically), then segments, then BUs,
+// then everything else alphabetically.
+func (t *Trace) Elements() []string {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, iv := range t.Intervals {
+		if !seen[iv.Element] {
+			seen[iv.Element] = true
+			out = append(out, iv.Element)
+		}
+	}
+	for _, m := range t.Marks {
+		if !seen[m.Element] {
+			seen[m.Element] = true
+			out = append(out, m.Element)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return elementLess(out[i], out[j]) })
+	return out
+}
+
+// elementLess orders element names for display: P* numerically, then
+// Segment *, then BU*, then the rest.
+func elementLess(a, b string) bool {
+	ra, rb := elementRank(a), elementRank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	na, oka := trailingNumber(a)
+	nb, okb := trailingNumber(b)
+	if oka && okb && na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func elementRank(s string) int {
+	switch {
+	case strings.HasPrefix(s, "P") && len(s) > 1 && s[1] >= '0' && s[1] <= '9':
+		return 0
+	case strings.HasPrefix(s, "Segment"):
+		return 1
+	case strings.HasPrefix(s, "SA"):
+		return 2
+	case strings.HasPrefix(s, "BU"):
+		return 3
+	case s == "CA":
+		return 4
+	}
+	return 5
+}
+
+func trailingNumber(s string) (int, bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return 0, false
+	}
+	n := 0
+	for _, c := range s[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// ElementIntervals returns the intervals of one element, sorted by
+// start time.
+func (t *Trace) ElementIntervals(element string) []Interval {
+	if t == nil {
+		return nil
+	}
+	var out []Interval
+	for _, iv := range t.Intervals {
+		if iv.Element == element {
+			out = append(out, iv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}
+
+// BusyTime returns the total busy picoseconds of one element
+// (overlapping intervals are merged before summing).
+func (t *Trace) BusyTime(element string) int64 {
+	ivs := t.ElementIntervals(element)
+	var busy int64
+	var curStart, curEnd int64 = -1, -1
+	for _, iv := range ivs {
+		if curStart < 0 {
+			curStart, curEnd = iv.Start, iv.End
+			continue
+		}
+		if iv.Start <= curEnd {
+			if iv.End > curEnd {
+				curEnd = iv.End
+			}
+			continue
+		}
+		busy += curEnd - curStart
+		curStart, curEnd = iv.Start, iv.End
+	}
+	if curStart >= 0 {
+		busy += curEnd - curStart
+	}
+	return busy
+}

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	t := &Trace{}
+	t.AddInterval("P0", Compute, 0, 100, "pkg 1")
+	t.AddInterval("P0", Compute, 150, 250, "pkg 2")
+	t.AddInterval("P1", Compute, 300, 400, "")
+	t.AddInterval("Segment 1", Transfer, 100, 150, "P0->P1")
+	t.AddInterval("BU12", BULoad, 100, 150, "")
+	t.AddInterval("BU12", BUWait, 150, 160, "")
+	t.AddInterval("BU12", BUUnload, 160, 210, "")
+	t.AddInterval("CA", Overhead, 90, 100, "grant")
+	t.AddMark("P1", "received last package", 400)
+	return t
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.AddInterval("x", Compute, 0, 1, "")
+	tr.AddMark("x", "y", 0)
+	if tr.End() != 0 || tr.Elements() != nil || tr.BusyTime("x") != 0 {
+		t.Error("nil trace misbehaves")
+	}
+	if tr.Timeline() != "" || tr.Gantt(10) != "" || tr.MarksReport() != "" {
+		t.Error("nil trace renders content")
+	}
+	if !strings.HasPrefix(tr.CSV(), "element,") {
+		t.Error("nil trace CSV lacks header")
+	}
+}
+
+func TestEnd(t *testing.T) {
+	tr := sample()
+	if got := tr.End(); got != 400 {
+		t.Errorf("End() = %d", got)
+	}
+	late := &Trace{}
+	late.AddMark("X", "m", 999)
+	if got := late.End(); got != 999 {
+		t.Errorf("mark-only End() = %d", got)
+	}
+}
+
+func TestElementsOrdering(t *testing.T) {
+	tr := sample()
+	els := tr.Elements()
+	want := []string{"P0", "P1", "Segment 1", "BU12", "CA"}
+	if len(els) != len(want) {
+		t.Fatalf("Elements() = %v", els)
+	}
+	for i := range want {
+		if els[i] != want[i] {
+			t.Fatalf("Elements() = %v, want %v", els, want)
+		}
+	}
+}
+
+func TestElementsNumericOrder(t *testing.T) {
+	tr := &Trace{}
+	tr.AddInterval("P10", Compute, 0, 1, "")
+	tr.AddInterval("P2", Compute, 0, 1, "")
+	tr.AddInterval("P1", Compute, 0, 1, "")
+	els := tr.Elements()
+	if els[0] != "P1" || els[1] != "P2" || els[2] != "P10" {
+		t.Errorf("numeric ordering broken: %v", els)
+	}
+}
+
+func TestElementIntervalsSorted(t *testing.T) {
+	tr := sample()
+	ivs := tr.ElementIntervals("P0")
+	if len(ivs) != 2 || ivs[0].Start != 0 || ivs[1].Start != 150 {
+		t.Errorf("ElementIntervals = %v", ivs)
+	}
+	if got := tr.ElementIntervals("nope"); got != nil {
+		t.Errorf("unknown element intervals = %v", got)
+	}
+}
+
+func TestBusyTimeMergesOverlaps(t *testing.T) {
+	tr := &Trace{}
+	tr.AddInterval("X", Compute, 0, 100, "")
+	tr.AddInterval("X", Transfer, 50, 150, "") // overlaps
+	tr.AddInterval("X", Compute, 200, 300, "")
+	if got := tr.BusyTime("X"); got != 250 {
+		t.Errorf("BusyTime = %d, want 250", got)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	s := sample().Timeline()
+	if !strings.Contains(s, "P0") || !strings.Contains(s, "start") || !strings.Contains(s, "end") {
+		t.Errorf("Timeline:\n%s", s)
+	}
+	// Only processes appear.
+	if strings.Contains(s, "BU12") || strings.Contains(s, "Segment") {
+		t.Errorf("Timeline includes non-process rows:\n%s", s)
+	}
+}
+
+func TestTimelineMarkOnlyProcess(t *testing.T) {
+	tr := &Trace{}
+	tr.AddMark("P5", "received last package", 12_000_000)
+	s := tr.Timeline()
+	if !strings.Contains(s, "P5") || !strings.Contains(s, "received last package") {
+		t.Errorf("mark-only process missing:\n%s", s)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	s := sample().Gantt(40)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 { // header + 5 elements
+		t.Fatalf("Gantt rows = %d:\n%s", len(lines), s)
+	}
+	if !strings.Contains(s, "#") || !strings.Contains(s, ".") {
+		t.Errorf("Gantt lacks marks:\n%s", s)
+	}
+	// A P0 row must start busy (interval from 0).
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "P0") {
+			if !strings.Contains(l, "#") {
+				t.Errorf("P0 row has no busy cells: %q", l)
+			}
+		}
+	}
+	if sample().Gantt(0) != "" {
+		t.Error("Gantt(0) should be empty")
+	}
+	if (&Trace{}).Gantt(10) != "" {
+		t.Error("empty trace Gantt should be empty")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := sample().CSV()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "element,kind,start_ps,end_ps,detail" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 9 { // 8 intervals + header
+		t.Errorf("CSV rows = %d", len(lines))
+	}
+	// Sorted by start time.
+	if !strings.HasPrefix(lines[1], "P0,compute,0,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+	// Commas in detail are sanitised.
+	tr := &Trace{}
+	tr.AddInterval("X", Compute, 0, 1, "a,b")
+	if !strings.Contains(tr.CSV(), "a;b") {
+		t.Error("detail comma not sanitised")
+	}
+}
+
+func TestMarksReport(t *testing.T) {
+	s := sample().MarksReport()
+	if !strings.Contains(s, "P1 received last package at 400ps") {
+		t.Errorf("MarksReport:\n%s", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Compute: "compute", Transfer: "transfer", BULoad: "bu-load",
+		BUUnload: "bu-unload", BUWait: "bu-wait", Overhead: "overhead",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind rendering")
+	}
+}
+
+func TestJSON(t *testing.T) {
+	data, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version   int   `json:"version"`
+		EndPs     int64 `json:"end_ps"`
+		Intervals []struct {
+			Element string `json:"element"`
+			Kind    string `json:"kind"`
+			StartPs int64  `json:"start_ps"`
+			EndPs   int64  `json:"end_ps"`
+		} `json:"intervals"`
+		Marks []Mark `json:"marks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Version != 1 || doc.EndPs != 400 {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Intervals) != 8 || len(doc.Marks) != 1 {
+		t.Errorf("contents = %d intervals, %d marks", len(doc.Intervals), len(doc.Marks))
+	}
+	for i := 1; i < len(doc.Intervals); i++ {
+		if doc.Intervals[i].StartPs < doc.Intervals[i-1].StartPs {
+			t.Error("intervals not sorted")
+		}
+	}
+	// Nil trace still produces a valid document.
+	var nilTrace *Trace
+	data, err = nilTrace.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package segbus
+
+import (
+	"segbus/internal/apps"
+)
+
+// Reference applications and platform configurations. MP3Decoder and
+// the MP3Platform* constructors reproduce the paper's section-4
+// example (a simplified stereo MP3 decoder on one-, two- and
+// three-segment SegBus instances); Pipeline and ForkJoin generate
+// synthetic workloads for experiments of your own.
+
+// MP3Decoder returns the PSDF model of the paper's simplified stereo
+// MP3 decoder (Figures 7 and 8: 15 processes, 20 flows, communication
+// matrix identical to the publication).
+func MP3Decoder() *Model { return apps.MP3Model() }
+
+// MP3DecoderRoles maps each MP3 decoder process to its function
+// (P0 frame decoding, P1/P8 scaling, ...).
+func MP3DecoderRoles() map[ProcessID]string {
+	out := make(map[ProcessID]string, len(apps.MP3ProcessRoles))
+	for p, r := range apps.MP3ProcessRoles {
+		out[p] = r
+	}
+	return out
+}
+
+// MP3Platform1 returns the paper's single-segment configuration with
+// the given package size.
+func MP3Platform1(packageSize int) *Platform { return apps.MP3Platform1(packageSize) }
+
+// MP3Platform2 returns the paper's two-segment configuration
+// (Figure 9).
+func MP3Platform2(packageSize int) *Platform { return apps.MP3Platform2(packageSize) }
+
+// MP3Platform3 returns the paper's three-segment configuration
+// (Figure 9), the main evaluation target.
+func MP3Platform3(packageSize int) *Platform { return apps.MP3Platform3(packageSize) }
+
+// MP3Platform3MovedP9 returns the modified configuration of the
+// paper's third accuracy experiment: P9 shifted from segment 1 to
+// segment 3.
+func MP3Platform3MovedP9(packageSize int) *Platform { return apps.MP3Platform3MovedP9(packageSize) }
+
+// JPEGEncoder returns the library's second case study: a baseline
+// JPEG encoder (one MCU row, 4:2:0) with three component pipelines
+// that may run concurrently.
+func JPEGEncoder() *Model { return apps.JPEGModel() }
+
+// JPEGEncoderRoles maps each JPEG encoder process to its function.
+func JPEGEncoderRoles() map[ProcessID]string {
+	out := make(map[ProcessID]string, len(apps.JPEGProcessRoles))
+	for p, r := range apps.JPEGProcessRoles {
+		out[p] = r
+	}
+	return out
+}
+
+// JPEGPlatform1 returns the encoder's single-segment baseline
+// configuration.
+func JPEGPlatform1(packageSize int) *Platform { return apps.JPEGPlatform1(packageSize) }
+
+// JPEGPlatform3 returns the encoder's three-segment configuration
+// (luma pipeline, chroma pipelines, entropy back end).
+func JPEGPlatform3(packageSize int) *Platform { return apps.JPEGPlatform3(packageSize) }
+
+// JPEGPackageSize is the encoder's natural package size: one 8x8
+// block.
+const JPEGPackageSize = apps.JPEGPackageSize
+
+// Pipeline returns a linear pipeline application of n processes with
+// the given per-hop data items and per-package tick cost.
+func Pipeline(n, items, ticks int) *Model { return apps.Pipeline(n, items, ticks) }
+
+// ForkJoin returns a scatter/gather application: one source, width
+// concurrent workers, one sink.
+func ForkJoin(width, items, ticks int) *Model { return apps.ForkJoin(width, items, ticks) }

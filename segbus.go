@@ -1,0 +1,242 @@
+// Package segbus is the public API of the SegBus performance
+// estimation library — a from-scratch implementation of the technique
+// published as "A Performance Estimation Technique for the SegBus
+// Distributed Architecture" (Niazi, Seceleanu, Tenhunen; TUCS TR 980,
+// 2010).
+//
+// The library models applications as Packet Synchronous Data Flow
+// (PSDF) graphs, platforms as segmented-bus instances (segments with
+// local arbiters, a central arbiter, and FIFO border units between
+// adjacent segments), and estimates the performance of any
+// (application, configuration) pair by emulation, before any RTL
+// exists.
+//
+// # Quick start
+//
+//	m := segbus.NewModel("app")
+//	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: 144, Order: 1, Ticks: 90})
+//	m.AddFlow(segbus.Flow{Source: 1, Target: 2, Items: 144, Order: 2, Ticks: 50})
+//
+//	p := segbus.NewPlatform("demo", 100*segbus.MHz, 36)
+//	p.AddSegment(90*segbus.MHz, 0, 1)
+//	p.AddSegment(95*segbus.MHz, 2)
+//
+//	est, err := segbus.Estimate(m, p, segbus.Options{})
+//	if err != nil { ... }
+//	fmt.Println(est.Report)
+//
+// The full design flow of the paper — textual DSL, validation,
+// model-to-text transformation to XML schemes, parsing, placement and
+// design-space exploration — is exposed through the corresponding
+// functions below; the implementation lives in the internal packages.
+package segbus
+
+import (
+	"io"
+
+	"segbus/internal/core"
+	"segbus/internal/dsl"
+	"segbus/internal/emulator"
+	"segbus/internal/place"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+	"segbus/internal/realplat"
+	"segbus/internal/stats"
+	"segbus/internal/trace"
+)
+
+// Application modeling (PSDF).
+type (
+	// Model is a PSDF application model.
+	Model = psdf.Model
+	// Flow is one packet flow (Pt, D, T, C).
+	Flow = psdf.Flow
+	// ProcessID identifies an application process.
+	ProcessID = psdf.ProcessID
+	// CommMatrix is a device-to-device communication matrix.
+	CommMatrix = psdf.CommMatrix
+)
+
+// SystemOutput is the pseudo-target of flows leaving the system.
+const SystemOutput = psdf.SystemOutput
+
+// NewModel returns an empty PSDF model.
+func NewModel(name string) *Model { return psdf.NewModel(name) }
+
+// ParseFlowName decodes the "P1_576_1_250" flow encoding.
+func ParseFlowName(source ProcessID, name string) (Flow, error) {
+	return psdf.ParseFlowName(source, name)
+}
+
+// Repeat returns a model executing m's schedule n times back to back
+// (the steady-state view of a streaming application processing n
+// frames).
+func Repeat(m *Model, n int) (*Model, error) { return psdf.Repeat(m, n) }
+
+// Platform modeling (PSM).
+type (
+	// Platform is a SegBus platform instance.
+	Platform = platform.Platform
+	// Segment is one bus segment.
+	Segment = platform.Segment
+	// FU is a functional unit.
+	FU = platform.FU
+	// BU identifies a border unit.
+	BU = platform.BU
+	// Hz is a clock frequency.
+	Hz = platform.Hz
+	// FUKind is a functional unit's bus interface role.
+	FUKind = platform.FUKind
+)
+
+// Frequency units.
+const (
+	KHz = platform.KHz
+	MHz = platform.MHz
+	GHz = platform.GHz
+)
+
+// Functional-unit kinds.
+const (
+	MasterSlave = platform.MasterSlave
+	MasterOnly  = platform.MasterOnly
+	SlaveOnly   = platform.SlaveOnly
+)
+
+// Segment-arbiter selection policies.
+const (
+	PolicyBUFirst       = emulator.PolicyBUFirst
+	PolicyFIFO          = emulator.PolicyFIFO
+	PolicyFixedPriority = emulator.PolicyFixedPriority
+)
+
+// NewPlatform returns a platform with no segments yet.
+func NewPlatform(name string, caClock Hz, packageSize int) *Platform {
+	return platform.New(name, caClock, packageSize)
+}
+
+// Emulation.
+type (
+	// Report is the monitoring result of one emulation run.
+	Report = emulator.Report
+	// SAStats, CAStats, BUStats and ProcessStats are report rows.
+	SAStats = emulator.SAStats
+	// CAStats are the central arbiter's counters.
+	CAStats = emulator.CAStats
+	// BUStats are one border unit's counters.
+	BUStats = emulator.BUStats
+	// ProcessStats are one process's timing and package counters.
+	ProcessStats = emulator.ProcessStats
+	// StageStats are one schedule stage's timing.
+	StageStats = emulator.StageStats
+	// Overheads are the refined model's timing factors.
+	Overheads = emulator.Overheads
+	// Policy selects the segment arbiters' selection rule.
+	Policy = emulator.Policy
+	// Observer receives emulation events as they happen.
+	Observer = emulator.Observer
+	// Trace records busy intervals and point events.
+	Trace = trace.Trace
+	// Options tunes an estimation.
+	Options = core.Options
+	// Estimation is an estimation result.
+	Estimation = core.Estimation
+	// Accuracy is an estimated-versus-actual comparison.
+	Accuracy = stats.Accuracy
+	// BUAnalysis is the UP/WP decomposition of a border unit.
+	BUAnalysis = stats.BUAnalysis
+	// Candidate is a configuration entering exploration.
+	Candidate = core.Candidate
+	// Ranked is one exploration outcome.
+	Ranked = core.Ranked
+)
+
+// Estimate runs the estimation technique on in-memory models.
+func Estimate(m *Model, p *Platform, opts Options) (*Estimation, error) {
+	return core.Estimate(m, p, opts)
+}
+
+// EstimateXML runs the paper's exact flow from generated XML schemes.
+func EstimateXML(psdfXML, psmXML []byte, packageSize int, opts Options) (*Estimation, error) {
+	return core.EstimateXML(psdfXML, psmXML, packageSize, opts)
+}
+
+// Transform renders both models as XML schemes (model-to-text).
+func Transform(m *Model, p *Platform) (psdfXML, psmXML []byte, err error) {
+	return core.Transform(m, p)
+}
+
+// RoundTrip transforms to XML and estimates from the generated
+// schemes, exercising the full pipeline.
+func RoundTrip(m *Model, p *Platform, opts Options) (*Estimation, error) {
+	return core.RoundTrip(m, p, opts)
+}
+
+// RunRefined executes the refined (ground-truth) timing model.
+func RunRefined(m *Model, p *Platform) (*Report, error) {
+	return realplat.Run(m, p, realplat.Config{})
+}
+
+// AccuracyExperiment compares the estimation model against the
+// refined model on one configuration.
+func AccuracyExperiment(label string, m *Model, p *Platform) (Accuracy, error) {
+	return core.AccuracyExperiment(label, m, p)
+}
+
+// Explore estimates every candidate concurrently and returns the
+// outcomes plus a rendered ranking table.
+func Explore(m *Model, candidates []Candidate, workers int) ([]Ranked, string) {
+	return core.Explore(m, candidates, workers)
+}
+
+// Best picks the fastest successful exploration outcome.
+func Best(ranked []Ranked) (Ranked, error) { return core.Best(ranked) }
+
+// Placement (the PlaceTool step).
+type (
+	// Allocation maps processes to segments.
+	Allocation = place.Allocation
+	// PlaceOptions tunes the placement optimizer.
+	PlaceOptions = place.Options
+)
+
+// Place solves the allocation of the matrix's processes onto the
+// given number of segments.
+func Place(cm *CommMatrix, segments int, opts PlaceOptions) (Allocation, error) {
+	return place.Solve(cm, segments, opts)
+}
+
+// PlacementCost returns the hop-weighted inter-segment traffic of an
+// allocation.
+func PlacementCost(cm *CommMatrix, a Allocation) int64 { return place.Cost(cm, a) }
+
+// PlatformFromAllocation builds a platform from a placement result.
+func PlatformFromAllocation(name string, a Allocation, clocks []Hz, caClock Hz, packageSize, headerTicks, caHopTicks int) (*Platform, error) {
+	return core.PlatformFromAllocation(name, a, clocks, caClock, packageSize, headerTicks, caHopTicks)
+}
+
+// AutoPlace derives the matrix from the model, solves the placement
+// and builds the platform in one step.
+func AutoPlace(name string, m *Model, clocks []Hz, caClock Hz, packageSize, headerTicks, caHopTicks int) (*Platform, error) {
+	return core.AutoPlace(name, m, clocks, caClock, packageSize, headerTicks, caHopTicks)
+}
+
+// DSL (textual model descriptions).
+type (
+	// Document is a parsed model description.
+	Document = dsl.Document
+	// Diagnostic is one validation finding.
+	Diagnostic = dsl.Diagnostic
+	// Diagnostics aggregates validation findings.
+	Diagnostics = dsl.Diagnostics
+)
+
+// ParseDSL reads a textual SegBus model description.
+func ParseDSL(r io.Reader) (*Document, error) { return dsl.Parse(r) }
+
+// AnalyzeBUs decomposes every border unit of a report into useful and
+// waiting periods (the paper's section-4 analysis).
+func AnalyzeBUs(r *Report) []BUAnalysis { return stats.AnalyzeBUs(r) }
+
+// StageTable renders a report's schedule-stage timing breakdown.
+func StageTable(r *Report) string { return stats.StageTable(r) }

@@ -1,0 +1,221 @@
+package segbus_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"segbus"
+)
+
+// quickModel is a three-stage pipeline split across two segments.
+func quickModel() (*segbus.Model, *segbus.Platform) {
+	m := segbus.NewModel("quick")
+	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: 144, Order: 1, Ticks: 90})
+	m.AddFlow(segbus.Flow{Source: 1, Target: 2, Items: 144, Order: 2, Ticks: 50})
+	p := segbus.NewPlatform("demo", 100*segbus.MHz, 36)
+	p.AddSegment(90*segbus.MHz, 0, 1)
+	p.AddSegment(95*segbus.MHz, 2)
+	return m, p
+}
+
+func TestPublicEstimate(t *testing.T) {
+	m, p := quickModel()
+	est, err := segbus.Estimate(m, p, segbus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ExecutionTimePs() <= 0 {
+		t.Error("no execution time")
+	}
+	if est.Report.Process(2).RecvPackages != 4 {
+		t.Errorf("P2 received %d packages", est.Report.Process(2).RecvPackages)
+	}
+}
+
+func TestPublicTransformEstimateXML(t *testing.T) {
+	m, p := quickModel()
+	psdfXML, psmXML, err := segbus.Transform(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := segbus.EstimateXML(psdfXML, psmXML, 0, segbus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := segbus.Estimate(m, p, segbus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ExecutionTimePs() != direct.ExecutionTimePs() {
+		t.Error("XML path diverges from direct path")
+	}
+}
+
+func TestPublicRoundTrip(t *testing.T) {
+	m, p := quickModel()
+	if _, err := segbus.RoundTrip(m, p, segbus.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAccuracyExperiment(t *testing.T) {
+	m, p := quickModel()
+	acc, err := segbus.AccuracyExperiment("quick", m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Percent() <= 0 || acc.Percent() > 100 {
+		t.Errorf("accuracy = %v", acc.Percent())
+	}
+	if _, err := segbus.RunRefined(m, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicPlacement(t *testing.T) {
+	m, _ := quickModel()
+	cm := m.CommunicationMatrix()
+	alloc, err := segbus.Place(cm, 2, segbus.PlaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alloc.Valid() {
+		t.Errorf("allocation %v invalid", alloc)
+	}
+	if segbus.PlacementCost(cm, alloc) < 0 {
+		t.Error("negative cost")
+	}
+	p, err := segbus.PlatformFromAllocation("auto", alloc,
+		[]segbus.Hz{90 * segbus.MHz, 95 * segbus.MHz}, 100*segbus.MHz, 36, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := segbus.Estimate(m, p, segbus.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAutoPlace(t *testing.T) {
+	m, _ := quickModel()
+	p, err := segbus.AutoPlace("auto", m, []segbus.Hz{90 * segbus.MHz, 95 * segbus.MHz},
+		100*segbus.MHz, 36, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSegments() != 2 {
+		t.Errorf("segments = %d", p.NumSegments())
+	}
+}
+
+func TestPublicExplore(t *testing.T) {
+	m, p2 := quickModel()
+	p1 := segbus.NewPlatform("one", 100*segbus.MHz, 36)
+	p1.AddSegment(90*segbus.MHz, 0, 1, 2)
+	ranked, table := segbus.Explore(m, []segbus.Candidate{
+		{Label: "one", Platform: p1},
+		{Label: "two", Platform: p2},
+	}, 2)
+	if len(ranked) != 2 {
+		t.Fatal("ranked size")
+	}
+	best, err := segbus.Best(ranked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Report == nil {
+		t.Error("best has no report")
+	}
+	if !strings.Contains(table, "one") || !strings.Contains(table, "two") {
+		t.Errorf("table:\n%s", table)
+	}
+}
+
+func TestPublicDSL(t *testing.T) {
+	text := `
+application quick
+flow P0 -> P1 items=144 order=1 ticks=90
+flow P1 -> P2 items=144 order=2 ticks=50
+platform demo
+ca-clock 100MHz
+package-size 36
+segment 1 clock=90MHz processes=P0,P1
+segment 2 clock=95MHz processes=P2
+`
+	doc, err := segbus.ParseDSL(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := doc.Validate(); ds.HasErrors() {
+		t.Fatalf("diagnostics: %v", ds)
+	}
+	if _, err := segbus.Estimate(doc.Model, doc.Platform, segbus.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAnalyzeBUs(t *testing.T) {
+	m, p := quickModel()
+	est, err := segbus.Estimate(m, p, segbus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := segbus.AnalyzeBUs(est.Report)
+	if len(as) != 1 || as[0].Name != "BU12" {
+		t.Errorf("analyses = %v", as)
+	}
+	// 4 packages crossed: UP = 2 * 4 * 36.
+	if as[0].UP != 288 {
+		t.Errorf("UP = %d, want 288", as[0].UP)
+	}
+}
+
+func TestPublicFlowNameParsing(t *testing.T) {
+	f, err := segbus.ParseFlowName(0, "P1_576_1_250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Target != 1 || f.Items != 576 {
+		t.Errorf("flow = %+v", f)
+	}
+}
+
+// ExampleEstimate demonstrates the quick-start flow from the package
+// documentation.
+func ExampleEstimate() {
+	m := segbus.NewModel("example")
+	m.AddFlow(segbus.Flow{Source: 0, Target: 1, Items: 72, Order: 1, Ticks: 10})
+
+	p := segbus.NewPlatform("demo", 100*segbus.MHz, 36)
+	p.AddSegment(100*segbus.MHz, 0)
+	p.AddSegment(100*segbus.MHz, 1)
+
+	est, err := segbus.Estimate(m, p, segbus.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("packages crossed: %d\n", est.Report.BU("BU12").InPackages)
+	fmt.Printf("inter-segment requests at the CA: %d\n", est.Report.CA.InterRequests)
+	// Output:
+	// packages crossed: 2
+	// inter-segment requests at the CA: 2
+}
+
+// ExamplePlace demonstrates the PlaceTool step: derive the
+// communication matrix and let the optimizer allocate processes.
+func ExamplePlace() {
+	m := segbus.NewModel("chain")
+	for i := 0; i < 5; i++ {
+		m.AddFlow(segbus.Flow{
+			Source: segbus.ProcessID(i), Target: segbus.ProcessID(i + 1),
+			Items: 36, Order: i + 1, Ticks: 10,
+		})
+	}
+	alloc, err := segbus.Place(m.CommunicationMatrix(), 2, segbus.PlaceOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(alloc)
+	// Output:
+	// 0 1 2 || 3 4 5
+}
