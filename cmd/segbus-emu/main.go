@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"segbus/internal/analyze"
 	"segbus/internal/core"
 	"segbus/internal/emulator"
 	"segbus/internal/power"
@@ -33,6 +34,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "segbus-emu:", err)
 		os.Exit(1)
 	}
+}
+
+// diagnosed unpacks an XML-scheme parse failure: when the scheme is
+// well-formed XML but describes a broken model, every coded validation
+// finding goes to stderr and the returned error only summarizes.
+func diagnosed(path string, err error) error {
+	ds, ok := analyze.FromError(err)
+	if !ok {
+		return err
+	}
+	for _, d := range ds {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", path, d)
+	}
+	return fmt.Errorf("%s: %d validation finding(s)", path, len(ds))
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -73,11 +88,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	m, err := schema.ParsePSDF(psdfXML)
 	if err != nil {
-		return err
+		return diagnosed(*psdfPath, err)
 	}
 	plat, err := schema.ParsePSM(psmXML)
 	if err != nil {
-		return err
+		return diagnosed(*psmPath, err)
 	}
 	if *pkg > 0 {
 		plat.PackageSize = *pkg
@@ -87,6 +102,17 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+	}
+
+	// Pre-flight: the schemes are individually well-formed, but the
+	// pair can still disagree (mapping, roles) or carry liveness
+	// hazards. Reject with every coded finding, not just the first.
+	if pre := core.Preflight(m, plat); pre.HasErrors() {
+		for _, d := range pre.Diagnostics {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		e, w, _ := pre.Counts()
+		return fmt.Errorf("model failed preflight analysis: %d error(s), %d warning(s)", e, w)
 	}
 
 	wantTrace := *timeline || *gantt || *csvPath != "" || *svgTimeline != "" || *svgActivity != "" || *showUtil || *htmlPath != "" || *jsonPath != ""

@@ -8,6 +8,7 @@ import (
 
 	"segbus/internal/apps"
 	"segbus/internal/m2t"
+	"segbus/internal/platform"
 )
 
 // genSchemes writes the MP3 schemes into a temp dir and returns their
@@ -107,6 +108,69 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-psdf", "nope.xsd", "-psm", "nope.xsd"}, &out); err == nil {
 		t.Error("missing files accepted")
+	}
+}
+
+// TestRunPreflightRejectsMismatchedPair pairs the full MP3 PSDF with a
+// PSM hosting only half the processes: each scheme is valid alone, so
+// only the pre-flight analysis can catch the broken mapping, and it
+// must exit non-zero with the aggregated findings.
+func TestRunPreflightRejectsMismatchedPair(t *testing.T) {
+	psdfPath, _ := genSchemes(t)
+	partial := platform.New("partial", 100*platform.MHz, 36)
+	partial.AddSegment(100*platform.MHz, 0, 1, 2, 3, 4, 5, 6, 7)
+	psmXML, err := m2t.GeneratePSM(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psmPath := filepath.Join(t.TempDir(), "partial-psm.xsd")
+	if err := os.WriteFile(psmPath, psmXML, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err = run([]string{"-psdf", psdfPath, "-psm", psmPath}, &out)
+	if err == nil {
+		t.Fatal("mismatched pair accepted")
+	}
+	if !strings.Contains(err.Error(), "preflight") {
+		t.Errorf("err = %v, want a preflight rejection", err)
+	}
+}
+
+// TestRunInvalidPSDFAggregates feeds a scheme that parses as XML but
+// describes a broken model (a self-loop flow); run must surface the
+// coded validation findings instead of a bare first error.
+func TestRunInvalidPSDFAggregates(t *testing.T) {
+	const badPSDF = `<?xml version="1.0" encoding="UTF-8"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:annotation>
+    <xs:appinfo>nominalPackageSize=36</xs:appinfo>
+  </xs:annotation>
+  <xs:element name="broken" type="Broken"/>
+  <xs:complexType name="Broken">
+    <xs:all>
+      <xs:element name="p0" type="P0"/>
+    </xs:all>
+  </xs:complexType>
+  <xs:complexType name="P0">
+    <xs:all>
+      <xs:element name="P0_36_1_5" type="Transfer"/>
+    </xs:all>
+  </xs:complexType>
+</xs:schema>
+`
+	_, psmPath := genSchemes(t)
+	psdfPath := filepath.Join(t.TempDir(), "bad-psdf.xsd")
+	if err := os.WriteFile(psdfPath, []byte(badPSDF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-psdf", psdfPath, "-psm", psmPath}, &out)
+	if err == nil {
+		t.Fatal("self-loop scheme accepted")
+	}
+	if !strings.Contains(err.Error(), "validation finding(s)") {
+		t.Errorf("err = %v, want an aggregated findings summary", err)
 	}
 }
 

@@ -57,7 +57,13 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(os.Stderr, d)
 	}
 	if diags.HasErrors() {
-		return fmt.Errorf("model validation failed (%d finding(s))", len(diags))
+		errs := 0
+		for _, d := range diags {
+			if d.Severity == dsl.SeverityError {
+				errs++
+			}
+		}
+		return fmt.Errorf("model validation failed (%d error(s))", errs)
 	}
 	if *check {
 		fmt.Fprintf(stdout, "model ok: %d processes, %d flows", doc.Model.NumProcesses(), doc.Model.NumFlows())

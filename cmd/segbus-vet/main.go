@@ -1,0 +1,167 @@
+// segbus-vet statically analyzes a SegBus model pair before any
+// emulation is spent on it: structural well-formedness, liveness of
+// the extracted schedule, static performance bounds, and congestion
+// lints over the planned border-unit traffic. Findings carry stable
+// SB0xx codes (see -codes) for CI suppression lists.
+//
+// Usage:
+//
+//	segbus-vet -model design.sbd [-json] [-strict] [-s 36]
+//	segbus-vet -psdf gen/mp3-psdf.xsd -psm gen/mp3-psm.xsd
+//
+// Exit status: 0 when the model is clean (or carries only warnings),
+// 1 when errors are found (or warnings with -strict), 2 on usage or
+// I/O problems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"segbus/internal/analyze"
+	"segbus/internal/dsl"
+	"segbus/internal/schema"
+)
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("segbus-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelPath := fs.String("model", "", "textual model description (.sbd)")
+	psdfPath := fs.String("psdf", "", "PSDF XML scheme (pairs with -psm)")
+	psmPath := fs.String("psm", "", "PSM XML scheme (pairs with -psdf)")
+	pkg := fs.Int("s", 0, "package size override (default: the model's)")
+	jsonOut := fs.Bool("json", false, "print the report as versioned JSON")
+	strict := fs.Bool("strict", false, "exit non-zero on warnings, not only on errors")
+	codes := fs.Bool("codes", false, "print the diagnostic code table and exit")
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	if *codes {
+		printCodes(stdout)
+		return exitClean
+	}
+
+	doc, code := load(*modelPath, *psdfPath, *psmPath, fs, stderr)
+	if doc == nil {
+		return code
+	}
+	if *pkg > 0 && doc.Platform != nil {
+		doc.Platform.PackageSize = *pkg
+	}
+
+	var opts analyze.Options
+	if *analyzers != "" {
+		as, err := analyze.ByName(strings.Split(*analyzers, ",")...)
+		if err != nil {
+			fmt.Fprintln(stderr, "segbus-vet:", err)
+			return exitUsage
+		}
+		opts.Analyzers = as
+	}
+
+	res := analyze.Run(doc, opts)
+	if *jsonOut {
+		data, err := res.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, "segbus-vet:", err)
+			return exitUsage
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		fmt.Fprint(stdout, res)
+	}
+	if res.HasErrors() || (*strict && res.HasWarnings()) {
+		return exitFindings
+	}
+	return exitClean
+}
+
+// load reads the model pair from either input form. On failure it
+// prints to stderr and returns a nil document with the exit code; XML
+// pairs whose embedded validation fails surface every coded finding,
+// not just the first.
+func load(modelPath, psdfPath, psmPath string, fs *flag.FlagSet, stderr io.Writer) (*dsl.Document, int) {
+	switch {
+	case modelPath != "" && (psdfPath != "" || psmPath != ""):
+		fmt.Fprintln(stderr, "segbus-vet: -model and -psdf/-psm are mutually exclusive")
+		return nil, exitUsage
+	case modelPath != "":
+		f, err := os.Open(modelPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "segbus-vet:", err)
+			return nil, exitUsage
+		}
+		defer f.Close()
+		doc, err := dsl.Parse(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "segbus-vet:", err)
+			return nil, exitUsage
+		}
+		return doc, exitClean
+	case psdfPath != "" && psmPath != "":
+		doc := &dsl.Document{}
+		if !parseXML(psdfPath, stderr, func(data []byte) error {
+			m, err := schema.ParsePSDF(data)
+			doc.Model = m
+			return err
+		}) {
+			return nil, exitFindings
+		}
+		if !parseXML(psmPath, stderr, func(data []byte) error {
+			p, err := schema.ParsePSM(data)
+			doc.Platform = p
+			return err
+		}) {
+			return nil, exitFindings
+		}
+		return doc, exitClean
+	default:
+		fs.Usage()
+		fmt.Fprintln(stderr, "segbus-vet: -model or a -psdf/-psm pair is required")
+		return nil, exitUsage
+	}
+}
+
+// parseXML runs one schema importer, rendering aggregated validation
+// diagnostics when the scheme parses but describes a broken model.
+func parseXML(path string, stderr io.Writer, parse func([]byte) error) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "segbus-vet:", err)
+		return false
+	}
+	if err := parse(data); err != nil {
+		if ds, ok := analyze.FromError(err); ok {
+			for _, d := range ds {
+				fmt.Fprintf(stderr, "%s: %s\n", path, d)
+			}
+			fmt.Fprintf(stderr, "segbus-vet: %s: %d validation finding(s)\n", path, len(ds))
+		} else {
+			fmt.Fprintln(stderr, "segbus-vet:", err)
+		}
+		return false
+	}
+	return true
+}
+
+func printCodes(w io.Writer) {
+	fmt.Fprintln(w, "stable diagnostic codes:")
+	for _, ci := range analyze.CodeTable() {
+		fmt.Fprintf(w, "%s %-8s %s\n", ci.Code, ci.Severity, ci.Summary)
+	}
+}

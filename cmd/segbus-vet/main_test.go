@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const scenarioDir = "../../testdata/scenarios"
+
+// TestScenarioGoldens locks the vet report for every checked-in
+// scenario byte-for-byte. Regenerate after a deliberate analyzer or
+// rendering change with:
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/segbus-vet
+func TestScenarioGoldens(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(scenarioDir, "*.sbd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no scenarios found")
+	}
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".sbd")
+		t.Run(name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			code := run([]string{"-model", path}, &out, &errOut)
+			if code == exitUsage {
+				t.Fatalf("vet failed: %s", errOut.String())
+			}
+			golden := filepath.Join(scenarioDir, "vet", name+".txt")
+			if update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("vet report for %s diverged from golden.\n-- got --\n%s\n-- want --\n%s",
+					name, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestMP3CongestionWarning pins the acceptance figure: on the paper's
+// three-segment MP3 allocation, vet must flag the BU12 imbalance (32
+// crossing packages against BU23's 1) under a stable code.
+func TestMP3CongestionWarning(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-model", "../../testdata/mp3.sbd"}, &out, &errOut)
+	if code != exitClean {
+		t.Fatalf("exit %d (warnings are not errors without -strict): %s", code, errOut.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "warning SB301 BU12") {
+		t.Errorf("missing SB301 warning:\n%s", report)
+	}
+	if !strings.Contains(report, "BU12 carries 32 packages") || !strings.Contains(report, "BU23 carries 1") {
+		t.Errorf("missing the 32-vs-1 crossing figure:\n%s", report)
+	}
+
+	out.Reset()
+	if code := run([]string{"-model", "../../testdata/mp3.sbd", "-strict"}, &out, &errOut); code != exitFindings {
+		t.Errorf("-strict exit = %d, want %d", code, exitFindings)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-model", "../../testdata/mp3.sbd", "-json"}, &out, &errOut); code != exitClean {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var decoded struct {
+		Version     int    `json:"version"`
+		Model       string `json:"model"`
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+		Bounds map[string]interface{} `json:"bounds"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Version != 1 || decoded.Model != "mp3-decoder" || decoded.Bounds == nil {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestPackageSizeOverride(t *testing.T) {
+	var a, b, errOut bytes.Buffer
+	run([]string{"-model", "../../testdata/mp3.sbd"}, &a, &errOut)
+	run([]string{"-model", "../../testdata/mp3.sbd", "-s", "18"}, &b, &errOut)
+	if a.String() == b.String() {
+		t.Error("-s 18 did not change the report")
+	}
+	if !strings.Contains(b.String(), "SB041") {
+		t.Errorf("-s 18 should trigger the package-size mismatch warning:\n%s", b.String())
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-model", "../../testdata/mp3.sbd", "-analyzers", "structural,liveness"}, &out, &errOut)
+	if code != exitClean {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "SB201") || strings.Contains(out.String(), "static performance bounds") {
+		t.Errorf("bounds ran despite subset:\n%s", out.String())
+	}
+	if code := run([]string{"-model", "../../testdata/mp3.sbd", "-analyzers", "nonesuch"}, &out, &errOut); code != exitUsage {
+		t.Errorf("unknown analyzer exit = %d, want %d", code, exitUsage)
+	}
+}
+
+func TestCodesListing(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-codes"}, &out, &errOut); code != exitClean {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"SB001", "SB101", "SB201", "SB301"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("code table missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != exitUsage {
+		t.Errorf("no-args exit = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"-model", "a.sbd", "-psdf", "b.xsd"}, &out, &errOut); code != exitUsage {
+		t.Errorf("conflicting inputs exit = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"-model", "does-not-exist.sbd"}, &out, &errOut); code != exitUsage {
+		t.Errorf("missing file exit = %d, want %d", code, exitUsage)
+	}
+}
+
+// TestErrorModelExitsNonZero feeds a model with a structural error
+// through a temp file and expects exit 1 with the coded finding.
+func TestErrorModelExitsNonZero(t *testing.T) {
+	src := `application broken
+flow P0 -> P0 items=36 order=1 ticks=5
+`
+	path := filepath.Join(t.TempDir(), "broken.sbd")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-model", path}, &out, &errOut); code != exitFindings {
+		t.Fatalf("exit = %d, want %d\n%s", code, exitFindings, out.String())
+	}
+	if !strings.Contains(out.String(), "error SB006 P0->P0") {
+		t.Errorf("missing coded self-loop finding:\n%s", out.String())
+	}
+}

@@ -1,0 +1,279 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"segbus/internal/emulator"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// CodeBoundsInfo is the informational diagnostic summarising the
+// static execution-time bounds (SB201).
+const CodeBoundsInfo = "SB201"
+
+// SegmentLoad is the statically computed bus occupancy of one segment:
+// the clock ticks its bus spends on package transactions (header plus
+// data phases of intra-segment transfers, border-unit fills and
+// unloads), and that figure in picoseconds of the segment's clock.
+type SegmentLoad struct {
+	Segment  int   `json:"segment"`
+	BusTicks int64 `json:"busTicks"`
+	BusyPs   int64 `json:"busyPs"`
+}
+
+// BUCrossing counts the package transfers crossing one border unit in
+// each direction over a whole execution.
+type BUCrossing struct {
+	Name      string `json:"name"`
+	Rightward int    `json:"rightward"`
+	Leftward  int    `json:"leftward"`
+}
+
+// Peak returns the larger directional count (the FIFO pair of a BU
+// serves each direction independently).
+func (c BUCrossing) Peak() int {
+	if c.Leftward > c.Rightward {
+		return c.Leftward
+	}
+	return c.Rightward
+}
+
+// Bounds holds the static performance figures of the bounds analyzer:
+// provable lower and upper bounds on the estimation-model execution
+// time, and the per-element load totals they derive from. The bounds
+// are proven against the emulator by property test:
+// LowerPs ≤ Report.ExecutionTimePs ≤ UpperPs.
+type Bounds struct {
+	PackageSize   int `json:"packageSize"`
+	TotalPackages int `json:"totalPackages"`
+
+	// CriticalPathPs sums, over the schedule's stages, the largest
+	// serial emission chain of any one process in that stage: stages
+	// are strict barriers and a functional unit is busy from compute
+	// start to package delivery, so no schedule can beat it.
+	CriticalPathPs int64 `json:"criticalPathPs"`
+
+	// BusLoadPs is the busiest segment's total bus occupancy; the
+	// segment bus serialises its transactions, so it too is a lower
+	// bound.
+	BusLoadPs int64 `json:"busLoadPs"`
+
+	// LowerPs = max(CriticalPathPs, BusLoadPs).
+	LowerPs int64 `json:"lowerPs"`
+
+	// UpperPs assumes full serialisation: every package transfer runs
+	// alone on the platform, with a clock-alignment allowance per
+	// package and the monitor's end-detection latency on top.
+	UpperPs int64 `json:"upperPs"`
+
+	// CASetupTicks totals the CA-clock circuit set-up ticks charged
+	// for inter-segment transfers (CAHopTicks per hop per package).
+	CASetupTicks int64 `json:"caSetupTicks"`
+
+	Segments  []SegmentLoad `json:"segments"`
+	Crossings []BUCrossing  `json:"crossings,omitempty"`
+}
+
+// String renders the bounds block of the vet report.
+func (b *Bounds) String() string {
+	var sb strings.Builder
+	sb.WriteString("-- static performance bounds --\n")
+	fmt.Fprintf(&sb, "package size %d, %d package transfers\n", b.PackageSize, b.TotalPackages)
+	fmt.Fprintf(&sb, "lower bound %d ps (critical path %d ps, peak segment load %d ps)\n",
+		b.LowerPs, b.CriticalPathPs, b.BusLoadPs)
+	fmt.Fprintf(&sb, "upper bound %d ps (full serialization)\n", b.UpperPs)
+	for _, s := range b.Segments {
+		fmt.Fprintf(&sb, "Segment %d: %d bus ticks (%d ps busy)\n", s.Segment, s.BusTicks, s.BusyPs)
+	}
+	fmt.Fprintf(&sb, "CA: %d circuit set-up ticks\n", b.CASetupTicks)
+	for _, c := range b.Crossings {
+		fmt.Fprintf(&sb, "%s: %d rightward / %d leftward crossing packages\n",
+			c.Name, c.Rightward, c.Leftward)
+	}
+	return sb.String()
+}
+
+// The bounds analyzer publishes the static figures as Result.Bounds
+// and reports the SB201 summary. It runs only on structurally valid
+// (model, platform) pairs; on invalid inputs the structural analyzer
+// carries the findings and bounds are meaningless.
+func init() {
+	Register(&Analyzer{
+		Name:          "bounds",
+		Doc:           "static bus/CA load totals and execution-time lower/upper bounds",
+		NeedsPlatform: true,
+		Run:           runBounds,
+	})
+}
+
+func runBounds(pass *Pass) {
+	b, err := ComputeBounds(pass.Model, pass.Platform)
+	if err != nil {
+		return // structural findings cover invalid inputs
+	}
+	pass.result.Bounds = b
+	pass.Reportf(CodeBoundsInfo, SeverityInfo, "model",
+		"static bounds: execution time between %d and %d ps (%d package transfers)",
+		b.LowerPs, b.UpperPs, b.TotalPackages)
+}
+
+// ComputeBounds derives the static performance figures for model m on
+// platform plat under the paper's estimation timing model (zero
+// protocol overheads, default end-detection latency). It requires a
+// structurally valid pair and returns an error otherwise.
+func ComputeBounds(m *psdf.Model, plat *platform.Platform) (*Bounds, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("analyze: bounds need a valid model: %w", err)
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, fmt.Errorf("analyze: bounds need a valid platform: %w", err)
+	}
+	if err := plat.ValidateMapping(m); err != nil {
+		return nil, fmt.Errorf("analyze: bounds need a complete mapping: %w", err)
+	}
+
+	s := plat.PackageSize
+	nominal := m.NominalPackageSize()
+	header := int64(plat.HeaderTicks)
+	caPeriod := plat.CAClock.PeriodPs()
+
+	periods := make(map[int]int64, len(plat.Segments))
+	maxPeriod := caPeriod
+	for _, seg := range plat.Segments {
+		periods[seg.Index] = seg.Clock.PeriodPs()
+		if periods[seg.Index] > maxPeriod {
+			maxPeriod = periods[seg.Index]
+		}
+	}
+
+	b := &Bounds{PackageSize: s}
+	segTicks := make(map[int]int64, len(plat.Segments))
+	// Every border unit gets an entry, so fully idle BUs still show
+	// up as the cold side of an imbalance.
+	crossing := make(map[string]*BUCrossing)
+	var crossOrder []string
+	for _, bu := range plat.BUs() {
+		name := bu.Name()
+		crossing[name] = &BUCrossing{Name: name}
+		crossOrder = append(crossOrder, name)
+	}
+
+	// itemsIn mirrors the emulator's itemsInPackage: full packages
+	// with a possibly partial tail.
+	itemsIn := func(f psdf.Flow, pkg int) int64 {
+		rest := f.Items - (pkg-1)*s
+		if rest > s {
+			rest = s
+		}
+		if rest < 0 {
+			rest = 0
+		}
+		return int64(rest)
+	}
+	// compute mirrors the emulator's computeTicks: C, rescaled by the
+	// package's item share of the nominal package size.
+	compute := func(f psdf.Flow, pkg int) int64 {
+		c := int64(f.Ticks)
+		if nominal <= 0 {
+			return c
+		}
+		return (c*itemsIn(f, pkg) + int64(nominal) - 1) / int64(nominal)
+	}
+
+	// Serial per-process emission chains, per stage.
+	var orders []int
+	seenOrder := make(map[int]bool)
+	chains := make(map[int]map[psdf.ProcessID]int64)
+
+	var upperWork int64
+	for _, f := range m.Flows() {
+		if !seenOrder[f.Order] {
+			seenOrder[f.Order] = true
+			orders = append(orders, f.Order)
+			chains[f.Order] = make(map[psdf.ProcessID]int64)
+		}
+		srcSeg := plat.SegmentOf(f.Source)
+		dstSeg := srcSeg
+		if f.Target != psdf.SystemOutput {
+			dstSeg = plat.SegmentOf(f.Target)
+		}
+		route, rightward := plat.Route(srcSeg, dstSeg)
+		hops := int64(len(route))
+		pk := f.Packages(s)
+		b.TotalPackages += pk
+
+		for _, bu := range route {
+			c := crossing[bu.Name()]
+			if rightward {
+				c.Rightward += pk
+			} else {
+				c.Leftward += pk
+			}
+		}
+
+		for pkg := 1; pkg <= pk; pkg++ {
+			items := itemsIn(f, pkg)
+			srcPeriod := periods[srcSeg]
+			// FU processing plus the source-segment transaction (an
+			// intra-segment transfer or the fill into the first BU).
+			latency := compute(f, pkg)*srcPeriod + (header+items)*srcPeriod
+			segTicks[srcSeg] += header + items
+			// CA circuit set-up, charged per hop on the CA clock.
+			latency += hops * int64(plat.CAHopTicks) * caPeriod
+			b.CASetupTicks += hops * int64(plat.CAHopTicks)
+			// One unload transaction per crossed BU, charged on the
+			// entered segment's bus and clock.
+			for _, bu := range route {
+				entered := bu.Right
+				if !rightward {
+					entered = bu.Left
+				}
+				segTicks[entered] += header + items
+				latency += (header + items) * periods[entered]
+			}
+			chains[f.Order][f.Source] += latency
+			// Full-serialisation allowance: the package's isolated
+			// latency plus a clock-edge alignment per scheduling step
+			// (compute start, grant, per-hop CA grant and unload
+			// grant, delivery), each at most one period of the
+			// slowest clock.
+			upperWork += latency + (4+3*hops)*maxPeriod
+		}
+	}
+
+	sort.Ints(orders)
+	for _, t := range orders {
+		var stageMax int64
+		for _, total := range chains[t] {
+			if total > stageMax {
+				stageMax = total
+			}
+		}
+		b.CriticalPathPs += stageMax
+	}
+
+	for _, seg := range plat.Segments {
+		ticks := segTicks[seg.Index]
+		busy := ticks * periods[seg.Index]
+		b.Segments = append(b.Segments, SegmentLoad{Segment: seg.Index, BusTicks: ticks, BusyPs: busy})
+		if busy > b.BusLoadPs {
+			b.BusLoadPs = busy
+		}
+	}
+	b.LowerPs = b.CriticalPathPs
+	if b.BusLoadPs > b.LowerPs {
+		b.LowerPs = b.BusLoadPs
+	}
+	// End detection: the monitor adds DetectTicks CA ticks after the
+	// last activity, and every arbiter's tick total is rounded up to
+	// a full period.
+	b.UpperPs = upperWork + (emulator.DefaultDetectTicks+1)*caPeriod + maxPeriod
+
+	for _, name := range crossOrder {
+		b.Crossings = append(b.Crossings, *crossing[name])
+	}
+	return b, nil
+}

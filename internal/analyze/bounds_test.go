@@ -1,0 +1,149 @@
+package analyze
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/dsl"
+	"segbus/internal/emulator"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// checkBounds asserts the bounds property the analyzer promises:
+// the static lower bound never exceeds the emulator's estimate, which
+// never exceeds the static upper bound.
+func checkBounds(t *testing.T, label string, m *psdf.Model, plat *platform.Platform) {
+	t.Helper()
+	b, err := ComputeBounds(m, plat)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	r, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	est := int64(r.ExecutionTimePs)
+	if b.LowerPs <= 0 {
+		t.Errorf("%s: non-positive lower bound %d", label, b.LowerPs)
+	}
+	if b.LowerPs > est {
+		t.Errorf("%s: lower bound %d above estimate %d", label, b.LowerPs, est)
+	}
+	if est > b.UpperPs {
+		t.Errorf("%s: estimate %d above upper bound %d", label, est, b.UpperPs)
+	}
+}
+
+func TestBoundsWithinEmulatorMP3(t *testing.T) {
+	m := apps.MP3Model()
+	for _, s := range []int{18, 36, 72} {
+		for _, pc := range []struct {
+			name string
+			plat *platform.Platform
+		}{
+			{"1seg", apps.MP3Platform1(s)},
+			{"2seg", apps.MP3Platform2(s)},
+			{"3seg", apps.MP3Platform3(s)},
+			{"3seg-p9moved", apps.MP3Platform3MovedP9(s)},
+		} {
+			checkBounds(t, fmt.Sprintf("mp3 %s s=%d", pc.name, s), m, pc.plat)
+		}
+	}
+}
+
+func TestBoundsScenarioCorpus(t *testing.T) {
+	paths, err := filepath.Glob("../../testdata/scenarios/*.sbd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, "../../testdata/mp3.sbd")
+	if len(paths) < 2 {
+		t.Fatal("scenario corpus missing")
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := dsl.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if doc.Platform == nil {
+			t.Fatalf("%s: scenario without platform", path)
+		}
+		checkBounds(t, filepath.Base(path), doc.Model, doc.Platform)
+	}
+}
+
+// TestBoundsRandomSystems drives the property over random layered
+// systems: ≥ 50 generated (model, platform) pairs with varying
+// package sizes, segment counts and protocol tick costs.
+func TestBoundsRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	const trials = 80
+	for trial := 0; trial < trials; trial++ {
+		pkg := []int{9, 18, 36, 72}[rng.Intn(4)]
+		m := apps.RandomModel(rng, 5, 4, pkg)
+		plat := apps.RandomPlatform(rng, m, 4, pkg)
+		plat.HeaderTicks = rng.Intn(30)
+		plat.CAHopTicks = rng.Intn(30)
+		label := fmt.Sprintf("trial %d (s=%d, %d procs, %d segs)",
+			trial, pkg, m.NumProcesses(), plat.NumSegments())
+		checkBounds(t, label, m, plat)
+	}
+}
+
+// TestBoundsTightOnSerialPipeline pins the bound quality where it can
+// be reasoned about exactly: a single-process-per-stage pipeline on
+// one segment is fully serial, so the critical-path lower bound must
+// be within the alignment slack of the estimate.
+func TestBoundsTightOnSerialPipeline(t *testing.T) {
+	m := apps.Pipeline(6, 144, 50)
+	plat := platform.New("serial", 100*platform.MHz, 36)
+	plat.HeaderTicks = 10
+	procs := m.Processes()
+	seg := []psdf.ProcessID{}
+	seg = append(seg, procs...)
+	plat.AddSegment(100*platform.MHz, seg...)
+	b, err := ComputeBounds(m, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := int64(r.ExecutionTimePs)
+	if b.LowerPs > est || est > b.UpperPs {
+		t.Fatalf("bounds [%d, %d] do not contain %d", b.LowerPs, b.UpperPs, est)
+	}
+	// Fully serial: the estimate exceeds the critical path only by
+	// end-detection and per-package alignments.
+	if est > 2*b.CriticalPathPs {
+		t.Errorf("critical path %d too loose against serial estimate %d", b.CriticalPathPs, est)
+	}
+}
+
+func TestComputeBoundsRejectsInvalidInputs(t *testing.T) {
+	m := apps.MP3Model()
+	bad := platform.New("bad", 0, 0)
+	if _, err := ComputeBounds(m, bad); err == nil {
+		t.Error("ComputeBounds accepted an invalid platform")
+	}
+	empty := psdf.NewModel("empty")
+	if _, err := ComputeBounds(empty, apps.MP3Platform1(36)); err == nil {
+		t.Error("ComputeBounds accepted an invalid model")
+	}
+	partial := platform.New("partial", 111*platform.MHz, 36)
+	partial.AddSegment(100*platform.MHz, 0, 1)
+	if _, err := ComputeBounds(m, partial); err == nil {
+		t.Error("ComputeBounds accepted an incomplete mapping")
+	}
+}

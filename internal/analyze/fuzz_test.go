@@ -1,0 +1,60 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/dsl"
+)
+
+// FuzzAnalyze feeds arbitrary text through the DSL parser and, for
+// every document that parses, runs the full analyzer registry plus
+// both renderings. The property: analysis never panics, whatever the
+// model looks like — broken platforms, cycles, isolated processes.
+func FuzzAnalyze(f *testing.F) {
+	f.Add("application empty\n")
+	// A cyclic same-stage flow pair (provable deadlock, SB101).
+	f.Add(`application cyclic
+flow P0 -> P1 items=36 order=1 ticks=5
+flow P1 -> P0 items=36 order=1 ticks=5
+`)
+	// An isolated process next to a working pipeline (SB008).
+	f.Add(`application isolated
+process P9
+flow P0 -> P1 items=36 order=1 ticks=5
+flow P1 -> out items=36 order=2 ticks=5
+`)
+	// A platformed document exercising bounds and congestion.
+	f.Add(`application demo
+flow P0 -> P1 items=144 order=1 ticks=50
+flow P1 -> P2 items=144 order=2 ticks=50
+platform demo-plat
+ca-clock 100MHz
+package-size 36
+segment 1 clock=90MHz processes=P0,P1
+segment 2 clock=95MHz processes=P2
+`)
+	// Degenerate platform numbers must be reported, not crash.
+	f.Add(`application broken
+flow P0 -> P1 items=1 order=0 ticks=0
+platform broken-plat
+ca-clock 0Hz
+package-size -3
+segment 1 clock=0Hz processes=P0
+`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := dsl.Parse(strings.NewReader(src))
+		if err != nil {
+			return // only parsed documents are analyzed
+		}
+		res := Run(doc, Options{})
+		if res == nil {
+			t.Fatal("Run returned nil result")
+		}
+		_ = res.String()
+		if _, err := res.JSON(); err != nil {
+			t.Fatalf("JSON rendering failed: %v", err)
+		}
+	})
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"segbus/internal/analyze"
 	"segbus/internal/emulator"
 	"segbus/internal/m2t"
 	"segbus/internal/parallel"
@@ -47,6 +48,41 @@ type Options struct {
 	// Observer, when non-nil, receives emulation events as they
 	// happen (stages, grants, deliveries).
 	Observer emulator.Observer
+
+	// Preflight runs the static structural and liveness analyzers
+	// before spending emulation time; error-severity findings abort
+	// the estimation with a PreflightError carrying every coded
+	// diagnostic.
+	Preflight bool
+}
+
+// PreflightError reports that the static pre-flight analysis rejected
+// the model pair before emulation. Result carries the full coded
+// diagnostics for display or JSON output.
+type PreflightError struct {
+	Result *analyze.Result
+}
+
+// Error implements the error interface with the aggregated findings.
+func (e *PreflightError) Error() string {
+	errs, _, _ := e.Result.Counts()
+	s := fmt.Sprintf("core: preflight found %d error(s)", errs)
+	for _, d := range e.Result.Diagnostics {
+		if d.Severity == analyze.SeverityError {
+			s += "; " + d.String()
+		}
+	}
+	return s
+}
+
+// Preflight runs the static structural and liveness analyzers on a
+// model pair — the cheap gate every tool can apply before an
+// emulation or exploration run. plat may be nil to check a bare
+// application model.
+func Preflight(m *psdf.Model, plat *platform.Platform) *analyze.Result {
+	return analyze.RunModels(m, plat, analyze.Options{
+		Analyzers: analyze.PreflightAnalyzers(),
+	})
 }
 
 // Estimation is the result of estimating one (application,
@@ -63,6 +99,11 @@ func (e *Estimation) ExecutionTimePs() int64 { return int64(e.Report.ExecutionTi
 
 // Estimate runs the estimation technique on in-memory models.
 func Estimate(m *psdf.Model, plat *platform.Platform, opts Options) (*Estimation, error) {
+	if opts.Preflight {
+		if res := Preflight(m, plat); res.HasErrors() {
+			return nil, &PreflightError{Result: res}
+		}
+	}
 	var tr *trace.Trace
 	if opts.Trace {
 		tr = &trace.Trace{}

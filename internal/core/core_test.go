@@ -43,6 +43,46 @@ func TestEstimatePropagatesValidation(t *testing.T) {
 	}
 }
 
+func TestPreflightGatesEstimate(t *testing.T) {
+	// A same-stage cycle with all inputs inside the cycle: preflight
+	// must reject it and carry the liveness SB101 deadlock finding
+	// alongside the structural ones.
+	m := psdf.NewModel("deadlock")
+	m.AddFlow(psdf.Flow{Source: 0, Target: 1, Items: 36, Order: 1, Ticks: 5})
+	m.AddFlow(psdf.Flow{Source: 1, Target: 0, Items: 36, Order: 1, Ticks: 5})
+	plat := platform.New("p", 100*platform.MHz, 36)
+	plat.AddSegment(100*platform.MHz, 0, 1)
+
+	_, err := Estimate(m, plat, Options{Preflight: true})
+	perr, ok := err.(*PreflightError)
+	if !ok {
+		t.Fatalf("err = %v, want *PreflightError", err)
+	}
+	if !strings.Contains(perr.Error(), "SB101") {
+		t.Errorf("preflight error lacks the cycle code: %v", perr)
+	}
+	found := false
+	for _, d := range perr.Result.Diagnostics {
+		if d.Code == "SB101" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("PreflightError.Result does not carry the SB101 finding")
+	}
+}
+
+func TestPreflightPassesCleanModel(t *testing.T) {
+	est, err := Estimate(apps.MP3Model(), apps.MP3Platform3(36), Options{Preflight: true})
+	if err != nil || est == nil {
+		t.Fatalf("clean model rejected by preflight: %v", err)
+	}
+	res := Preflight(apps.MP3Model(), nil)
+	if res.HasErrors() {
+		t.Errorf("bare MP3 model fails preflight:\n%s", res)
+	}
+}
+
 func TestTransformAndEstimateXML(t *testing.T) {
 	m := apps.MP3Model()
 	p := apps.MP3Platform3(36)

@@ -310,9 +310,13 @@ func TestPrintParseRoundTrip(t *testing.T) {
 }
 
 func TestDiagnosticString(t *testing.T) {
-	d := Diagnostic{SeverityError, "P3", "broken"}
+	d := Diagnostic{Severity: SeverityError, Element: "P3", Message: "broken"}
 	if got := d.String(); !strings.Contains(got, "error") || !strings.Contains(got, "P3") {
 		t.Errorf("String() = %q", got)
+	}
+	d.Code = "SB099"
+	if got := d.String(); !strings.Contains(got, "SB099") || !strings.Contains(got, "broken") {
+		t.Errorf("String() with code = %q", got)
 	}
 	if SeverityWarning.String() != "warning" {
 		t.Error("warning severity name")

@@ -27,15 +27,27 @@ func (s Severity) String() string {
 
 // Diagnostic is one finding of the validation pass. Element names the
 // model element to highlight, as the DSL tool highlights the offending
-// element in the diagram on an OCL breach.
+// element in the diagram on an OCL breach. Code is the stable SB0xx
+// diagnostic code of the violated rule, carried over from the psdf and
+// platform validators (see internal/analyze for the full table).
 type Diagnostic struct {
 	Severity Severity
+	Code     string
 	Element  string
 	Message  string
 }
 
+// Stable diagnostic codes of the DSL-level consistency rules.
+const (
+	CodeStereotype          = "SB040" // declared stereotype contradicts flows
+	CodePackageSizeMismatch = "SB041" // platform vs nominal package size
+)
+
 // String implements fmt.Stringer.
 func (d Diagnostic) String() string {
+	if d.Code != "" {
+		return fmt.Sprintf("%s: %s: %s: %s", d.Severity, d.Element, d.Code, d.Message)
+	}
 	return fmt.Sprintf("%s: %s: %s", d.Severity, d.Element, d.Message)
 }
 
@@ -78,10 +90,10 @@ func (doc *Document) Validate() Diagnostics {
 				if v.Flow != nil {
 					el = v.Flow.String()
 				}
-				ds = append(ds, Diagnostic{SeverityError, el, v.Message})
+				ds = append(ds, Diagnostic{SeverityError, v.Code, el, v.Message})
 			}
 		} else {
-			ds = append(ds, Diagnostic{SeverityError, doc.Model.Name(), err.Error()})
+			ds = append(ds, Diagnostic{SeverityError, "", doc.Model.Name(), err.Error()})
 		}
 	}
 
@@ -89,7 +101,7 @@ func (doc *Document) Validate() Diagnostics {
 	for p, declared := range doc.Stereotype {
 		if want, ok := inferred[p]; ok && want != declared {
 			ds = append(ds, Diagnostic{
-				SeverityError, p.String(),
+				SeverityError, CodeStereotype, p.String(),
 				fmt.Sprintf("declared stereotype %s contradicts the flow structure (expected %s)", declared, want),
 			})
 		}
@@ -104,11 +116,11 @@ func (doc *Document) Validate() Diagnostics {
 		}
 		if vs, ok := err.(platform.ConstraintViolations); ok {
 			for _, v := range vs {
-				ds = append(ds, Diagnostic{SeverityError, v.Element, v.Message})
+				ds = append(ds, Diagnostic{SeverityError, v.Code, v.Element, v.Message})
 			}
 			return
 		}
-		ds = append(ds, Diagnostic{SeverityError, doc.Platform.Name, err.Error()})
+		ds = append(ds, Diagnostic{SeverityError, "", doc.Platform.Name, err.Error()})
 	}
 	appendViolations(doc.Platform.Validate())
 	appendViolations(doc.Platform.ValidateMapping(doc.Model))
@@ -118,7 +130,7 @@ func (doc *Document) Validate() Diagnostics {
 	if doc.Platform.PackageSize > 0 && doc.Model.NominalPackageSize() > 0 &&
 		doc.Platform.PackageSize != doc.Model.NominalPackageSize() {
 		ds = append(ds, Diagnostic{
-			SeverityWarning, doc.Platform.Name,
+			SeverityWarning, CodePackageSizeMismatch, doc.Platform.Name,
 			fmt.Sprintf("platform package size %d differs from the model's nominal %d: per-package processing costs will be rescaled",
 				doc.Platform.PackageSize, doc.Model.NominalPackageSize()),
 		})

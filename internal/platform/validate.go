@@ -10,15 +10,38 @@ import (
 // constraints. Element names the offending platform element in the
 // paper's naming convention ("Segment 2", "CA", "BU12", "P9"), so a
 // front end can highlight it, as the DSL tool does on OCL violations.
+// Code is the stable SB0xx diagnostic code of the violated constraint
+// (see internal/analyze for the full table).
 type ConstraintViolation struct {
+	Code    string
 	Element string
 	Message string
 }
 
 // Error implements the error interface.
 func (v *ConstraintViolation) Error() string {
+	if v.Code != "" {
+		return fmt.Sprintf("platform: %s: %s: %s", v.Element, v.Code, v.Message)
+	}
 	return fmt.Sprintf("platform: %s: %s", v.Element, v.Message)
 }
+
+// Stable diagnostic codes of the platform structural constraints.
+const (
+	CodeNoSegments      = "SB020" // platform has no segments
+	CodeBadPackageSize  = "SB021" // non-positive package size
+	CodeBadCAClock      = "SB022" // non-positive CA clock frequency
+	CodeBadHeaderTicks  = "SB023" // negative header tick count
+	CodeBadCAHopTicks   = "SB024" // negative CA hop tick count
+	CodeBadSegmentIndex = "SB025" // segment index out of sequence
+	CodeBadSegmentClock = "SB026" // non-positive segment clock
+	CodeEmptySegment    = "SB027" // segment hosts no functional unit
+	CodeDoubleHosted    = "SB028" // process hosted by two segments
+	CodeUnmapped        = "SB029" // application process not mapped
+	CodeStrayProcess    = "SB030" // platform hosts a stray process
+	CodeNoMaster        = "SB031" // flow source FU lacks master side
+	CodeNoSlave         = "SB032" // flow target FU lacks slave side
+)
 
 // ConstraintViolations aggregates every violation from a validation
 // pass.
@@ -53,40 +76,40 @@ func (vs ConstraintViolations) Error() string {
 // A nil return means the platform is structurally valid.
 func (p *Platform) Validate() error {
 	var vs ConstraintViolations
-	add := func(element, format string, args ...interface{}) {
-		vs = append(vs, &ConstraintViolation{Element: element, Message: fmt.Sprintf(format, args...)})
+	add := func(code, element, format string, args ...interface{}) {
+		vs = append(vs, &ConstraintViolation{Code: code, Element: element, Message: fmt.Sprintf(format, args...)})
 	}
 
 	if len(p.Segments) == 0 {
-		add(p.Name, "platform has no segments")
+		add(CodeNoSegments, p.Name, "platform has no segments")
 	}
 	if p.PackageSize <= 0 {
-		add(p.Name, "non-positive package size %d", p.PackageSize)
+		add(CodeBadPackageSize, p.Name, "non-positive package size %d", p.PackageSize)
 	}
 	if p.CAClock <= 0 {
-		add("CA", "non-positive clock frequency %v", float64(p.CAClock))
+		add(CodeBadCAClock, "CA", "non-positive clock frequency %v", float64(p.CAClock))
 	}
 	if p.HeaderTicks < 0 {
-		add(p.Name, "negative header tick count %d", p.HeaderTicks)
+		add(CodeBadHeaderTicks, p.Name, "negative header tick count %d", p.HeaderTicks)
 	}
 	if p.CAHopTicks < 0 {
-		add(p.Name, "negative CA hop tick count %d", p.CAHopTicks)
+		add(CodeBadCAHopTicks, p.Name, "negative CA hop tick count %d", p.CAHopTicks)
 	}
 
 	hostedBy := make(map[psdf.ProcessID]string)
 	for i, s := range p.Segments {
 		if s.Index != i+1 {
-			add(s.Name(), "segment index %d out of sequence (want %d)", s.Index, i+1)
+			add(CodeBadSegmentIndex, s.Name(), "segment index %d out of sequence (want %d)", s.Index, i+1)
 		}
 		if s.Clock <= 0 {
-			add(s.Name(), "non-positive clock frequency %v", float64(s.Clock))
+			add(CodeBadSegmentClock, s.Name(), "non-positive clock frequency %v", float64(s.Clock))
 		}
 		if len(s.FUs) == 0 {
-			add(s.Name(), "segment hosts no functional unit (at least one FU required)")
+			add(CodeEmptySegment, s.Name(), "segment hosts no functional unit (at least one FU required)")
 		}
 		for _, fu := range s.FUs {
 			if prev, ok := hostedBy[fu.Process]; ok {
-				add(fu.Process.String(), "hosted by both %s and %s", prev, s.Name())
+				add(CodeDoubleHosted, fu.Process.String(), "hosted by both %s and %s", prev, s.Name())
 				continue
 			}
 			hostedBy[fu.Process] = s.Name()
@@ -114,6 +137,7 @@ func (p *Platform) ValidateMapping(m *psdf.Model) error {
 		want[proc] = true
 		if !hosted[proc] {
 			vs = append(vs, &ConstraintViolation{
+				Code:    CodeUnmapped,
 				Element: proc.String(),
 				Message: "application process is not mapped to any segment",
 			})
@@ -122,6 +146,7 @@ func (p *Platform) ValidateMapping(m *psdf.Model) error {
 	for _, proc := range p.Processes() {
 		if !want[proc] {
 			vs = append(vs, &ConstraintViolation{
+				Code:    CodeStrayProcess,
 				Element: proc.String(),
 				Message: "platform hosts a process that is not part of the application",
 			})
@@ -167,12 +192,14 @@ func (p *Platform) ValidateRoles(m *psdf.Model) error {
 	for _, f := range m.Flows() {
 		if !p.MasterCapable(f.Source) {
 			vs = append(vs, &ConstraintViolation{
+				Code:    CodeNoMaster,
 				Element: f.Source.String(),
 				Message: fmt.Sprintf("emits flow %s but its FU has no master interface", f),
 			})
 		}
 		if f.Target != psdf.SystemOutput && !p.SlaveCapable(f.Target) {
 			vs = append(vs, &ConstraintViolation{
+				Code:    CodeNoSlave,
 				Element: f.Target.String(),
 				Message: fmt.Sprintf("receives flow %s but its FU has no slave interface", f),
 			})

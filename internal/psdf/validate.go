@@ -8,19 +8,40 @@ import (
 // ValidationError describes one well-formedness violation found in a
 // PSDF model. Errors carry the offending flow (when applicable) so
 // that a front end can highlight the model element, mirroring the DSL
-// tool behaviour described in section 2.2 of the paper.
+// tool behaviour described in section 2.2 of the paper. Code is the
+// stable SB0xx diagnostic code of the violated rule (see
+// internal/analyze for the full table).
 type ValidationError struct {
+	Code    string // stable diagnostic code ("SB006")
 	Flow    *Flow  // offending flow, nil for model-level violations
 	Message string // human-readable description
 }
 
 // Error implements the error interface.
 func (e *ValidationError) Error() string {
+	prefix := "psdf: "
 	if e.Flow != nil {
-		return fmt.Sprintf("psdf: flow %s: %s", e.Flow, e.Message)
+		prefix = fmt.Sprintf("psdf: flow %s: ", e.Flow)
 	}
-	return "psdf: " + e.Message
+	if e.Code != "" {
+		prefix += e.Code + ": "
+	}
+	return prefix + e.Message
 }
+
+// Stable diagnostic codes of the PSDF well-formedness rules.
+const (
+	CodeNoProcesses   = "SB001" // model has no processes
+	CodeNoFlows       = "SB002" // model has no flows
+	CodeBadItems      = "SB003" // non-positive data item count
+	CodeBadOrder      = "SB004" // negative ordering number
+	CodeBadTicks      = "SB005" // negative per-package tick count
+	CodeSelfLoop      = "SB006" // flow is a self-loop
+	CodeDuplicateFlow = "SB007" // duplicate (source, target, order)
+	CodeIsolated      = "SB008" // process carries no flow at all
+	CodeUnreachable   = "SB009" // not reachable from any initial node
+	CodeOrderTooEarly = "SB010" // ordered before every feeding flow
+)
 
 // ValidationErrors aggregates every violation found in one validation
 // pass so the designer can fix them all at once.
@@ -61,15 +82,15 @@ func (es ValidationErrors) Error() string {
 // is a ValidationErrors listing every violation.
 func (m *Model) Validate() error {
 	var errs ValidationErrors
-	add := func(f *Flow, format string, args ...interface{}) {
-		errs = append(errs, &ValidationError{Flow: f, Message: fmt.Sprintf(format, args...)})
+	add := func(code string, f *Flow, format string, args ...interface{}) {
+		errs = append(errs, &ValidationError{Code: code, Flow: f, Message: fmt.Sprintf(format, args...)})
 	}
 
 	if len(m.processes) == 0 {
-		add(nil, "model %q has no processes", m.name)
+		add(CodeNoProcesses, nil, "model %q has no processes", m.name)
 	}
 	if len(m.flows) == 0 {
-		add(nil, "model %q has no flows", m.name)
+		add(CodeNoFlows, nil, "model %q has no flows", m.name)
 	}
 
 	type key struct {
@@ -80,23 +101,23 @@ func (m *Model) Validate() error {
 	for i := range m.flows {
 		f := m.flows[i]
 		if f.Items <= 0 {
-			add(&m.flows[i], "non-positive data item count %d", f.Items)
+			add(CodeBadItems, &m.flows[i], "non-positive data item count %d", f.Items)
 		}
 		if f.Order < 0 {
-			add(&m.flows[i], "negative ordering number %d", f.Order)
+			add(CodeBadOrder, &m.flows[i], "negative ordering number %d", f.Order)
 		}
 		if f.Ticks < 0 {
-			add(&m.flows[i], "negative per-package tick count %d", f.Ticks)
+			add(CodeBadTicks, &m.flows[i], "negative per-package tick count %d", f.Ticks)
 		}
 		if f.Source == f.Target {
-			add(&m.flows[i], "self-loop")
+			add(CodeSelfLoop, &m.flows[i], "self-loop")
 		}
 		if f.Target == SystemOutput {
 			continue
 		}
 		k := key{f.Source, f.Target, f.Order}
 		if seen[k] {
-			add(&m.flows[i], "duplicate flow (same source, target and ordering number)")
+			add(CodeDuplicateFlow, &m.flows[i], "duplicate flow (same source, target and ordering number)")
 		}
 		seen[k] = true
 	}
@@ -112,7 +133,7 @@ func (m *Model) Validate() error {
 		}
 		for _, p := range m.Processes() {
 			if !touched[p] {
-				add(nil, "process %s is isolated (no incoming or outgoing flow)", p)
+				add(CodeIsolated, nil, "process %s is isolated (no incoming or outgoing flow)", p)
 			}
 		}
 	}
@@ -149,7 +170,7 @@ func (m *Model) Validate() error {
 		}
 		sort.Slice(unreachable, func(i, j int) bool { return unreachable[i] < unreachable[j] })
 		for _, p := range unreachable {
-			add(nil, "process %s is not reachable from any initial node", p)
+			add(CodeUnreachable, nil, "process %s is not reachable from any initial node", p)
 		}
 	}
 
@@ -175,7 +196,7 @@ func (m *Model) Validate() error {
 			}
 		}
 		if f.Order < minIn {
-			add(&m.flows[i], "ordered (%d) before every flow feeding its source (earliest input order %d)", f.Order, minIn)
+			add(CodeOrderTooEarly, &m.flows[i], "ordered (%d) before every flow feeding its source (earliest input order %d)", f.Order, minIn)
 		}
 	}
 

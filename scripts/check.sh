@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate: formatting, vet, build and the full
+# race-enabled test suite. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
