@@ -1,0 +1,177 @@
+// segbus-conform is the differential conformance harness: it
+// generates random well-formed (PSDF, PSM) model pairs (optionally
+// seeded from a scenario corpus), runs every pair through the
+// estimation model, the refined ground-truth model and the static
+// bounds analyzer, and checks the oracle battery of internal/conform —
+// the SB201 bound chain across both timing models, the paper's
+// relative-error envelope, run-to-run determinism, and the metamorphic
+// monotonicity properties. Failing cases are greedily shrunk to a
+// minimal reproducer and persisted as plain .sbd files.
+//
+// Usage:
+//
+//	segbus-conform -n 1000 -seed 1 [-corpus testdata/scenarios] [-json]
+//	segbus-conform -duration 30s -oracles bounds,envelope
+//	segbus-conform -replay testdata/conform/repros/bounds-seed1-case7.sbd
+//	segbus-conform -n 200 -emit-fuzz-corpus internal/analyze/testdata/fuzz/FuzzAnalyze
+//
+// Exit status: 0 when every oracle passed on every case, 1 when an
+// oracle failed, 2 on usage or I/O problems.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"segbus/internal/conform"
+	"segbus/internal/dsl"
+)
+
+const (
+	exitOK       = 0
+	exitFailures = 1
+	exitUsage    = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("segbus-conform", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "root seed; the sweep is a pure function of it")
+	n := fs.Int("n", 100, "number of cases to run (0: until -duration)")
+	duration := fs.Duration("duration", 0, "wall-clock budget; stops early when reached")
+	oracles := fs.String("oracles", "", "comma-separated oracle subset (default: all, see -list)")
+	corpus := fs.String("corpus", "", "directory of .sbd descriptions to seed the generator with")
+	repros := fs.String("repros", "testdata/conform/repros", "directory for shrunk reproducers ('' disables)")
+	replay := fs.String("replay", "", "run the oracles on one .sbd file instead of generating")
+	fuzzDir := fs.String("emit-fuzz-corpus", "", "write every generated case as a Go fuzz seed into this directory")
+	jsonOut := fs.Bool("json", false, "print the summary as versioned JSON")
+	list := fs.Bool("list", false, "print the oracle battery and exit")
+	noShrink := fs.Bool("no-shrink", false, "report failures without shrinking them")
+	verbose := fs.Bool("v", false, "log every case to stderr")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	if *list {
+		for _, o := range conform.Oracles() {
+			fmt.Fprintf(stdout, "%-14s %s\n", o.Name, o.Doc)
+		}
+		return exitOK
+	}
+
+	var names []string
+	if *oracles != "" {
+		names = strings.Split(*oracles, ",")
+	}
+
+	if *replay != "" {
+		return replayFile(*replay, names, stdout, stderr)
+	}
+
+	cfg := conform.Config{
+		Seed:          *seed,
+		N:             *n,
+		Duration:      *duration,
+		Oracles:       names,
+		ReproDir:      *repros,
+		NoShrink:      *noShrink,
+		FuzzCorpusDir: *fuzzDir,
+	}
+	if *verbose {
+		cfg.Log = stderr
+	}
+	if *corpus != "" {
+		docs, err := conform.LoadCorpusDir(*corpus)
+		if err != nil {
+			fmt.Fprintln(stderr, "segbus-conform:", err)
+			return exitUsage
+		}
+		cfg.Corpus = docs
+	}
+
+	sum, err := conform.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "segbus-conform:", err)
+		return exitUsage
+	}
+	if err := printSummary(sum, *jsonOut, stdout); err != nil {
+		fmt.Fprintln(stderr, "segbus-conform:", err)
+		return exitUsage
+	}
+	if !sum.OK() {
+		return exitFailures
+	}
+	return exitOK
+}
+
+// replayFile runs the oracle battery once on a stored model
+// description — the triage loop for a shrunk reproducer.
+func replayFile(path string, names []string, stdout, stderr io.Writer) int {
+	oracles, err := conform.SelectOracles(names)
+	if err != nil {
+		fmt.Fprintln(stderr, "segbus-conform:", err)
+		return exitUsage
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "segbus-conform:", err)
+		return exitUsage
+	}
+	defer f.Close()
+	doc, err := dsl.Parse(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "segbus-conform:", err)
+		return exitUsage
+	}
+	if doc.Platform == nil {
+		fmt.Fprintln(stderr, "segbus-conform: replay needs a model with a platform section")
+		return exitUsage
+	}
+	if ds := doc.Validate(); ds.HasErrors() {
+		fmt.Fprintf(stderr, "segbus-conform: %s is not a valid model pair:\n%s", path, ds)
+		return exitUsage
+	}
+
+	failed := false
+	c := conform.NewCase(doc)
+	for _, o := range oracles {
+		switch err := o.Check(c); {
+		case err == nil:
+			fmt.Fprintf(stdout, "PASS %s\n", o.Name)
+		case conform.IsSkip(err):
+			fmt.Fprintf(stdout, "SKIP %s\n", o.Name)
+		default:
+			failed = true
+			fmt.Fprintf(stdout, "FAIL %s: %v\n", o.Name, err)
+		}
+	}
+	if failed {
+		return exitFailures
+	}
+	return exitOK
+}
+
+// printSummary renders the sweep result as text or versioned JSON.
+func printSummary(sum *conform.Summary, asJSON bool, stdout io.Writer) error {
+	if !asJSON {
+		fmt.Fprint(stdout, sum)
+		return nil
+	}
+	data, err := json.MarshalIndent(struct {
+		Version int `json:"version"`
+		*conform.Summary
+	}{Version: 1, Summary: sum}, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, string(data))
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSweepText(t *testing.T) {
+	code, out, errOut := runCLI(t, "-n", "20", "-seed", "1", "-repros", t.TempDir())
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "all oracles passed") {
+		t.Errorf("missing pass banner:\n%s", out)
+	}
+	if !strings.Contains(out, "bounds") || !strings.Contains(out, "permute-ids") {
+		t.Errorf("summary does not tally the oracle battery:\n%s", out)
+	}
+}
+
+func TestSweepJSON(t *testing.T) {
+	code, out, errOut := runCLI(t, "-n", "10", "-seed", "2", "-json", "-repros", t.TempDir())
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	var sum struct {
+		Version int                       `json:"version"`
+		Seed    int64                     `json:"seed"`
+		Cases   int                       `json:"cases"`
+		Oracles map[string]map[string]int `json:"oracles"`
+	}
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, out)
+	}
+	if sum.Version != 1 || sum.Seed != 2 || sum.Cases != 10 {
+		t.Errorf("summary fields = %+v", sum)
+	}
+	if _, ok := sum.Oracles["bounds"]; !ok {
+		t.Errorf("JSON summary has no bounds tally:\n%s", out)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"bounds", "envelope", "determinism", "grow-segment", "shrink-package", "permute-ids"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list misses oracle %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	src := `application replayed
+process P0
+process P1
+flow P0 -> P1 items=8 order=1 ticks=4
+platform replayed-plat
+ca-clock 100MHz
+package-size 4
+segment 1 clock=100MHz processes=P0,P1
+`
+	path := filepath.Join(t.TempDir(), "case.sbd")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, "-replay", path)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "PASS bounds") {
+		t.Errorf("replay output misses per-oracle verdicts:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "-bogus"); code != exitUsage {
+		t.Errorf("bad flag: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-n", "1", "-oracles", "nope"); code != exitUsage {
+		t.Errorf("unknown oracle: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCLI(t, "-replay", "/nonexistent/x.sbd"); code != exitUsage {
+		t.Errorf("missing replay file: exit %d, want %d", code, exitUsage)
+	}
+	// A missing corpus dir is an empty corpus, not an error: the sweep
+	// simply runs fully generated.
+	if code, _, _ := runCLI(t, "-n", "5", "-corpus", "/nonexistent-dir-xyz", "-repros", t.TempDir()); code != exitOK {
+		t.Errorf("empty corpus sweep: exit %d, want %d", code, exitOK)
+	}
+}

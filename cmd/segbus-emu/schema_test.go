@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reportSchema walks a JSON document's token stream and renders its
+// shape: every key path in emission order, descending into the first
+// element of each array. Values are ignored, so the golden pins the
+// field names and their order — the machine-readable contract of
+// segbus-emu -report-json — without pinning timings.
+func reportSchema(t *testing.T, data []byte) string {
+	t.Helper()
+	// A token walk preserves key order, which a map decode would lose.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var b strings.Builder
+	var walk func(path string) error
+	walk = func(path string) error {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch d := tok.(type) {
+		case json.Delim:
+			switch d {
+			case '{':
+				for dec.More() {
+					keyTok, err := dec.Token()
+					if err != nil {
+						return err
+					}
+					key, ok := keyTok.(string)
+					if !ok {
+						return fmt.Errorf("non-string key %v at %s", keyTok, path)
+					}
+					sub := path + "." + key
+					fmt.Fprintln(&b, sub)
+					if err := walk(sub); err != nil {
+						return err
+					}
+				}
+				_, err := dec.Token() // consume '}'
+				return err
+			case '[':
+				first := true
+				for dec.More() {
+					if first {
+						if err := walk(path + "[]"); err != nil {
+							return err
+						}
+						first = false
+						continue
+					}
+					// Later elements share the first one's shape; skip
+					// them without emitting duplicate paths.
+					var skip interface{}
+					if err := dec.Decode(&skip); err != nil {
+						return err
+					}
+				}
+				_, err := dec.Token() // consume ']'
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(""); err != nil {
+		t.Fatalf("walking report JSON: %v\n%s", err, data)
+	}
+	return b.String()
+}
+
+// TestReportJSONSchemaGolden locks the segbus-emu JSON report schema:
+// adding, removing, renaming or reordering fields must show up as a
+// reviewed golden diff, because downstream tooling (segbus-conform's
+// determinism oracle, dashboards, the sweep CSVs) parses this format.
+//
+// Regenerate after a deliberate schema change with:
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/segbus-emu -run TestReportJSONSchemaGolden
+func TestReportJSONSchemaGolden(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout strings.Builder
+	for _, mode := range []struct {
+		name string
+		args []string
+	}{
+		{"estimation", nil},
+		{"refined", []string{"-refined"}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			args := append([]string{"-psdf", psdfPath, "-psm", psmPath, "-report-json", out}, mode.args...)
+			if err := run(args, &stdout); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := reportSchema(t, data)
+			goldenPath := filepath.Join("testdata", "report_schema.golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" && mode.name == "estimation" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report JSON schema diverged from %s:\n--- got ---\n%s--- want ---\n%s",
+					goldenPath, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,361 @@
+// Package conform implements the differential conformance harness of
+// cmd/segbus-conform: it generates random well-formed (PSDF, PSM)
+// model pairs with a seeded generator layered on the DSL, runs each
+// pair through the estimation model, the refined (ground-truth) model
+// and the static bounds analyzer, and checks a battery of oracles
+// against the results.
+//
+// The oracles encode the relationships the paper's methodology
+// promises and that PR 1's static analysis proves in part:
+//
+//   - bounds: LowerPs ≤ estimate ≤ UpperPs (the SB201 chain) and
+//     LowerPs ≤ refined ≤ UpperPs + overhead allowance — section 3.6
+//     attributes the estimation error to the skipped overheads, so the
+//     refined model may exceed the estimation-model upper bound by at
+//     most the serialised overhead work; on contention-free models
+//     (at most one bus master) estimate ≤ refined is enforced exactly;
+//   - envelope: |refined − estimate| stays inside an envelope
+//     proportional to the per-package overhead work, which grows as
+//     packages shrink — the Discussion-of-section-4 claim;
+//   - determinism: identical inputs produce byte-identical reports and
+//     traces, run to run;
+//   - grow-segment: extending the platform with an extra segment (and
+//     the minimal trailing flow validation demands) never decreases
+//     the estimated time;
+//   - shrink-package: shrinking the package size never decreases the
+//     number of border-unit crossings;
+//   - permute-ids: relabeling a same-segment process pair whose swap
+//     provably cannot perturb the emulator's deterministic id-based
+//     tie-breaking preserves the estimate exactly.
+//
+// On an oracle failure the harness greedily shrinks the model pair —
+// dropping processes, flows and segments, growing the package size,
+// shrinking item and tick counts — to a minimal reproducer that still
+// fails, and persists it under testdata/conform/repros/ as a plain
+// .sbd model description ready for segbus-conform -replay or
+// segbus-vet triage. Every generated case can also be exported as a
+// Go fuzzing seed for internal/analyze's FuzzAnalyze, making the
+// harness the fuzzing corpus feeder of the static-analysis subsystem.
+package conform
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"segbus/internal/analyze"
+	"segbus/internal/core"
+	"segbus/internal/dsl"
+	"segbus/internal/emulator"
+	"segbus/internal/realplat"
+)
+
+// Config tunes one conformance sweep.
+type Config struct {
+	// Seed is the root seed; the whole sweep is a pure function of it
+	// (plus the corpus contents).
+	Seed int64
+
+	// N is the number of cases to run. Zero with a positive Duration
+	// means "until the deadline"; zero with no Duration selects 100.
+	N int
+
+	// Duration bounds the wall-clock time of the sweep; the sweep
+	// stops at whichever of N and Duration is reached first.
+	Duration time.Duration
+
+	// Oracles selects a subset by name; nil runs every oracle.
+	Oracles []string
+
+	// Corpus seeds the generator with existing model descriptions
+	// (typically the testdata/scenarios corpus): a share of the cases
+	// are mutations of corpus documents rather than pure random
+	// models.
+	Corpus []*dsl.Document
+
+	// ReproDir, when non-empty, receives a minimal shrunk reproducer
+	// (.sbd) for every failing case.
+	ReproDir string
+
+	// Shrink disables failure shrinking when false-negative; default
+	// (zero value) shrinks. Use NoShrink to turn it off.
+	NoShrink bool
+
+	// RefinedOverheads overrides the refined model's timing factors
+	// (zero selects realplat's defaults). Tests use it to simulate a
+	// corrupted ground truth without editing realplat.
+	RefinedOverheads emulator.Overheads
+
+	// MaxShrinkEvals caps the oracle evaluations spent shrinking one
+	// failure (zero selects a default).
+	MaxShrinkEvals int
+
+	// FuzzCorpusDir, when non-empty, receives every generated case as
+	// a Go fuzzing seed-corpus entry for internal/analyze's
+	// FuzzAnalyze (see WriteFuzzSeed).
+	FuzzCorpusDir string
+
+	// Log, when non-nil, receives per-case progress lines.
+	Log io.Writer
+}
+
+// Violation is one oracle breach on one case.
+type Violation struct {
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+}
+
+// Failure records one failing case of a sweep, after shrinking.
+type Failure struct {
+	Case      int    `json:"case"`
+	Origin    string `json:"origin"`
+	Oracle    string `json:"oracle"`
+	Detail    string `json:"detail"`
+	Processes int    `json:"processes"` // of the shrunk reproducer
+	Flows     int    `json:"flows"`
+	Segments  int    `json:"segments"`
+	ReproPath string `json:"repro,omitempty"`
+	Shrunk    bool   `json:"shrunk"`
+}
+
+// OracleTally is the pass/fail count of one oracle over a sweep.
+type OracleTally struct {
+	Pass int `json:"pass"`
+	Fail int `json:"fail"`
+	Skip int `json:"skip"`
+}
+
+// Summary aggregates one sweep.
+type Summary struct {
+	Seed        int64                  `json:"seed"`
+	Cases       int                    `json:"cases"`
+	CorpusCases int                    `json:"corpusCases"`
+	Checks      int                    `json:"checks"`
+	Oracles     map[string]OracleTally `json:"oracles"`
+	Failures    []Failure              `json:"failures"`
+	ElapsedMs   int64                  `json:"elapsedMs"`
+}
+
+// OK reports whether the sweep passed every oracle on every case.
+func (s *Summary) OK() bool { return len(s.Failures) == 0 }
+
+// String renders the text summary.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conform: %d case(s) (seed %d, %d corpus-seeded), %d oracle check(s)\n",
+		s.Cases, s.Seed, s.CorpusCases, s.Checks)
+	names := make([]string, 0, len(s.Oracles))
+	for name := range s.Oracles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.Oracles[name]
+		line := fmt.Sprintf("  %-14s %4d pass, %d fail", name, t.Pass, t.Fail)
+		if t.Skip > 0 {
+			line += fmt.Sprintf(", %d skipped", t.Skip)
+		}
+		b.WriteString(line + "\n")
+	}
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "FAIL case %d (%s): oracle %s: %s\n", f.Case, f.Origin, f.Oracle, f.Detail)
+		if f.Shrunk {
+			fmt.Fprintf(&b, "  shrunk to %d process(es), %d flow(s), %d segment(s)\n",
+				f.Processes, f.Flows, f.Segments)
+		}
+		if f.ReproPath != "" {
+			fmt.Fprintf(&b, "  repro: %s\n", f.ReproPath)
+		}
+	}
+	if s.OK() {
+		b.WriteString("all oracles passed\n")
+	}
+	return b.String()
+}
+
+// Case is one conformance input: a validated (PSDF, PSM) document and
+// the effective refined-model overheads, with the expensive runs
+// cached so several oracles can share them.
+type Case struct {
+	Index  int
+	Origin string // "generated" or "corpus:<name>"
+	Doc    *dsl.Document
+
+	refined emulator.Overheads
+
+	est    *core.Estimation
+	act    *emulator.Report
+	bounds *analyze.Bounds
+}
+
+// NewCase wraps a document for oracle checking, with the refined
+// model running realplat's default overheads.
+func NewCase(doc *dsl.Document) *Case {
+	return &Case{Origin: "caller", Doc: doc, refined: realplat.DefaultOverheads}
+}
+
+// IsSkip reports whether an oracle result is the not-applicable
+// sentinel rather than a violation.
+func IsSkip(err error) bool { return err == errSkip }
+
+// Est returns the estimation-model run (with trace), computed once.
+func (c *Case) Est() (*core.Estimation, error) {
+	if c.est == nil {
+		est, err := core.Estimate(c.Doc.Model, c.Doc.Platform, core.Options{Trace: true})
+		if err != nil {
+			return nil, err
+		}
+		c.est = est
+	}
+	return c.est, nil
+}
+
+// Act returns the refined-model run, computed once.
+func (c *Case) Act() (*emulator.Report, error) {
+	if c.act == nil {
+		act, err := realplat.Run(c.Doc.Model, c.Doc.Platform, realplat.Config{Overheads: c.refined})
+		if err != nil {
+			return nil, err
+		}
+		c.act = act
+	}
+	return c.act, nil
+}
+
+// Bounds returns the static bounds, computed once.
+func (c *Case) Bounds() (*analyze.Bounds, error) {
+	if c.bounds == nil {
+		b, err := analyze.ComputeBounds(c.Doc.Model, c.Doc.Platform)
+		if err != nil {
+			return nil, err
+		}
+		c.bounds = b
+	}
+	return c.bounds, nil
+}
+
+// Run executes one conformance sweep and returns its summary. The
+// sweep is deterministic for a given (Seed, Corpus, Oracles) triple.
+func Run(cfg Config) (*Summary, error) {
+	oracles, err := SelectOracles(cfg.Oracles)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	if n == 0 && cfg.Duration == 0 {
+		n = 100
+	}
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+
+	gen := NewGenerator(cfg.Seed, cfg.Corpus)
+	sum := &Summary{Seed: cfg.Seed, Oracles: make(map[string]OracleTally)}
+	for _, o := range oracles {
+		sum.Oracles[o.Name] = OracleTally{}
+	}
+	start := time.Now()
+
+	for i := 0; n == 0 || i < n; i++ {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		c := gen.Next()
+		c.refined = cfg.RefinedOverheads
+		if c.refined.Zero() {
+			c.refined = realplat.DefaultOverheads
+		}
+		sum.Cases++
+		if strings.HasPrefix(c.Origin, "corpus:") {
+			sum.CorpusCases++
+		}
+		if cfg.FuzzCorpusDir != "" {
+			if _, err := WriteFuzzSeed(cfg.FuzzCorpusDir, c.Doc); err != nil {
+				return nil, fmt.Errorf("conform: writing fuzz seed: %w", err)
+			}
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "case %d (%s): %d proc, %d flow, %d seg, s=%d\n",
+				c.Index, c.Origin,
+				c.Doc.Model.NumProcesses(), c.Doc.Model.NumFlows(),
+				c.Doc.Platform.NumSegments(), c.Doc.Platform.PackageSize)
+		}
+		for _, o := range oracles {
+			v, skipped := checkOracle(o, c)
+			t := sum.Oracles[o.Name]
+			sum.Checks++
+			switch {
+			case skipped:
+				t.Skip++
+			case v == nil:
+				t.Pass++
+			default:
+				t.Fail++
+				f := Failure{
+					Case:   c.Index,
+					Origin: c.Origin,
+					Oracle: o.Name,
+					Detail: v.Detail,
+				}
+				finishFailure(&f, c, o, cfg)
+				sum.Failures = append(sum.Failures, f)
+				if cfg.Log != nil {
+					fmt.Fprintf(cfg.Log, "  FAIL %s: %s\n", o.Name, v.Detail)
+				}
+			}
+			sum.Oracles[o.Name] = t
+		}
+	}
+	sum.ElapsedMs = time.Since(start).Milliseconds()
+	return sum, nil
+}
+
+// checkOracle runs one oracle on one case, translating skip sentinel
+// errors. A nil violation with skipped=false means a pass.
+func checkOracle(o *Oracle, c *Case) (v *Violation, skipped bool) {
+	res := o.Check(c)
+	switch res {
+	case nil:
+		return nil, false
+	case errSkip:
+		return nil, true
+	}
+	return &Violation{Oracle: o.Name, Detail: res.Error()}, false
+}
+
+// finishFailure shrinks a failing case (unless disabled) and persists
+// the reproducer.
+func finishFailure(f *Failure, c *Case, o *Oracle, cfg Config) {
+	doc := c.Doc
+	if !cfg.NoShrink {
+		shrunk, changed := Shrink(doc, func(d *dsl.Document) bool {
+			sc := &Case{Doc: d, refined: c.refined}
+			res := o.Check(sc)
+			return res != nil && res != errSkip
+		}, cfg.MaxShrinkEvals)
+		if changed {
+			doc = shrunk
+			f.Shrunk = true
+			// Re-derive the failure detail on the reproducer so the
+			// report matches the persisted model.
+			sc := &Case{Doc: doc, refined: c.refined}
+			if res := o.Check(sc); res != nil && res != errSkip {
+				f.Detail = res.Error()
+			}
+		}
+	}
+	f.Processes = doc.Model.NumProcesses()
+	f.Flows = doc.Model.NumFlows()
+	f.Segments = doc.Platform.NumSegments()
+	if cfg.ReproDir != "" {
+		path, err := WriteRepro(cfg.ReproDir, f, doc, cfg.Seed)
+		if err == nil {
+			f.ReproPath = path
+		} else if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "  repro write failed: %v\n", err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package conform
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segbus/internal/dsl"
+	"segbus/internal/emulator"
+)
+
+const scenarioDir = "../../testdata/scenarios"
+
+// TestSmokeSweep is the bounded conformance sweep that rides along
+// with every `go test` run: a deterministic mixed generated/corpus
+// sweep over the full oracle battery must pass cleanly.
+func TestSmokeSweep(t *testing.T) {
+	corpus, err := LoadCorpusDir(scenarioDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatalf("no corpus documents under %s", scenarioDir)
+	}
+	sum, err := Run(Config{Seed: 1, N: 60, Corpus: corpus, ReproDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.OK() {
+		t.Fatalf("smoke sweep failed:\n%s", sum)
+	}
+	if sum.Cases != 60 {
+		t.Errorf("Cases = %d, want 60", sum.Cases)
+	}
+	if sum.CorpusCases == 0 {
+		t.Error("no corpus-seeded cases in a mixed sweep")
+	}
+	if want := 60 * len(Oracles()); sum.Checks != want {
+		t.Errorf("Checks = %d, want %d", sum.Checks, want)
+	}
+	for _, name := range []string{"bounds", "envelope", "determinism"} {
+		if tally := sum.Oracles[name]; tally.Pass != 60 {
+			t.Errorf("oracle %s: %d/60 passes (%d skipped)", name, tally.Pass, tally.Skip)
+		}
+	}
+}
+
+// TestCorruptedOverheadsCaught is the harness's own acceptance check:
+// simulating a corrupted refined model (GrantTicks inflated two orders
+// of magnitude past the paper's figure) must break the bounds oracle
+// and shrink the failure to a tiny reproducer.
+func TestCorruptedOverheadsCaught(t *testing.T) {
+	dir := t.TempDir()
+	corrupted := emulator.Overheads{GrantTicks: 800, SyncTicks: 2, CASetTicks: 2, CAResetTicks: 2}
+	sum, err := Run(Config{
+		Seed:             1,
+		N:                25,
+		Oracles:          []string{"bounds"},
+		RefinedOverheads: corrupted,
+		ReproDir:         dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK() {
+		t.Fatal("corrupted refined overheads passed the bounds oracle")
+	}
+	best := -1
+	for _, f := range sum.Failures {
+		if f.Oracle != "bounds" {
+			t.Errorf("unexpected failing oracle %s", f.Oracle)
+		}
+		if best == -1 || f.Processes < best {
+			best = f.Processes
+		}
+		if f.ReproPath == "" {
+			t.Errorf("case %d: no reproducer persisted", f.Case)
+			continue
+		}
+		// The reproducer must replay: parse, validate, and still fail
+		// the same oracle under the corrupted overheads.
+		rf, err := os.Open(f.ReproPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := dsl.Parse(rf)
+		rf.Close()
+		if err != nil {
+			t.Fatalf("reproducer %s does not parse: %v", f.ReproPath, err)
+		}
+		if ds := doc.Validate(); ds.HasErrors() {
+			t.Fatalf("reproducer %s does not validate:\n%s", f.ReproPath, ds)
+		}
+		sc := &Case{Doc: doc, refined: corrupted}
+		if res := checkBounds(sc); res == nil || IsSkip(res) {
+			t.Errorf("reproducer %s does not reproduce the bounds failure", f.ReproPath)
+		}
+	}
+	if best > 3 {
+		t.Errorf("smallest shrunk reproducer has %d processes, want <= 3", best)
+	}
+}
+
+// TestGeneratorDeterministic pins the sweep's reproducibility story:
+// the case stream is a pure function of the seed (and corpus).
+func TestGeneratorDeterministic(t *testing.T) {
+	corpus, err := LoadCorpusDir(scenarioDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := NewGenerator(7, corpus)
+	g2 := NewGenerator(7, corpus)
+	for i := 0; i < 40; i++ {
+		c1, c2 := g1.Next(), g2.Next()
+		if c1.Origin != c2.Origin {
+			t.Fatalf("case %d: origin %q vs %q", i, c1.Origin, c2.Origin)
+		}
+		if p1, p2 := c1.Doc.Print(), c2.Doc.Print(); p1 != p2 {
+			t.Fatalf("case %d: same seed produced different documents:\n%s\nvs\n%s", i, p1, p2)
+		}
+	}
+}
+
+// TestGeneratorValid ensures every generated document is structurally
+// valid — the oracles can only judge models the emulator accepts.
+func TestGeneratorValid(t *testing.T) {
+	g := NewGenerator(99, nil)
+	for i := 0; i < 100; i++ {
+		c := g.Next()
+		if ds := c.Doc.Validate(); ds.HasErrors() {
+			t.Fatalf("case %d invalid:\n%s\n%s", i, ds, c.Doc.Print())
+		}
+	}
+}
+
+// TestShrink checks the reducer on a synthetic predicate: it must
+// return a smaller, still-failing, still-valid document.
+func TestShrink(t *testing.T) {
+	g := NewGenerator(3, nil)
+	var doc *dsl.Document
+	for {
+		c := g.Next()
+		if c.Doc.Model.NumProcesses() >= 5 && c.Doc.Model.NumFlows() >= 5 {
+			doc = c.Doc
+			break
+		}
+	}
+	// "Fails" whenever any flow carries at least two items.
+	fails := func(d *dsl.Document) bool {
+		for _, f := range d.Model.Flows() {
+			if f.Items >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+	if !fails(doc) {
+		t.Skip("starting document does not fail the synthetic predicate")
+	}
+	shrunk, changed := Shrink(doc, fails, 0)
+	if !changed {
+		t.Fatal("shrink adopted no reduction")
+	}
+	if !fails(shrunk) {
+		t.Fatal("shrunk document no longer fails")
+	}
+	if ds := shrunk.Validate(); ds.HasErrors() {
+		t.Fatalf("shrunk document invalid:\n%s", ds)
+	}
+	if weight(shrunk) >= weight(doc) {
+		t.Fatalf("shrink did not reduce weight: %d -> %d", weight(doc), weight(shrunk))
+	}
+	if shrunk.Model.NumProcesses() > 2 {
+		t.Errorf("synthetic predicate shrunk to %d processes, want <= 2", shrunk.Model.NumProcesses())
+	}
+}
+
+// TestSelectOracles covers subset selection and unknown names.
+func TestSelectOracles(t *testing.T) {
+	all, err := SelectOracles(nil)
+	if err != nil || len(all) != len(oracleList) {
+		t.Fatalf("SelectOracles(nil) = %d oracles, err %v", len(all), err)
+	}
+	sub, err := SelectOracles([]string{"determinism", "bounds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "bounds" || sub[1].Name != "determinism" {
+		t.Errorf("subset selection broke battery order: %v", []string{sub[0].Name, sub[1].Name})
+	}
+	if _, err := SelectOracles([]string{"bounds", "nope"}); err == nil {
+		t.Error("unknown oracle name accepted")
+	}
+}
+
+func parseDoc(t *testing.T, src string) *dsl.Document {
+	t.Helper()
+	doc, err := dsl.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := doc.Validate(); ds.HasErrors() {
+		t.Fatalf("test document invalid:\n%s", ds)
+	}
+	return doc
+}
+
+// TestPermutablePair pins the safe-swap domain of the permute-ids
+// oracle: eligible when one of the pair is a pure sink with no shared
+// same-order fan-in, rejected when a common source emits same-order
+// flows to both (the emulator's canonical emission order would flip).
+func TestPermutablePair(t *testing.T) {
+	eligible := parseDoc(t, `application t1
+process P0
+process P1
+process P2
+flow P0 -> P1 items=4 order=1 ticks=2
+flow P0 -> P2 items=4 order=2 ticks=2
+platform t1-plat
+ca-clock 100MHz
+package-size 4
+segment 1 clock=100MHz processes=P0,P1,P2
+`)
+	if _, _, ok := permutablePair(eligible); !ok {
+		t.Error("no permutable pair found in an eligible document")
+	}
+
+	fanout := parseDoc(t, `application t2
+process P0
+process P1
+process P2
+flow P0 -> P1 items=4 order=1 ticks=2
+flow P0 -> P2 items=4 order=1 ticks=2
+platform t2-plat
+ca-clock 100MHz
+package-size 4
+segment 1 clock=100MHz processes=P1,P2
+segment 2 clock=100MHz processes=P0
+`)
+	if a, b, ok := permutablePair(fanout); ok {
+		t.Errorf("same-order fan-out pair %s/%s accepted", a, b)
+	}
+}
+
+// TestWriteRepro ensures reproducers parse back as regular model
+// descriptions (the replay/triage contract).
+func TestWriteRepro(t *testing.T) {
+	g := NewGenerator(5, nil)
+	c := g.Next()
+	dir := t.TempDir()
+	f := &Failure{Case: c.Index, Origin: c.Origin, Oracle: "bounds", Detail: "synthetic\nfailure"}
+	path, err := WriteRepro(dir, f, c.Doc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	doc, err := dsl.Parse(rf)
+	if err != nil {
+		t.Fatalf("reproducer does not parse: %v", err)
+	}
+	if got, want := doc.Print(), c.Doc.Print(); got != want {
+		t.Errorf("reproducer round-trip changed the document:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestWriteFuzzSeed checks the Go fuzzing seed-corpus encoding and the
+// content-hash idempotence.
+func TestWriteFuzzSeed(t *testing.T) {
+	g := NewGenerator(5, nil)
+	c := g.Next()
+	dir := t.TempDir()
+	p1, err := WriteFuzzSeed(dir, c.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := WriteFuzzSeed(dir, c.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Errorf("same document hashed to different seeds: %s vs %s", p1, p2)
+	}
+	data, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "go test fuzz v1\nstring(") {
+		t.Errorf("seed file is not in go-fuzz v1 encoding:\n%s", data)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "conform-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("expected 1 idempotent seed file, found %d", len(entries))
+	}
+}

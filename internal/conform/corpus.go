@@ -1,0 +1,83 @@
+package conform
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"segbus/internal/dsl"
+)
+
+// LoadCorpusDir parses every .sbd model description in dir (typically
+// testdata/scenarios) into generator seed documents. Documents that
+// fail to parse or validate are skipped — the corpus only feeds the
+// generator; broken descriptions are the DSL tests' concern.
+func LoadCorpusDir(dir string) ([]*dsl.Document, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.sbd"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var docs []*dsl.Document
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := dsl.Parse(f)
+		f.Close()
+		if err != nil || doc.Platform == nil || doc.Validate().HasErrors() {
+			continue
+		}
+		docs = append(docs, doc)
+	}
+	return docs, nil
+}
+
+// WriteRepro persists a shrunk reproducer as a plain model description
+// with a triage header, and returns its path. The file replays with
+//
+//	segbus-conform -replay <path> -oracles <oracle>
+//
+// and is a regular .sbd, so segbus-vet and segbus-m2t read it too.
+func WriteRepro(dir string, f *Failure, doc *dsl.Document, seed int64) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%s-seed%d-case%d.sbd", f.Oracle, seed, f.Case)
+	path := filepath.Join(dir, name)
+	var b strings.Builder
+	b.WriteString("# segbus-conform reproducer (shrunk)\n")
+	fmt.Fprintf(&b, "# oracle: %s\n", f.Oracle)
+	fmt.Fprintf(&b, "# origin: %s, root seed %d, case %d\n", f.Origin, seed, f.Case)
+	fmt.Fprintf(&b, "# detail: %s\n", strings.ReplaceAll(f.Detail, "\n", " "))
+	fmt.Fprintf(&b, "# replay: segbus-conform -replay %s -oracles %s\n", path, f.Oracle)
+	b.WriteString(doc.Print())
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteFuzzSeed writes one document as a Go fuzzing seed-corpus entry
+// in the encoding `go test` expects, named by content hash so repeat
+// sweeps are idempotent. Pointing dir at
+// internal/analyze/testdata/fuzz/FuzzAnalyze feeds the conformance
+// generator's output straight into the static-analysis fuzzer.
+func WriteFuzzSeed(dir string, doc *dsl.Document) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	src := doc.Print()
+	sum := sha256.Sum256([]byte(src))
+	path := filepath.Join(dir, fmt.Sprintf("conform-%x", sum[:8]))
+	content := "go test fuzz v1\nstring(" + strconv.Quote(src) + ")\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

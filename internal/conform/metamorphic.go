@@ -1,0 +1,248 @@
+package conform
+
+import (
+	"fmt"
+
+	"segbus/internal/dsl"
+	"segbus/internal/emulator"
+	"segbus/internal/psdf"
+)
+
+// Metamorphic oracles re-run the estimation model on a transformed
+// copy of the case and compare the two results. The transforms are
+// chosen so the expected relationship follows from the methodology
+// itself, with no reference value needed.
+
+// checkGrowSegment verifies that growing the platform never speeds it
+// up: the case is re-estimated with one extra segment appended on the
+// right. A truly unused segment is rejected by the structural
+// validators (every segment must host an FU, every FU a model process,
+// every process a flow), so the transform adds the minimal admissible
+// content: one fresh process fed by a single one-item flow in a fresh
+// trailing stage. The estimate must not decrease.
+func checkGrowSegment(c *Case) error {
+	est, err := c.Est()
+	if err != nil {
+		return fmt.Errorf("estimation run: %w", err)
+	}
+
+	doc := cloneDoc(c.Doc)
+	m, plat := doc.Model, doc.Platform
+
+	var newP psdf.ProcessID
+	for _, p := range m.Processes() {
+		if p >= newP {
+			newP = p + 1
+		}
+	}
+	maxOrder := 0
+	for _, o := range m.Orders() {
+		if o > maxOrder {
+			maxOrder = o
+		}
+	}
+	// Any flow source is master-capable on a valid platform; feed the
+	// new segment from the last one in canonical order.
+	flows := m.Flows()
+	src := flows[len(flows)-1].Source
+	m.AddFlow(psdf.Flow{Source: src, Target: newP, Items: 1, Order: maxOrder + 1, Ticks: 0})
+	last := plat.Segments[len(plat.Segments)-1]
+	plat.AddSegment(last.Clock, newP)
+
+	grown, err := emulator.Run(m, plat, emulator.Config{})
+	if err != nil {
+		return fmt.Errorf("grown-platform run: %w", err)
+	}
+	before := est.ExecutionTimePs()
+	after := int64(grown.ExecutionTimePs)
+	if after < before {
+		return fmt.Errorf("appending segment %d decreased the estimate: %d ps -> %d ps",
+			plat.NumSegments(), before, after)
+	}
+	return nil
+}
+
+// checkShrinkPackage verifies that shrinking the package size never
+// decreases the border-unit crossing counts (or the total package
+// count): smaller packages mean at least as many packages on every
+// route, per the ceil(D/s) split of section 3.1.
+func checkShrinkPackage(c *Case) error {
+	s := c.Doc.Platform.PackageSize
+	if s <= 1 {
+		return errSkip
+	}
+	est, err := c.Est()
+	if err != nil {
+		return fmt.Errorf("estimation run: %w", err)
+	}
+
+	doc := cloneDoc(c.Doc)
+	doc.Platform.PackageSize = s / 2
+	small, err := emulator.Run(doc.Model, doc.Platform, emulator.Config{})
+	if err != nil {
+		return fmt.Errorf("shrunk-package run: %w", err)
+	}
+
+	if got, want := small.TotalPackagesSent(), est.Report.TotalPackagesSent(); got < want {
+		return fmt.Errorf("package size %d -> %d decreased sent packages: %d -> %d",
+			s, s/2, want, got)
+	}
+	if got, want := buCrossings(small), buCrossings(est.Report); got < want {
+		return fmt.Errorf("package size %d -> %d decreased BU crossings: %d -> %d",
+			s, s/2, want, got)
+	}
+	return nil
+}
+
+// buCrossings totals the packages that entered any border unit.
+func buCrossings(r *emulator.Report) int {
+	n := 0
+	for _, bu := range r.BUs {
+		n += bu.InPackages
+	}
+	return n
+}
+
+// checkPermuteIDs verifies that process identifiers are labels, not
+// behaviour: swapping the ids of two processes hosted on the same
+// segment (consistently through the model and the platform mapping)
+// must leave the estimated execution time unchanged.
+//
+// The emulator resolves genuine scheduling ties deterministically by
+// process id (arbitration ties, and the canonical (order, source,
+// target) emission-program order), so an arbitrary swap may pick a
+// different — equally valid — schedule and legitimately shift the
+// total. The oracle therefore only swaps pairs for which the relabel
+// provably cannot perturb any id-based decision (see permutablePair)
+// and skips cases that offer no such pair. Inside that domain any
+// difference is a real conformance bug: some computation depends on
+// the numeric value of an id rather than on the entity it names.
+func checkPermuteIDs(c *Case) error {
+	a, b, ok := permutablePair(c.Doc)
+	if !ok {
+		return errSkip
+	}
+	est, err := c.Est()
+	if err != nil {
+		return fmt.Errorf("estimation run: %w", err)
+	}
+
+	swap := func(p psdf.ProcessID) psdf.ProcessID {
+		switch p {
+		case a:
+			return b
+		case b:
+			return a
+		}
+		return p
+	}
+	m := c.Doc.Model
+	m2 := psdf.NewModel(m.Name())
+	m2.SetNominalPackageSize(m.NominalPackageSize())
+	for _, p := range m.Processes() {
+		m2.AddProcess(swap(p))
+	}
+	for _, f := range m.Flows() {
+		g := f
+		g.Source = swap(f.Source)
+		if g.Target != psdf.SystemOutput {
+			g.Target = swap(f.Target)
+		}
+		m2.AddFlow(g)
+	}
+	p2 := c.Doc.Platform.Clone()
+	for _, seg := range p2.Segments {
+		for i := range seg.FUs {
+			seg.FUs[i].Process = swap(seg.FUs[i].Process)
+		}
+	}
+
+	permuted, err := emulator.Run(m2, p2, emulator.Config{})
+	if err != nil {
+		return fmt.Errorf("permuted run: %w", err)
+	}
+	before := est.ExecutionTimePs()
+	after := int64(permuted.ExecutionTimePs)
+	if after != before {
+		return fmt.Errorf("swapping %s and %s (same segment) changed the estimate: %d ps -> %d ps",
+			a, b, before, after)
+	}
+	return nil
+}
+
+// permutablePair finds two same-segment processes whose id swap
+// cannot change any decision the emulator bases on ids, so the
+// estimate must be bit-identical after the relabel. Three conditions
+// make a pair (a, b) safe:
+//
+//  1. adjacency — no third process id lies strictly between a and b,
+//     so every id comparison against a third process has the same
+//     outcome before and after the swap;
+//  2. one of the two never sources a flow — a pure sink never
+//     requests a bus, so a and b can never meet in an arbitration
+//     tie, and no flow sort ever compares them as sources;
+//  3. no process emits same-order flows to both a and b — the only
+//     way the canonical (order, source, target) emission-program
+//     order could compare them as targets.
+//
+// The first eligible pair in segment order is returned; ok is false
+// when the case offers none.
+func permutablePair(doc *dsl.Document) (a, b psdf.ProcessID, ok bool) {
+	m, plat := doc.Model, doc.Platform
+	sources := make(map[psdf.ProcessID]bool)
+	type emission struct {
+		src   psdf.ProcessID
+		order int
+	}
+	fanout := make(map[emission]map[psdf.ProcessID]bool)
+	for _, f := range m.Flows() {
+		sources[f.Source] = true
+		if f.Target == psdf.SystemOutput {
+			continue
+		}
+		k := emission{f.Source, f.Order}
+		if fanout[k] == nil {
+			fanout[k] = make(map[psdf.ProcessID]bool)
+		}
+		fanout[k][f.Target] = true
+	}
+	procs := m.Processes()
+	adjacent := func(a, b psdf.ProcessID) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for _, p := range procs {
+			if p > lo && p < hi {
+				return false
+			}
+		}
+		return true
+	}
+	sameFanout := func(a, b psdf.ProcessID) bool {
+		for _, targets := range fanout {
+			if targets[a] && targets[b] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, seg := range plat.Segments {
+		for i := 0; i < len(seg.FUs); i++ {
+			for j := i + 1; j < len(seg.FUs); j++ {
+				a, b := seg.FUs[i].Process, seg.FUs[j].Process
+				if sources[a] && sources[b] {
+					continue
+				}
+				if !adjacent(a, b) {
+					continue
+				}
+				if sameFanout(a, b) {
+					continue
+				}
+				return a, b, true
+			}
+		}
+	}
+	return 0, 0, false
+}

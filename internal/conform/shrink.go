@@ -1,0 +1,231 @@
+package conform
+
+import (
+	"segbus/internal/dsl"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// defaultShrinkEvals caps the oracle evaluations one shrink may spend.
+const defaultShrinkEvals = 400
+
+// Shrink greedily reduces a failing document to a smaller one that
+// still fails, trying the big reductions first: dropping a process
+// (with every flow touching it), merging away a segment, dropping a
+// flow, growing the package size (fewer packages), and halving the
+// numeric parameters. Every candidate must stay structurally valid —
+// the oracles can only judge models the emulator accepts. fails
+// re-runs the failing oracle; maxEvals bounds its invocations (zero
+// selects the default). The second result reports whether any
+// reduction was adopted.
+func Shrink(doc *dsl.Document, fails func(*dsl.Document) bool, maxEvals int) (*dsl.Document, bool) {
+	if maxEvals <= 0 {
+		maxEvals = defaultShrinkEvals
+	}
+	evals := 0
+	try := func(cand *dsl.Document) bool {
+		if cand == nil || evals >= maxEvals {
+			return false
+		}
+		if weight(cand) >= weight(doc) {
+			return false
+		}
+		if cand.Validate().HasErrors() {
+			return false
+		}
+		evals++
+		return fails(cand)
+	}
+
+	changed := false
+	for {
+		adopted := false
+		for _, cand := range candidates(doc) {
+			if try(cand) {
+				doc = cand
+				adopted = true
+				changed = true
+				break
+			}
+		}
+		if !adopted || evals >= maxEvals {
+			return doc, changed
+		}
+	}
+}
+
+// weight orders documents by reduction progress: processes dominate,
+// then segments, flows, package count and the numeric tail. Every
+// candidate transform strictly decreases it, so the greedy loop
+// terminates.
+func weight(doc *dsl.Document) int64 {
+	m, p := doc.Model, doc.Platform
+	w := int64(m.NumProcesses())*1e10 + int64(p.NumSegments())*1e8 + int64(m.NumFlows())*1e6
+	w += int64(m.TotalPackages(p.PackageSize)) * 100
+	tail := int64(p.HeaderTicks + p.CAHopTicks)
+	for _, f := range m.Flows() {
+		tail += int64(f.Items) + int64(f.Ticks)
+	}
+	return w + tail
+}
+
+// candidates enumerates the reduction attempts for one round, largest
+// reductions first.
+func candidates(doc *dsl.Document) []*dsl.Document {
+	var out []*dsl.Document
+	for _, p := range doc.Model.Processes() {
+		out = append(out, withoutProcess(doc, p))
+	}
+	for i := 1; i <= doc.Platform.NumSegments(); i++ {
+		out = append(out, mergeSegment(doc, i))
+	}
+	for i := 0; i < doc.Model.NumFlows(); i++ {
+		out = append(out, withoutFlow(doc, i))
+	}
+	out = append(out, growPackage(doc))
+	out = append(out, halveNumbers(doc))
+	return out
+}
+
+// rebuild assembles a document keeping only the flows keepFlow admits,
+// cascading away processes left with no flow at all and segments left
+// with no FU.
+func rebuild(doc *dsl.Document, keepFlow func(i int, f psdf.Flow) bool) *dsl.Document {
+	var flows []psdf.Flow
+	touched := make(map[psdf.ProcessID]bool)
+	for i, f := range doc.Model.Flows() {
+		if !keepFlow(i, f) {
+			continue
+		}
+		flows = append(flows, f)
+		touched[f.Source] = true
+		if f.Target != psdf.SystemOutput {
+			touched[f.Target] = true
+		}
+	}
+	m := psdf.NewModel(doc.Model.Name())
+	m.SetNominalPackageSize(doc.Model.NominalPackageSize())
+	for _, f := range flows {
+		m.AddFlow(f)
+	}
+
+	old := doc.Platform
+	p := platform.New(old.Name, old.CAClock, old.PackageSize)
+	p.HeaderTicks = old.HeaderTicks
+	p.CAHopTicks = old.CAHopTicks
+	for _, seg := range old.Segments {
+		var fus []platform.FU
+		for _, fu := range seg.FUs {
+			if touched[fu.Process] {
+				fus = append(fus, fu)
+			}
+		}
+		if len(fus) == 0 {
+			continue
+		}
+		ns := p.AddSegment(seg.Clock)
+		ns.FUs = fus
+	}
+
+	st := make(map[psdf.ProcessID]dsl.Stereotype)
+	for proc, s := range doc.Stereotype {
+		if touched[proc] {
+			st[proc] = s
+		}
+	}
+	return &dsl.Document{Model: m, Platform: p, Stereotype: st}
+}
+
+// withoutProcess drops a process and every flow touching it.
+func withoutProcess(doc *dsl.Document, p psdf.ProcessID) *dsl.Document {
+	return rebuild(doc, func(_ int, f psdf.Flow) bool {
+		return f.Source != p && f.Target != p
+	})
+}
+
+// withoutFlow drops the i-th flow in canonical order.
+func withoutFlow(doc *dsl.Document, i int) *dsl.Document {
+	return rebuild(doc, func(j int, _ psdf.Flow) bool { return j != i })
+}
+
+// mergeSegment folds segment k's FUs into its left neighbour (or the
+// right one for the leftmost segment), shortening the topology.
+func mergeSegment(doc *dsl.Document, k int) *dsl.Document {
+	old := doc.Platform
+	if old.NumSegments() < 2 {
+		return nil
+	}
+	into := k - 1
+	if into < 1 {
+		into = k + 1
+	}
+	out := rebuild(doc, func(int, psdf.Flow) bool { return true })
+	p := platform.New(old.Name, old.CAClock, old.PackageSize)
+	p.HeaderTicks = old.HeaderTicks
+	p.CAHopTicks = old.CAHopTicks
+	for _, seg := range old.Segments {
+		if seg.Index == k {
+			continue
+		}
+		ns := p.AddSegment(seg.Clock)
+		ns.FUs = append(ns.FUs, seg.FUs...)
+		if seg.Index == into {
+			ns.FUs = append(ns.FUs, old.Segment(k).FUs...)
+		}
+	}
+	out.Platform = p
+	return out
+}
+
+// growPackage doubles the package size (capped at the largest flow's
+// item count), cutting the package count.
+func growPackage(doc *dsl.Document) *dsl.Document {
+	maxItems := 0
+	for _, f := range doc.Model.Flows() {
+		if f.Items > maxItems {
+			maxItems = f.Items
+		}
+	}
+	s := doc.Platform.PackageSize
+	if s >= maxItems {
+		return nil
+	}
+	grown := s * 2
+	if grown > maxItems {
+		grown = maxItems
+	}
+	out := cloneDoc(doc)
+	out.Platform.PackageSize = grown
+	return out
+}
+
+// halveNumbers halves every numeric parameter of the pair: item and
+// tick counts, protocol overhead ticks.
+func halveNumbers(doc *dsl.Document) *dsl.Document {
+	changedAny := false
+	out := rebuild(doc, func(int, psdf.Flow) bool { return true })
+	m := psdf.NewModel(out.Model.Name())
+	m.SetNominalPackageSize(out.Model.NominalPackageSize())
+	for _, f := range out.Model.Flows() {
+		items := f.Items / 2
+		if items < 1 {
+			items = 1
+		}
+		ticks := f.Ticks / 2
+		if items != f.Items || ticks != f.Ticks {
+			changedAny = true
+		}
+		f.Items, f.Ticks = items, ticks
+		m.AddFlow(f)
+	}
+	out.Model = m
+	if out.Platform.HeaderTicks > 0 || out.Platform.CAHopTicks > 0 {
+		out.Platform.HeaderTicks /= 2
+		out.Platform.CAHopTicks /= 2
+		changedAny = true
+	}
+	if !changedAny {
+		return nil
+	}
+	return out
+}

@@ -91,6 +91,72 @@ func TestPaperAccuracyBands(t *testing.T) {
 	}
 }
 
+// TestOverheadFieldsInIsolation exercises every Overheads field on its
+// own against the zero-overhead estimate on the MP3-on-3-segments
+// platform, which exercises grants, clock-domain crossings and CA
+// set/reset work alike. GrantTicks, SyncTicks and CASetTicks each slow
+// the run on their own; CAResetTicks only occupies the CA after a
+// transfer, so alone it is a timing no-op — its delay becomes visible
+// once CASetTicks makes later grants wait for the CA to go idle.
+func TestOverheadFieldsInIsolation(t *testing.T) {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	base, err := emulator.Run(m, p, emulator.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		set   func(v int) emulator.Overheads
+		slows bool
+	}{
+		{"GrantTicks", func(v int) emulator.Overheads { return emulator.Overheads{GrantTicks: v} }, true},
+		{"SyncTicks", func(v int) emulator.Overheads { return emulator.Overheads{SyncTicks: v} }, true},
+		{"CASetTicks", func(v int) emulator.Overheads { return emulator.Overheads{CASetTicks: v} }, true},
+		{"CAResetTicks", func(v int) emulator.Overheads { return emulator.Overheads{CAResetTicks: v} }, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, v := range []int{2, 8, 32} {
+				r, err := Run(m, p, Config{Overheads: c.set(v)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c.slows && r.ExecutionTimePs <= base.ExecutionTimePs {
+					t.Errorf("%s=%d: refined run %d ps not slower than zero-overhead %d ps",
+						c.name, v, r.ExecutionTimePs, base.ExecutionTimePs)
+				}
+				if !c.slows && r.ExecutionTimePs != base.ExecutionTimePs {
+					t.Errorf("%s=%d: changed the run (%d ps vs %d ps) despite being off the grant path",
+						c.name, v, r.ExecutionTimePs, base.ExecutionTimePs)
+				}
+			}
+		})
+	}
+}
+
+// TestCAResetDelaysGrants pins the reset knob's real effect: with CA
+// set work enabled, a reset cost long enough to still be running when
+// the next inter-segment request arrives keeps the CA busy and delays
+// that grant. Package size 18 doubles the CA request rate versus the
+// paper's 36, so a 200-tick reset window reliably collides.
+func TestCAResetDelaysGrants(t *testing.T) {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(18)
+	setOnly, err := Run(m, p, Config{Overheads: emulator.Overheads{CASetTicks: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withReset, err := Run(m, p, Config{Overheads: emulator.Overheads{CASetTicks: 2, CAResetTicks: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withReset.ExecutionTimePs <= setOnly.ExecutionTimePs {
+		t.Errorf("CAResetTicks=200 on top of CASetTicks=2 did not slow the run: %d ps vs %d ps",
+			withReset.ExecutionTimePs, setOnly.ExecutionTimePs)
+	}
+}
+
 // TestAccuracyMonotoneInOverheads: growing any skipped-cost knob can
 // only widen the gap between the estimate and the "actual" platform.
 func TestAccuracyMonotoneInOverheads(t *testing.T) {

@@ -1,0 +1,88 @@
+package scenarios
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"segbus/internal/dsl"
+	"segbus/internal/emulator"
+	"segbus/internal/trace"
+)
+
+// loadScenario parses and validates one scenario description.
+func loadScenario(t *testing.T, path string) *dsl.Document {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := dsl.Parse(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if ds := doc.Validate(); ds.HasErrors() {
+		t.Fatalf("%s: %v", path, ds)
+	}
+	return doc
+}
+
+// emulateJSON runs the emulator once with tracing and renders both
+// the report and the trace as JSON.
+func emulateJSON(t *testing.T, doc *dsl.Document, ov emulator.Overheads) (report, tr []byte) {
+	t.Helper()
+	tc := &trace.Trace{}
+	rep, err := emulator.Run(doc.Model, doc.Platform, emulator.Config{Overheads: ov, Trace: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err = rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = tc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report, tr
+}
+
+// TestEmulatorDeterminism locks run-to-run reproducibility: emulating
+// the same scenario twice — under both the estimation model and the
+// refined timing model — must produce byte-identical JSON reports and
+// byte-identical traces. Any divergence means a nondeterministic data
+// structure (map iteration, unstable sort) leaked into the scheduler
+// or the renderers.
+func TestEmulatorDeterminism(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(scenarioDir, "*.sbd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no scenarios under %s", scenarioDir)
+	}
+	models := map[string]emulator.Overheads{
+		"estimation": {},
+		"refined":    {GrantTicks: 8, SyncTicks: 2, CASetTicks: 2, CAResetTicks: 2},
+	}
+	for _, path := range paths {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".sbd")
+		t.Run(name, func(t *testing.T) {
+			doc := loadScenario(t, path)
+			for model, ov := range models {
+				r1, t1 := emulateJSON(t, doc, ov)
+				r2, t2 := emulateJSON(t, doc, ov)
+				if !bytes.Equal(r1, r2) {
+					t.Errorf("%s model: report JSON differs between identical runs", model)
+				}
+				if !bytes.Equal(t1, t2) {
+					t.Errorf("%s model: trace JSON differs between identical runs", model)
+				}
+			}
+		})
+	}
+}

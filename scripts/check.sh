@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# check.sh — the repo's CI gate: formatting, vet, build and the full
-# race-enabled test suite. Run from anywhere inside the repo.
+# check.sh — the repo's CI gate: formatting, vet, build, the full
+# race-enabled test suite, an order-shuffled re-run (catches
+# inter-test coupling), and the segbus-conform differential smoke
+# sweep. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,3 +16,11 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+go test -shuffle=on -count=1 ./...
+
+# Differential conformance smoke sweep: 200 deterministic cases (seed
+# 1, scenario-corpus seeded) through the full oracle battery. The JSON
+# summary goes to stdout for CI artifact collection; a non-zero exit
+# means an oracle failed and a shrunk reproducer was written under
+# testdata/conform/repros/.
+go run ./cmd/segbus-conform -n 200 -seed 1 -corpus testdata/scenarios -json
