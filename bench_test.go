@@ -20,6 +20,7 @@ import (
 
 	"segbus"
 
+	"segbus/internal/obs"
 	"segbus/internal/paper"
 )
 
@@ -309,4 +310,20 @@ func BenchmarkArbitrationPolicies(b *testing.B) {
 	b.ReportMetric(execs[segbus.PolicyBUFirst], "bufirst_us")
 	b.ReportMetric(execs[segbus.PolicyFIFO], "fifo_us")
 	b.ReportMetric(execs[segbus.PolicyFixedPriority], "fixedprio_us")
+}
+
+// Ablation — observability cost: the same three-segment emulation with
+// a live metrics registry. Comparing against BenchmarkEmulate3Seg
+// (whose nil registry is the disabled hot path) bounds the
+// instrumentation overhead; the acceptance bar is no regression beyond
+// noise when metrics are off and modest single-digit cost when on.
+func BenchmarkEmulate3SegMetrics(b *testing.B) {
+	m := segbus.MP3Decoder()
+	p := segbus.MP3Platform3(36)
+	reg := obs.NewRegistry()
+	for i := 0; i < b.N; i++ {
+		if _, err := segbus.Estimate(m, p, segbus.Options{Metrics: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

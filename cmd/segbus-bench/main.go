@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"segbus/internal/obs/profflag"
 	"segbus/internal/paper"
 )
 
@@ -33,9 +34,17 @@ func run(args []string, stdout io.Writer) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	markdown := fs.Bool("markdown", false, "render results as Markdown (EXPERIMENTS.md body)")
 	outDir := fs.String("out", "", "write per-experiment reports and the regenerated figures (SVG/CSV) to this directory")
+	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if pf.PrintVersion(stdout) {
+		return nil
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer pf.Stop(os.Stderr)
 
 	if *list {
 		for _, e := range paper.All() {

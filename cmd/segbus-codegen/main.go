@@ -19,6 +19,7 @@ import (
 
 	"segbus/internal/codegen"
 	"segbus/internal/dsl"
+	"segbus/internal/obs/profflag"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
 	"segbus/internal/schema"
@@ -38,9 +39,17 @@ func run(args []string, stdout io.Writer) error {
 	psmPath := fs.String("psm", "", "PSM XML scheme")
 	vhdl := fs.Bool("vhdl", false, "emit VHDL scheduler skeletons instead of the listing")
 	outDir := fs.String("out", "", "write the output to <out>/<app>_schedulers.{txt,vhd} instead of stdout")
+	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if pf.PrintVersion(stdout) {
+		return nil
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer pf.Stop(os.Stderr)
 
 	var m *psdf.Model
 	var plat *platform.Platform

@@ -29,6 +29,8 @@ import (
 
 	"segbus/internal/conform"
 	"segbus/internal/dsl"
+	"segbus/internal/obs"
+	"segbus/internal/obs/profflag"
 )
 
 const (
@@ -56,9 +58,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "print the oracle battery and exit")
 	noShrink := fs.Bool("no-shrink", false, "report failures without shrinking them")
 	verbose := fs.Bool("v", false, "log every case to stderr")
+	heartbeat := fs.Duration("heartbeat", 0, "print a progress line (cases/s, failures, ETA) to stderr at this interval (0: off)")
+	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
+	if pf.PrintVersion(stdout) {
+		return exitOK
+	}
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(stderr, "segbus-conform:", err)
+		return exitUsage
+	}
+	defer pf.Stop(stderr)
 
 	if *list {
 		for _, o := range conform.Oracles() {
@@ -87,6 +99,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *verbose {
 		cfg.Log = stderr
+	}
+	if *heartbeat > 0 {
+		cfg.Heartbeat = obs.NewHeartbeat(stderr, "case", *heartbeat, *n)
 	}
 	if *corpus != "" {
 		docs, err := conform.LoadCorpusDir(*corpus)

@@ -9,6 +9,16 @@
 //
 //	segbus-emu -psdf gen/mp3-psdf.xsd -psm gen/mp3-psm.xsd [-s 36]
 //	           [-refined] [-timeline] [-gantt] [-bu] [-csv out.csv]
+//	           [-metrics-json m.json] [-metrics-prom m.prom]
+//	           [-trace-perfetto trace.json]
+//
+// -metrics-json writes the run's monitoring counters as deterministic
+// JSON (wall-clock rates excluded); -metrics-prom writes the same
+// registry in Prometheus text exposition (rates included);
+// -trace-perfetto writes the execution trace as Chrome trace-event
+// JSON loadable at ui.perfetto.dev. Like every segbus tool, the
+// shared diagnostics flags -version, -cpuprofile and -memprofile are
+// available (see internal/obs/profflag).
 package main
 
 import (
@@ -20,6 +30,8 @@ import (
 	"segbus/internal/analyze"
 	"segbus/internal/core"
 	"segbus/internal/emulator"
+	"segbus/internal/obs"
+	"segbus/internal/obs/profflag"
 	"segbus/internal/power"
 	"segbus/internal/psdf"
 	"segbus/internal/realplat"
@@ -70,9 +82,20 @@ func run(args []string, stdout io.Writer) error {
 	htmlPath := fs.String("html", "", "write a self-contained HTML report (tables, figures, energy) to this file")
 	jsonPath := fs.String("json", "", "write the trace as versioned JSON to this file")
 	reportJSONPath := fs.String("report-json", "", "write the report as versioned JSON to this file")
+	metricsJSONPath := fs.String("metrics-json", "", "write the run's metrics as deterministic JSON to this file")
+	metricsPromPath := fs.String("metrics-prom", "", "write the run's metrics in Prometheus text exposition to this file")
+	perfettoPath := fs.String("trace-perfetto", "", "write the trace as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if pf.PrintVersion(stdout) {
+		return nil
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer pf.Stop(os.Stderr)
 
 	if *psdfPath == "" || *psmPath == "" {
 		fs.Usage()
@@ -115,24 +138,24 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("model failed preflight analysis: %d error(s), %d warning(s)", e, w)
 	}
 
-	wantTrace := *timeline || *gantt || *csvPath != "" || *svgTimeline != "" || *svgActivity != "" || *showUtil || *htmlPath != "" || *jsonPath != ""
-	var tr *trace.Trace
-	if wantTrace {
-		tr = &trace.Trace{}
+	wantTrace := *timeline || *gantt || *csvPath != "" || *svgTimeline != "" || *svgActivity != "" || *showUtil || *htmlPath != "" || *jsonPath != "" || *perfettoPath != ""
+	var reg *obs.Registry
+	if *metricsJSONPath != "" || *metricsPromPath != "" {
+		reg = obs.NewRegistry()
 	}
 
 	var report *emulator.Report
+	var tr *trace.Trace
 	if *refined {
-		report, err = realplat.Run(m, plat, realplat.Config{Trace: tr})
+		if wantTrace {
+			tr = &trace.Trace{}
+		}
+		report, err = realplat.Run(m, plat, realplat.Config{Trace: tr, Metrics: reg})
 	} else {
 		var est *core.Estimation
-		est, err = core.Estimate(m, plat, core.Options{})
-		if err == nil && wantTrace {
-			// Re-run with tracing (Estimate has no trace hook when
-			// Options.Trace is false); cheaper than special-casing.
-			report, err = emulator.Run(m, plat, emulator.Config{Trace: tr})
-		} else if est != nil {
-			report = est.Report
+		est, err = core.Estimate(m, plat, core.Options{Trace: wantTrace, Metrics: reg})
+		if est != nil {
+			report, tr = est.Report, est.Trace
 		}
 	}
 	if err != nil {
@@ -209,6 +232,40 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(stdout, "wrote", *jsonPath)
+	}
+	if *perfettoPath != "" {
+		data, err := tr.Perfetto()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*perfettoPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *perfettoPath)
+	}
+	if *metricsJSONPath != "" {
+		data, err := reg.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsJSONPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *metricsJSONPath)
+	}
+	if *metricsPromPath != "" {
+		f, err := os.Create(*metricsPromPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *metricsPromPath)
 	}
 	if *htmlPath != "" {
 		en, err := power.Estimate(m, plat, report, power.Params{})

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runMetricsJSON runs segbus-emu -metrics-json on the MP3 scenario and
+// returns the written document.
+func runMetricsJSON(t *testing.T, extra ...string) []byte {
+	t.Helper()
+	psdfPath, psmPath := genSchemes(t)
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	args := append([]string{"-psdf", psdfPath, "-psm", psmPath, "-metrics-json", out}, extra...)
+	var stdout strings.Builder
+	if err := run(args, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestMetricsJSONGolden pins the metrics document of the paper's MP3
+// scenario byte for byte — the contract behind scripts/check.sh's
+// metrics golden diff. Regenerate after a deliberate change to the
+// metric catalogue with:
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/segbus-emu -run TestMetricsJSONGolden
+func TestMetricsJSONGolden(t *testing.T) {
+	const golden = "../../testdata/golden/mp3-metrics.json"
+	got := runMetricsJSON(t)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s is stale: rerun with UPDATE_GOLDEN=1\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestMetricsJSONDeterministic: two separate processes' worth of runs
+// produce byte-identical metrics (the volatile rate gauge is excluded
+// from this export).
+func TestMetricsJSONDeterministic(t *testing.T) {
+	a := runMetricsJSON(t)
+	b := runMetricsJSON(t)
+	if !bytes.Equal(a, b) {
+		t.Error("-metrics-json differs across identical runs")
+	}
+	var doc struct {
+		Version int                        `json:"version"`
+		Metrics map[string]json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 1 || len(doc.Metrics) == 0 {
+		t.Errorf("metrics doc = version %d, %d metrics", doc.Version, len(doc.Metrics))
+	}
+	for id := range doc.Metrics {
+		if strings.HasPrefix(id, "segbus_emu_sim_ps_per_wall_second") {
+			t.Error("volatile rate gauge leaked into -metrics-json")
+		}
+	}
+}
+
+// TestMetricsPromOutput: the Prometheus exposition variant renders the
+// catalogue with HELP/TYPE headers and includes the volatile rate.
+func TestMetricsPromOutput(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	out := filepath.Join(t.TempDir(), "metrics.prom")
+	var stdout strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-metrics-prom", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		"# TYPE segbus_emu_arbiter_grants_total counter",
+		"# TYPE segbus_emu_bus_contention_wait_ps histogram",
+		"segbus_emu_sim_ps_per_wall_second",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}
+
+// TestTracePerfettoOutput: -trace-perfetto writes loadable Chrome
+// trace-event JSON with one thread per platform element.
+func TestTracePerfettoOutput(t *testing.T) {
+	psdfPath, psmPath := genSchemes(t)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var stdout strings.Builder
+	if err := run([]string{"-psdf", psdfPath, "-psm", psmPath, "-trace-perfetto", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("not valid trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	threads := map[string]bool{}
+	var complete int
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			threads[ev.Args["name"].(string)] = true
+		}
+		if ev.Phase == "X" {
+			complete++
+		}
+	}
+	for _, el := range []string{"P0", "CA", "BU12"} {
+		if !threads[el] {
+			t.Errorf("no thread for element %s", el)
+		}
+	}
+	if complete == 0 {
+		t.Error("no complete (ph=X) events")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"segbus/internal/dsl"
 	"segbus/internal/m2t"
+	"segbus/internal/obs/profflag"
 )
 
 func main() {
@@ -34,9 +35,17 @@ func run(args []string, stdout io.Writer) error {
 	outDir := fs.String("out", ".", "directory for the generated XML schemes")
 	name := fs.String("name", "", "base name of the generated files (default: the application name)")
 	check := fs.Bool("check", false, "validate the model description and exit without generating")
+	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if pf.PrintVersion(stdout) {
+		return nil
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer pf.Stop(os.Stderr)
 
 	if *modelPath == "" {
 		fs.Usage()

@@ -19,6 +19,7 @@ import (
 
 	"segbus/internal/core"
 	"segbus/internal/dsl"
+	"segbus/internal/obs/profflag"
 	"segbus/internal/place"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
@@ -47,9 +48,17 @@ func run(args []string, stdout io.Writer) error {
 	pkgSize := fs.Int("package-size", 36, "package size for -emit")
 	headerTicks := fs.Int("header-ticks", 0, "per-package protocol ticks for -emit")
 	caHopTicks := fs.Int("ca-hop-ticks", 0, "CA chain set-up ticks per hop for -emit")
+	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if pf.PrintVersion(stdout) {
+		return nil
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer pf.Stop(os.Stderr)
 
 	var m *psdf.Model
 	switch {

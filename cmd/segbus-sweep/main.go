@@ -20,6 +20,8 @@ import (
 	"strings"
 
 	"segbus/internal/dsl"
+	"segbus/internal/obs"
+	"segbus/internal/obs/profflag"
 	"segbus/internal/sweep"
 
 	platformpkg "segbus/internal/platform"
@@ -39,9 +41,18 @@ func run(args []string, stdout io.Writer) error {
 	valuesArg := fs.String("values", "", "comma-separated parameter values (frequencies accept MHz suffixes)")
 	segment := fs.Int("segment", 1, "segment index for -param segment-clock")
 	csvPath := fs.String("csv", "", "also write the curve as CSV to this file")
+	heartbeat := fs.Duration("heartbeat", 0, "print a progress line (samples/s, failures, ETA) to stderr at this interval (0: off)")
+	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if pf.PrintVersion(stdout) {
+		return nil
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer pf.Stop(os.Stderr)
 	if *modelPath == "" || *valuesArg == "" {
 		fs.Usage()
 		return fmt.Errorf("-model and -values are required")
@@ -64,6 +75,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	parts := strings.Split(*valuesArg, ",")
+	var opts sweep.Options
+	if *heartbeat > 0 {
+		opts.Heartbeat = obs.NewHeartbeat(os.Stderr, "sample", *heartbeat, len(parts))
+	}
 	var curve sweep.Curve
 	switch *param {
 	case "package-size", "header-ticks", "ca-hop-ticks":
@@ -77,11 +92,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		switch *param {
 		case "package-size":
-			curve = sweep.PackageSizes(doc.Model, doc.Platform, ints)
+			curve = sweep.PackageSizes(doc.Model, doc.Platform, ints, opts)
 		case "header-ticks":
-			curve = sweep.HeaderTicks(doc.Model, doc.Platform, ints)
+			curve = sweep.HeaderTicks(doc.Model, doc.Platform, ints, opts)
 		case "ca-hop-ticks":
-			curve = sweep.CAHopTicks(doc.Model, doc.Platform, ints)
+			curve = sweep.CAHopTicks(doc.Model, doc.Platform, ints, opts)
 		}
 	case "segment-clock":
 		clocks := make([]platformpkg.Hz, 0, len(parts))
@@ -92,7 +107,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 			clocks = append(clocks, hz)
 		}
-		curve, err = sweep.SegmentClock(doc.Model, doc.Platform, *segment, clocks)
+		curve, err = sweep.SegmentClock(doc.Model, doc.Platform, *segment, clocks, opts)
 		if err != nil {
 			return err
 		}

@@ -23,6 +23,7 @@ import (
 
 	"segbus/internal/analyze"
 	"segbus/internal/dsl"
+	"segbus/internal/obs/profflag"
 	"segbus/internal/schema"
 )
 
@@ -47,9 +48,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	strict := fs.Bool("strict", false, "exit non-zero on warnings, not only on errors")
 	codes := fs.Bool("codes", false, "print the diagnostic code table and exit")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
+	if pf.PrintVersion(stdout) {
+		return exitClean
+	}
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(stderr, "segbus-vet:", err)
+		return exitUsage
+	}
+	defer pf.Stop(stderr)
 
 	if *codes {
 		printCodes(stdout)

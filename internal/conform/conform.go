@@ -49,6 +49,7 @@ import (
 	"segbus/internal/core"
 	"segbus/internal/dsl"
 	"segbus/internal/emulator"
+	"segbus/internal/obs"
 	"segbus/internal/realplat"
 )
 
@@ -99,6 +100,11 @@ type Config struct {
 
 	// Log, when non-nil, receives per-case progress lines.
 	Log io.Writer
+
+	// Heartbeat, when non-nil, receives rate-limited progress ticks
+	// (cases done, failures so far) and a final line — the live
+	// cases/sec + ETA display of cmd/segbus-conform.
+	Heartbeat *obs.Heartbeat
 }
 
 // Violation is one oracle breach on one case.
@@ -136,6 +142,11 @@ type Summary struct {
 	Oracles     map[string]OracleTally `json:"oracles"`
 	Failures    []Failure              `json:"failures"`
 	ElapsedMs   int64                  `json:"elapsedMs"`
+
+	// Metrics is the final snapshot of the sweep's metric registry
+	// (deterministic values only — see internal/obs): case, check and
+	// per-oracle outcome counters, keyed by canonical metric id.
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // OK reports whether the sweep passed every oracle on every case.
@@ -257,6 +268,18 @@ func Run(cfg Config) (*Summary, error) {
 	for _, o := range oracles {
 		sum.Oracles[o.Name] = OracleTally{}
 	}
+	reg := obs.NewRegistry()
+	cases := reg.Counter("segbus_conform_cases_total")
+	corpusCases := reg.Counter("segbus_conform_corpus_cases_total")
+	checks := reg.Counter("segbus_conform_checks_total")
+	outcome := make(map[string][3]*obs.Counter, len(oracles))
+	for _, o := range oracles {
+		outcome[o.Name] = [3]*obs.Counter{
+			reg.Counter("segbus_conform_oracle_pass_total", "oracle", o.Name),
+			reg.Counter("segbus_conform_oracle_fail_total", "oracle", o.Name),
+			reg.Counter("segbus_conform_oracle_skip_total", "oracle", o.Name),
+		}
+	}
 	start := time.Now()
 
 	for i := 0; n == 0 || i < n; i++ {
@@ -269,8 +292,10 @@ func Run(cfg Config) (*Summary, error) {
 			c.refined = realplat.DefaultOverheads
 		}
 		sum.Cases++
+		cases.Inc()
 		if strings.HasPrefix(c.Origin, "corpus:") {
 			sum.CorpusCases++
+			corpusCases.Inc()
 		}
 		if cfg.FuzzCorpusDir != "" {
 			if _, err := WriteFuzzSeed(cfg.FuzzCorpusDir, c.Doc); err != nil {
@@ -287,13 +312,17 @@ func Run(cfg Config) (*Summary, error) {
 			v, skipped := checkOracle(o, c)
 			t := sum.Oracles[o.Name]
 			sum.Checks++
+			checks.Inc()
 			switch {
 			case skipped:
 				t.Skip++
+				outcome[o.Name][2].Inc()
 			case v == nil:
 				t.Pass++
+				outcome[o.Name][0].Inc()
 			default:
 				t.Fail++
+				outcome[o.Name][1].Inc()
 				f := Failure{
 					Case:   c.Index,
 					Origin: c.Origin,
@@ -308,8 +337,11 @@ func Run(cfg Config) (*Summary, error) {
 			}
 			sum.Oracles[o.Name] = t
 		}
+		cfg.Heartbeat.Tick(sum.Cases, len(sum.Failures))
 	}
 	sum.ElapsedMs = time.Since(start).Milliseconds()
+	sum.Metrics = reg.Snapshot(false)
+	cfg.Heartbeat.Final(sum.Cases, len(sum.Failures))
 	return sum, nil
 }
 

@@ -1,13 +1,17 @@
 package conform
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"segbus/internal/dsl"
 	"segbus/internal/emulator"
+	"segbus/internal/obs"
 )
 
 const scenarioDir = "../../testdata/scenarios"
@@ -298,5 +302,50 @@ func TestWriteFuzzSeed(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Errorf("expected 1 idempotent seed file, found %d", len(entries))
+	}
+}
+
+// TestSummaryMetricsAndHeartbeat: the sweep's metric snapshot in the
+// summary agrees with its scalar counters, and the heartbeat receives
+// the final line.
+func TestSummaryMetricsAndHeartbeat(t *testing.T) {
+	var hb bytes.Buffer
+	sum, err := Run(Config{
+		Seed:      7,
+		N:         10,
+		ReproDir:  t.TempDir(),
+		Heartbeat: obs.NewHeartbeat(&hb, "case", time.Nanosecond, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Metrics == nil {
+		t.Fatal("Summary.Metrics is nil")
+	}
+	if got := sum.Metrics["segbus_conform_cases_total"]; got != float64(sum.Cases) {
+		t.Errorf("cases metric = %v, summary = %d", got, sum.Cases)
+	}
+	if got := sum.Metrics["segbus_conform_checks_total"]; got != float64(sum.Checks) {
+		t.Errorf("checks metric = %v, summary = %d", got, sum.Checks)
+	}
+	for name, tally := range sum.Oracles {
+		if got := sum.Metrics[`segbus_conform_oracle_pass_total{oracle="`+name+`"}`]; got != float64(tally.Pass) {
+			t.Errorf("oracle %s pass metric = %v, tally = %d", name, got, tally.Pass)
+		}
+		if got := sum.Metrics[`segbus_conform_oracle_fail_total{oracle="`+name+`"}`]; got != float64(tally.Fail) {
+			t.Errorf("oracle %s fail metric = %v, tally = %d", name, got, tally.Fail)
+		}
+	}
+	out := hb.String()
+	if !strings.Contains(out, "10/10 cases") || !strings.Contains(out, "(done)") {
+		t.Errorf("heartbeat final line missing:\n%s", out)
+	}
+	// The snapshot must survive a JSON round-trip inside the summary.
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"segbus_conform_cases_total"`) {
+		t.Error("metrics absent from the JSON summary")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"segbus/internal/analyze"
 	"segbus/internal/emulator"
 	"segbus/internal/m2t"
+	"segbus/internal/obs"
 	"segbus/internal/parallel"
 	"segbus/internal/place"
 	"segbus/internal/platform"
@@ -48,6 +49,10 @@ type Options struct {
 	// Observer, when non-nil, receives emulation events as they
 	// happen (stages, grants, deliveries).
 	Observer emulator.Observer
+
+	// Metrics, when non-nil, receives the run's monitoring counters
+	// (see emulator.Config.Metrics).
+	Metrics *obs.Registry
 
 	// Preflight runs the static structural and liveness analyzers
 	// before spending emulation time; error-severity findings abort
@@ -114,6 +119,7 @@ func Estimate(m *psdf.Model, plat *platform.Platform, opts Options) (*Estimation
 		Policy:      opts.Policy,
 		Observer:    opts.Observer,
 		Trace:       tr,
+		Metrics:     opts.Metrics,
 	})
 	if err != nil {
 		return nil, err

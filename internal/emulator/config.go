@@ -26,6 +26,7 @@
 package emulator
 
 import (
+	"segbus/internal/obs"
 	"segbus/internal/trace"
 )
 
@@ -119,6 +120,15 @@ type Config struct {
 	// Trace, when non-nil, records per-element busy intervals and
 	// point events for the Figure 10/11 renderings.
 	Trace *trace.Trace
+
+	// Metrics, when non-nil, receives the run's monitoring counters:
+	// arbiter grants/denials by policy, border-unit occupancy ticks,
+	// per-segment contention-wait histograms, engine events and the
+	// simulated-time rate. Handles are resolved once per run; a nil
+	// registry costs one branch per update (see internal/obs). The
+	// registry may be shared across runs (values accumulate) and
+	// across concurrent workers.
+	Metrics *obs.Registry
 
 	// Observer, when non-nil, receives emulation events as they
 	// happen (see Observer).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"segbus/internal/engine"
 	"segbus/internal/platform"
@@ -207,6 +208,8 @@ type machine struct {
 	caRequests  int
 	reqSeq      uint64
 	endPs       engine.Time
+
+	met *machineMetrics
 }
 
 func newMachine(plat *platform.Platform, sch *sched.Schedule, nominal int, cfg Config) (*machine, error) {
@@ -231,6 +234,8 @@ func newMachine(plat *platform.Platform, sch *sched.Schedule, nominal int, cfg C
 		limit = 1000 + 64*uint64(sch.TotalPackages()+sch.NumFlows())*uint64(plat.NumSegments()+1)
 	}
 	mc.sim.SetStepLimit(limit)
+	mc.met = newMachineMetrics(cfg.Metrics, plat, cfg.Policy)
+	mc.sim.SetEventCounter(mc.met.events)
 
 	for _, seg := range plat.Segments {
 		mc.segs = append(mc.segs, &segState{index: seg.Index, clock: engine.NewClock(seg.Clock.PeriodPs())})
@@ -349,14 +354,25 @@ func (mc *machine) computeTicks(id sched.FlowID, pkg int) int64 {
 
 // run drives the simulation to completion and assembles the report.
 func (mc *machine) run() (*Report, error) {
+	mc.met.runs.Inc()
 	if mc.cfg.Observer != nil && mc.sch.NumStages() > 0 {
 		mc.cfg.Observer.StageStarted(mc.sch.Stages()[0].Order, 0)
 	}
 	for _, fu := range mc.fus {
 		mc.advanceFU(fu, 0)
 	}
-	if _, err := mc.sim.Run(); err != nil {
+	var wallStart time.Time
+	if mc.met.enabled {
+		wallStart = time.Now()
+	}
+	end, err := mc.sim.Run()
+	if err != nil {
 		return nil, err
+	}
+	if mc.met.enabled {
+		if secs := time.Since(wallStart).Seconds(); secs > 0 {
+			mc.met.simRate.Set(float64(end) / secs)
+		}
 	}
 	if mc.stage < len(mc.stageLeft) {
 		return nil, mc.deadlockError()
@@ -474,6 +490,7 @@ func (mc *machine) firstBuffer(src int, rightward bool) *buBuffer {
 // immediately; the refined model serialises requests over CASetTicks.
 func (mc *machine) caGrant(now engine.Time) engine.Time {
 	mc.caRequests++
+	mc.met.caRequests.Inc()
 	set := int64(mc.cfg.Overheads.CASetTicks)
 	if set == 0 {
 		return now
@@ -521,6 +538,7 @@ func (mc *machine) pumpSegment(g *segState, now engine.Time) {
 		return
 	}
 	if now < g.busyUntil {
+		mc.met.denials[g.index-1].Inc()
 		mc.scheduleGrant(g, g.busyUntil)
 		return
 	}
@@ -545,6 +563,8 @@ func (mc *machine) pumpSegment(g *segState, now engine.Time) {
 	}
 	r := g.queue[best]
 	g.queue = append(g.queue[:best], g.queue[best+1:]...)
+	mc.met.grants[g.index-1].Inc()
+	mc.met.contention[g.index-1].Observe(int64(now - r.at))
 	if mc.cfg.Observer != nil {
 		mc.cfg.Observer.TransferGranted(g.index, int64(now))
 	}
@@ -594,6 +614,7 @@ func (mc *machine) runFill(fu *fuState, e emitEntry, g *segState, buf *buBuffer,
 		buf.pkg = transitPkg{flow: e.flow, pkg: e.pkg, items: items, srcSeg: fu.seg, dstSeg: dstSeg, fullAt: fullAt}
 		st.in++
 		st.loadTicks += int64(items)
+		mc.met.buLoad[buf.bu.Left].Add(int64(items))
 		if buf.rightward {
 			st.recvFromLeft++
 			g.toRight++
@@ -676,11 +697,14 @@ func (mc *machine) runUnload(buf *buBuffer, forward *buBuffer, ns *segState, gra
 	// loaded until the next segment's arbiter grants the unload,
 	// rounded up to whole ticks of the receiving clock domain.
 	if wait := int64(start - pkg.fullAt); wait > 0 {
-		st.waitTicks += (wait + ns.clock.PeriodPs() - 1) / ns.clock.PeriodPs()
+		ticks := (wait + ns.clock.PeriodPs() - 1) / ns.clock.PeriodPs()
+		st.waitTicks += ticks
+		mc.met.buWait[buf.bu.Left].Add(ticks)
 		mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUWait, int64(pkg.fullAt), int64(start),
 			fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
 	}
 	st.unloadTicks += int64(pkg.items)
+	mc.met.buUnload[buf.bu.Left].Add(int64(pkg.items))
 	mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", ns.index), traceTransfer, int64(start), int64(end),
 		fmt.Sprintf("%s pkg %d unload %s", flowLabel(f), pkg.pkg, buf.bu.Name()))
 	mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUUnload, int64(dataStart), int64(end),
@@ -705,6 +729,7 @@ func (mc *machine) runUnload(buf *buBuffer, forward *buBuffer, ns *segState, gra
 			forward.pkg = transitPkg{flow: pkg.flow, pkg: pkg.pkg, items: pkg.items, srcSeg: pkg.srcSeg, dstSeg: pkg.dstSeg, fullAt: fullAt}
 			fst.in++
 			fst.loadTicks += int64(pkg.items)
+			mc.met.buLoad[forward.bu.Left].Add(int64(pkg.items))
 			if forward.rightward {
 				fst.recvFromLeft++
 			} else {
@@ -733,6 +758,7 @@ func (mc *machine) serveWaiters(buf *buBuffer, now engine.Time) {
 // re-examined.
 func (mc *machine) deliver(id sched.FlowID, pkg int, now engine.Time) {
 	f := mc.sch.Flow(id)
+	mc.met.delivered.Inc()
 	if now > mc.endPs {
 		mc.endPs = now
 	}

@@ -1,0 +1,97 @@
+package emulator
+
+import (
+	"strconv"
+
+	"segbus/internal/obs"
+	"segbus/internal/platform"
+)
+
+// Metric families recorded by an emulation run. The catalogue is
+// documented in DESIGN.md ("Observability"); names follow the
+// Prometheus conventions (unit-suffixed, _total for counters).
+const (
+	metricRuns        = "segbus_emu_runs_total"
+	metricEvents      = "segbus_emu_engine_events_total"
+	metricGrants      = "segbus_emu_arbiter_grants_total"
+	metricDenials     = "segbus_emu_arbiter_denials_total"
+	metricContention  = "segbus_emu_bus_contention_wait_ps"
+	metricBULoad      = "segbus_emu_bu_load_ticks_total"
+	metricBUUnload    = "segbus_emu_bu_unload_ticks_total"
+	metricBUWait      = "segbus_emu_bu_wait_ticks_total"
+	metricCARequests  = "segbus_emu_ca_requests_total"
+	metricDelivered   = "segbus_emu_packages_delivered_total"
+	metricSimPsPerSec = "segbus_emu_sim_ps_per_wall_second"
+)
+
+// contentionBoundsPs buckets the arbitration waiting time (request
+// raised to bus granted) in picoseconds: sub-tick, a few ticks, one
+// package, several packages — spanning the ~10ns clock periods and
+// ~µs package transfers of the paper's platforms.
+var contentionBoundsPs = []int64{
+	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000,
+}
+
+// machineMetrics holds the per-run metric handles, resolved once at
+// machine construction so the simulation loop never touches the
+// registry. With a nil registry every handle is nil and each update
+// is a single predictable branch (the *Trace no-op idiom).
+type machineMetrics struct {
+	enabled bool
+
+	runs       *obs.Counter
+	events     *obs.Counter
+	caRequests *obs.Counter
+	delivered  *obs.Counter
+	simRate    *obs.Gauge
+
+	grants     []*obs.Counter // index 0 = segment 1
+	denials    []*obs.Counter
+	contention []*obs.Histogram
+
+	buLoad   map[int]*obs.Counter // keyed by BU.Left
+	buUnload map[int]*obs.Counter
+	buWait   map[int]*obs.Counter
+}
+
+// newMachineMetrics resolves every handle the machine updates. reg
+// may be nil (metrics disabled).
+func newMachineMetrics(reg *obs.Registry, plat *platform.Platform, policy Policy) *machineMetrics {
+	mm := &machineMetrics{
+		enabled:    reg != nil,
+		runs:       reg.Counter(metricRuns),
+		events:     reg.Counter(metricEvents),
+		caRequests: reg.Counter(metricCARequests),
+		delivered:  reg.Counter(metricDelivered),
+		simRate:    reg.VolatileGauge(metricSimPsPerSec),
+		buLoad:     make(map[int]*obs.Counter),
+		buUnload:   make(map[int]*obs.Counter),
+		buWait:     make(map[int]*obs.Counter),
+	}
+	if reg != nil {
+		reg.Describe(metricRuns, "emulation runs recorded into this registry")
+		reg.Describe(metricEvents, "discrete events processed by the simulation kernel")
+		reg.Describe(metricGrants, "bus grants issued by the segment arbiters")
+		reg.Describe(metricDenials, "arbitration rounds deferred because the segment bus was busy")
+		reg.Describe(metricContention, "waiting time from bus request to grant, picoseconds")
+		reg.Describe(metricBULoad, "border-unit buffer load occupancy, segment clock ticks")
+		reg.Describe(metricBUUnload, "border-unit buffer unload occupancy, segment clock ticks")
+		reg.Describe(metricBUWait, "border-unit waiting periods (WP), receiving-clock ticks")
+		reg.Describe(metricCARequests, "inter-segment transfer requests received by the central arbiter")
+		reg.Describe(metricDelivered, "packages delivered to their destination")
+		reg.Describe(metricSimPsPerSec, "simulated picoseconds advanced per wall-clock second (volatile)")
+	}
+	pol := policy.String()
+	for _, seg := range plat.Segments {
+		segLabel := strconv.Itoa(seg.Index)
+		mm.grants = append(mm.grants, reg.Counter(metricGrants, "policy", pol, "segment", segLabel))
+		mm.denials = append(mm.denials, reg.Counter(metricDenials, "policy", pol, "segment", segLabel))
+		mm.contention = append(mm.contention, reg.Histogram(metricContention, contentionBoundsPs, "segment", segLabel))
+	}
+	for _, bu := range plat.BUs() {
+		mm.buLoad[bu.Left] = reg.Counter(metricBULoad, "bu", bu.Name())
+		mm.buUnload[bu.Left] = reg.Counter(metricBUUnload, "bu", bu.Name())
+		mm.buWait[bu.Left] = reg.Counter(metricBUWait, "bu", bu.Name())
+	}
+	return mm
+}

@@ -1,0 +1,156 @@
+package emulator_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/emulator"
+	"segbus/internal/obs"
+)
+
+// TestRunMetrics checks the emulator's metric catalogue against the
+// report counters of the paper's main run: the registry must agree
+// with the monitoring results the report derives independently.
+func TestRunMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	r, err := emulator.Run(m, p, emulator.Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot(false)
+
+	if got := snap["segbus_emu_runs_total"]; got != 1 {
+		t.Errorf("runs = %v", got)
+	}
+	if got := snap["segbus_emu_engine_events_total"]; got != float64(r.Steps) {
+		t.Errorf("events = %v, report steps = %d", got, r.Steps)
+	}
+	if got := snap["segbus_emu_ca_requests_total"]; got != float64(r.CA.InterRequests) {
+		t.Errorf("ca requests = %v, report = %d", got, r.CA.InterRequests)
+	}
+	if got := snap["segbus_emu_packages_delivered_total"]; got != float64(r.TotalPackagesSent()) {
+		t.Errorf("delivered = %v, sent = %d", got, r.TotalPackagesSent())
+	}
+	for _, bu := range r.BUs {
+		if got := snap[`segbus_emu_bu_load_ticks_total{bu="`+bu.Name+`"}`]; got != float64(bu.LoadTicks) {
+			t.Errorf("%s load ticks = %v, report = %d", bu.Name, got, bu.LoadTicks)
+		}
+		if got := snap[`segbus_emu_bu_unload_ticks_total{bu="`+bu.Name+`"}`]; got != float64(bu.UnloadTicks) {
+			t.Errorf("%s unload ticks = %v, report = %d", bu.Name, got, bu.UnloadTicks)
+		}
+		if got := snap[`segbus_emu_bu_wait_ticks_total{bu="`+bu.Name+`"}`]; got != float64(bu.WaitTicks) {
+			t.Errorf("%s wait ticks = %v, report = %d", bu.Name, got, bu.WaitTicks)
+		}
+	}
+	// One grant per intra-segment request plus one per BU-chain hop;
+	// cheap lower bound: at least as many grants as packages sent.
+	var grants float64
+	for id, v := range snap {
+		if strings.HasPrefix(id, "segbus_emu_arbiter_grants_total{") {
+			if !strings.Contains(id, `policy="bu-first"`) {
+				t.Errorf("grant metric missing policy label: %s", id)
+			}
+			grants += v
+		}
+	}
+	if grants < float64(r.TotalPackagesSent()) {
+		t.Errorf("grants = %v < packages sent %d", grants, r.TotalPackagesSent())
+	}
+	// The contention histogram saw every grant.
+	var waits float64
+	for id, v := range snap {
+		if strings.HasPrefix(id, "segbus_emu_bus_contention_wait_ps{") && strings.HasSuffix(id, "_count") {
+			waits += v
+		}
+	}
+	if waits != grants {
+		t.Errorf("contention observations = %v, grants = %v", waits, grants)
+	}
+
+	// The volatile rate gauge is set but excluded from the snapshot.
+	if _, ok := snap["segbus_emu_sim_ps_per_wall_second"]; ok {
+		t.Error("volatile gauge leaked into deterministic snapshot")
+	}
+	if all := reg.Snapshot(true); all["segbus_emu_sim_ps_per_wall_second"] <= 0 {
+		t.Errorf("sim rate = %v", all["segbus_emu_sim_ps_per_wall_second"])
+	}
+
+	// The exposition renders without error and carries the catalogue.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"segbus_emu_runs_total", "segbus_emu_engine_events_total",
+		"segbus_emu_arbiter_grants_total", "segbus_emu_arbiter_denials_total",
+		"segbus_emu_bus_contention_wait_ps", "segbus_emu_bu_load_ticks_total",
+		"segbus_emu_ca_requests_total", "segbus_emu_packages_delivered_total",
+	} {
+		if !strings.Contains(buf.String(), "# TYPE "+fam) {
+			t.Errorf("exposition missing family %s", fam)
+		}
+	}
+}
+
+// TestRunMetricsDeterministic: the deterministic snapshot is
+// identical across two runs of the same scenario.
+func TestRunMetricsDeterministic(t *testing.T) {
+	one := func() ([]byte, error) {
+		reg := obs.NewRegistry()
+		if _, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{Metrics: reg}); err != nil {
+			return nil, err
+		}
+		return reg.JSON()
+	}
+	a, err := one()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := one()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("metrics JSON differs across identical runs")
+	}
+}
+
+// TestRunMetricsAccumulate: a shared registry accumulates across runs
+// (the sweep-harness usage).
+func TestRunMetricsAccumulate(t *testing.T) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 3; i++ {
+		if _, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{Metrics: reg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Snapshot(false)["segbus_emu_runs_total"]; got != 3 {
+		t.Errorf("runs = %v", got)
+	}
+}
+
+// TestRunMetricsPolicyLabel: the grant counters carry the configured
+// policy name.
+func TestRunMetricsPolicyLabel(t *testing.T) {
+	reg := obs.NewRegistry()
+	if _, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36),
+		emulator.Config{Metrics: reg, Policy: emulator.PolicyFIFO}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for id := range reg.Snapshot(false) {
+		if strings.HasPrefix(id, "segbus_emu_arbiter_grants_total{") {
+			if !strings.Contains(id, `policy="fifo"`) {
+				t.Errorf("wrong policy label: %s", id)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no grant metrics recorded")
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"segbus/internal/obs"
 )
 
 // Time is an absolute simulation time in picoseconds.
@@ -138,7 +140,8 @@ type Sim struct {
 	seq     uint64
 	stopped bool
 	steps   uint64
-	limit   uint64 // safety valve against runaway models; 0 = unlimited
+	limit   uint64       // safety valve against runaway models; 0 = unlimited
+	events  *obs.Counter // optional per-event metric; nil no-ops
 }
 
 // NewSim returns an empty simulation positioned at time zero.
@@ -150,6 +153,12 @@ func NewSim() *Sim {
 // simulation will process; Run returns an error once exceeded. A limit
 // of zero (the default) disables the check.
 func (s *Sim) SetStepLimit(n uint64) { s.limit = n }
+
+// SetEventCounter streams every processed event into an obs counter,
+// so a live scrape sees simulation progress while Run is still
+// inside its loop. A nil counter (the default) keeps the dispatch
+// loop free of metric work beyond one pointer test.
+func (s *Sim) SetEventCounter(c *obs.Counter) { s.events = c }
 
 // Now returns the current simulation time.
 func (s *Sim) Now() Time { return s.now }
@@ -221,6 +230,7 @@ func (s *Sim) Run() (Time, error) {
 		}
 		s.now = e.at
 		s.steps++
+		s.events.Inc()
 		if s.limit > 0 && s.steps > s.limit {
 			return s.now, fmt.Errorf("engine: step limit %d exceeded at %v (livelock?)", s.limit, s.now)
 		}
@@ -247,6 +257,7 @@ func (s *Sim) RunUntil(deadline Time) (Time, error) {
 		}
 		s.now = e.at
 		s.steps++
+		s.events.Inc()
 		if s.limit > 0 && s.steps > s.limit {
 			return s.now, fmt.Errorf("engine: step limit %d exceeded at %v (livelock?)", s.limit, s.now)
 		}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): `# HELP`/`# TYPE` headers per
+// family, one sample line per metric, histograms expanded into
+// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+// Families are emitted in sorted order, label sets sorted within a
+// family, so the output is deterministic for deterministic inputs.
+// Volatile metrics (wall-clock rates) are included: the exposition
+// exists to be scraped live. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	ms := r.sorted()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	lastFamily := ""
+	for _, m := range ms {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			if h, ok := help[m.family]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.family, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, promType(m.kind)); err != nil {
+				return err
+			}
+		}
+		if err := writePromMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// promName renders `family{labels,extra}` with the optional extra
+// label pair appended after the metric's own labels.
+func promName(family, labels, extraKey, extraVal string) string {
+	var b strings.Builder
+	b.WriteString(family)
+	if labels == "" && extraKey == "" {
+		return b.String()
+	}
+	b.WriteByte('{')
+	b.WriteString(labels)
+	if extraKey != "" {
+		if labels != "" {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writePromMetric(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.id, m.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", m.id, formatFloat(m.gauge.Value()))
+		return err
+	case kindHistogram:
+		h := m.hist
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				promName(m.family+"_bucket", m.labels, "le", strconv.FormatInt(bound, 10)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", promName(m.family+"_bucket", m.labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promName(m.family+"_sum", m.labels, "", ""), h.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", promName(m.family+"_count", m.labels, "", ""), h.Count())
+		return err
+	}
+	return nil
+}
+
+// jsonHistogram is the JSON export shape of one histogram.
+type jsonHistogram struct {
+	Buckets []jsonBucket `json:"buckets"`
+	Sum     int64        `json:"sum"`
+	Count   int64        `json:"count"`
+}
+
+type jsonBucket struct {
+	LE         string `json:"le"` // upper bound, "+Inf" for the last
+	Cumulative int64  `json:"cumulative"`
+}
+
+// jsonDoc is the versioned JSON export shape: metric ids mapped to
+// scalar values (counters as integers, gauges as floats) or histogram
+// objects. Keys are sorted by encoding/json, so the document is
+// byte-deterministic for deterministic metric values — volatile
+// metrics (wall-clock rates) are therefore excluded.
+type jsonDoc struct {
+	Version int                        `json:"version"`
+	Metrics map[string]json.RawMessage `json:"metrics"`
+}
+
+// JSON renders the registry as a versioned, byte-deterministic JSON
+// document in the expvar style. Volatile metrics are excluded (see
+// VolatileGauge). A nil registry yields an empty valid document.
+func (r *Registry) JSON() ([]byte, error) {
+	doc := jsonDoc{Version: 1, Metrics: map[string]json.RawMessage{}}
+	if r != nil {
+		for _, m := range r.sorted() {
+			if m.volatile {
+				continue
+			}
+			var raw []byte
+			var err error
+			switch m.kind {
+			case kindCounter:
+				raw = strconv.AppendInt(nil, m.counter.Value(), 10)
+			case kindGauge:
+				raw, err = json.Marshal(m.gauge.Value())
+			case kindHistogram:
+				h := m.hist
+				jh := jsonHistogram{Sum: h.Sum(), Count: h.Count()}
+				var cum int64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					jh.Buckets = append(jh.Buckets, jsonBucket{LE: strconv.FormatInt(bound, 10), Cumulative: cum})
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				jh.Buckets = append(jh.Buckets, jsonBucket{LE: "+Inf", Cumulative: cum})
+				raw, err = json.Marshal(jh)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("obs: encoding %s: %w", m.id, err)
+			}
+			doc.Metrics[m.id] = raw
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: encoding JSON: %w", err)
+	}
+	return data, nil
+}
+
+// Families returns the distinct registered family names, sorted — the
+// metric-name catalogue of a live registry. A nil registry returns
+// nil.
+func (r *Registry) Families() []string {
+	if r == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range r.sorted() {
+		if !seen[m.family] {
+			seen[m.family] = true
+			out = append(out, m.family)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Heartbeat prints periodic progress lines for long-running sweeps:
+// items completed, completion rate, failure count and — when the
+// total is known — an ETA. Lines are emitted at most once per
+// interval, so a run that finishes inside the first interval stays
+// silent; the Final line is unconditional. A nil *Heartbeat is a
+// valid no-op sink, and Tick is safe to call from concurrent workers.
+type Heartbeat struct {
+	w     io.Writer
+	label string        // item noun, e.g. "case" or "sample"
+	every time.Duration // minimum spacing between lines
+	total int           // 0 when unknown (duration-bounded runs)
+
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+}
+
+// NewHeartbeat returns a heartbeat writing to w every interval (a
+// non-positive interval selects 5s). total may be zero when the run
+// length is unknown. A nil w returns a nil (no-op) heartbeat.
+func NewHeartbeat(w io.Writer, label string, every time.Duration, total int) *Heartbeat {
+	if w == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	now := time.Now()
+	return &Heartbeat{w: w, label: label, every: every, total: total, start: now, last: now}
+}
+
+// Tick reports that done items have completed, failures of them
+// failing; a line is printed only when the interval elapsed since the
+// previous one. No-op on a nil receiver.
+func (h *Heartbeat) Tick(done, failures int) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	if now.Sub(h.last) < h.every {
+		return
+	}
+	h.last = now
+	fmt.Fprintln(h.w, h.line(done, failures, now))
+}
+
+// Final prints the unconditional closing line. No-op on a nil
+// receiver.
+func (h *Heartbeat) Final(done, failures int) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintln(h.w, h.line(done, failures, time.Now())+" (done)")
+}
+
+// line renders one progress line, e.g.
+// "conform: 420/1000 cases, 61.3 cases/s, 2 failures, ETA 9s".
+func (h *Heartbeat) line(done, failures int, now time.Time) string {
+	elapsed := now.Sub(h.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	s := fmt.Sprintf("%d", done)
+	if h.total > 0 {
+		s = fmt.Sprintf("%d/%d", done, h.total)
+	}
+	s = fmt.Sprintf("%s %ss, %.1f %ss/s, %d failure(s)", s, h.label, rate, h.label, failures)
+	if h.total > 0 && rate > 0 && done < h.total {
+		eta := time.Duration(float64(h.total-done) / rate * float64(time.Second)).Round(time.Second)
+		s += fmt.Sprintf(", ETA %s", eta)
+	}
+	return s
+}

@@ -1,0 +1,323 @@
+// Package obs is the repository's zero-dependency metrics subsystem:
+// named counters, gauges and histograms collected in a Registry and
+// exported in Prometheus text exposition or deterministic JSON.
+//
+// The design mirrors the *trace.Trace no-op idiom: a nil *Registry is
+// a valid sink, and every metric handle obtained from it is a nil
+// pointer whose methods no-op. Hot paths therefore resolve their
+// handles once at set-up time and update them unconditionally — the
+// disabled case costs one predictable nil check per update and zero
+// allocations, which keeps the emulator's inner loop within the
+// benchmark budget when monitoring is off.
+//
+// Handles are safe for concurrent use (atomic updates), so the
+// parallel sweep harness can share one registry across workers.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil handle
+// discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be non-negative; negative deltas are dropped to
+// keep the counter monotone). No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a floating-point metric that can go up and down. The nil
+// handle discards updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a cumulative histogram over int64 observations with
+// fixed upper bounds (plus an implicit +Inf bucket). The nil handle
+// discards observations.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds
+	counts []atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are short (≤ ~16) and the branch
+	// pattern is friendlier than binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (zero on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// metricKind discriminates the registry's entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument: a family name, an optional
+// label set, and exactly one live handle.
+type metric struct {
+	family   string // name without labels
+	id       string // family plus rendered label set
+	labels   string // rendered label pairs without braces ("" when unlabelled)
+	kind     metricKind
+	volatile bool
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+}
+
+// Registry is a named collection of metrics. The zero value is ready
+// to use; a nil *Registry is a valid no-op sink that hands out nil
+// handles.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	help    map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// renderLabels renders a deterministic (sorted-by-key) label set,
+// e.g. `policy="fifo",segment="2"`, without the surrounding braces.
+func renderLabels(family string, labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q for %s", labels, family))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String()
+}
+
+// lookup returns the registered metric for the (family, labels)
+// identity, creating it with mk when absent. It panics when the id is
+// already registered under a different kind — that is always a
+// programming error.
+func (r *Registry) lookup(family string, labels []string, kind metricKind, mk func() *metric) *metric {
+	ls := renderLabels(family, labels)
+	id := family
+	if ls != "" {
+		id = family + "{" + ls + "}"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.metrics == nil {
+		r.metrics = make(map[string]*metric)
+	}
+	if m, ok := r.metrics[id]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different kind", id))
+		}
+		return m
+	}
+	m := mk()
+	m.family = family
+	m.id = id
+	m.labels = ls
+	m.kind = kind
+	r.metrics[id] = m
+	return m
+}
+
+// Counter returns (registering on first use) the counter with the
+// given family name and label key/value pairs. A nil registry returns
+// a nil handle.
+func (r *Registry) Counter(family string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(family, labels, kindCounter, func() *metric {
+		return &metric{counter: &Counter{}}
+	})
+	return m.counter
+}
+
+// Gauge returns (registering on first use) the gauge with the given
+// family name and label key/value pairs. A nil registry returns a nil
+// handle.
+func (r *Registry) Gauge(family string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(family, labels, kindGauge, func() *metric {
+		return &metric{gauge: &Gauge{}}
+	})
+	return m.gauge
+}
+
+// VolatileGauge is Gauge for values derived from wall-clock time
+// (rates, throughputs): the JSON export skips volatile metrics so
+// fixed inputs export byte-identical documents, while the Prometheus
+// exposition — meant for live scraping — includes them.
+func (r *Registry) VolatileGauge(family string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(family, labels, kindGauge, func() *metric {
+		return &metric{gauge: &Gauge{}, volatile: true}
+	})
+	return m.gauge
+}
+
+// Histogram returns (registering on first use) the histogram with the
+// given family name, bucket upper bounds (ascending; an implicit +Inf
+// bucket is appended) and label key/value pairs. A nil registry
+// returns a nil handle.
+func (r *Registry) Histogram(family string, bounds []int64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(family, labels, kindHistogram, func() *metric {
+		h := &Histogram{bounds: append([]int64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		return &metric{hist: h}
+	})
+	return m.hist
+}
+
+// Describe attaches a help string to a metric family, emitted as a
+// `# HELP` line by the Prometheus exposition. No-op on a nil
+// registry.
+func (r *Registry) Describe(family, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[family] = help
+}
+
+// sorted returns the registered metrics ordered by id (family name
+// first, then label rendering), under the lock.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// Snapshot returns the current scalar values keyed by metric id.
+// Histograms contribute `<id>_count` and `<id>_sum` entries. Volatile
+// metrics are skipped unless includeVolatile is set. A nil registry
+// returns nil.
+func (r *Registry) Snapshot(includeVolatile bool) map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, m := range r.sorted() {
+		if m.volatile && !includeVolatile {
+			continue
+		}
+		switch m.kind {
+		case kindCounter:
+			out[m.id] = float64(m.counter.Value())
+		case kindGauge:
+			out[m.id] = m.gauge.Value()
+		case kindHistogram:
+			out[m.id+"_count"] = float64(m.hist.Count())
+			out[m.id+"_sum"] = float64(m.hist.Sum())
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryHandsOutNoOpHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	g := r.Gauge("x")
+	vg := r.VolatileGauge("x_rate")
+	h := r.Histogram("x_ps", []int64{1, 10})
+	if c != nil || g != nil || vg != nil || h != nil {
+		t.Fatal("nil registry returned live handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1.5)
+	vg.Set(2.5)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles accumulated state")
+	}
+	r.Describe("x_total", "help")
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+	if r.Snapshot(true) != nil || r.Families() != nil {
+		t.Error("nil registry produced data")
+	}
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version int                    `json:"version"`
+		Metrics map[string]interface{} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 1 || len(doc.Metrics) != 0 {
+		t.Errorf("nil registry JSON = %s", data)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("grants_total", "policy", "fifo")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // dropped: counters are monotone
+	if c.Value() != 3 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if again := r.Counter("grants_total", "policy", "fifo"); again != c {
+		t.Error("re-registration returned a different handle")
+	}
+	g := r.Gauge("occupancy")
+	g.Set(0.75)
+	if g.Value() != 0.75 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("wait_ps", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 1000, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 6026 {
+		t.Errorf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	// Bucket placement: ≤10 → 2, ≤100 → 1, ≤1000 → 1, +Inf → 1.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m_total", "b", "2", "a", "1")
+	b := r.Counter("m_total", "a", "1", "b", "2")
+	if a != b {
+		t.Error("label order changed metric identity")
+	}
+	snap := r.Snapshot(true)
+	if _, ok := snap[`m_total{a="1",b="2"}`]; !ok {
+		t.Errorf("canonical id missing: %v", snap)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind conflict")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("grants_total", "bus grants by policy")
+	r.Counter("grants_total", "policy", "fifo").Add(7)
+	r.Counter("grants_total", "policy", "bu-first").Add(3)
+	r.Gauge("occupancy").Set(0.5)
+	r.VolatileGauge("rate").Set(123.5)
+	h := r.Histogram("wait_ps", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP grants_total bus grants by policy",
+		"# TYPE grants_total counter",
+		`grants_total{policy="bu-first"} 3`,
+		`grants_total{policy="fifo"} 7`,
+		"# TYPE occupancy gauge",
+		"occupancy 0.5",
+		"rate 123.5", // volatile included in the exposition
+		"# TYPE wait_ps histogram",
+		`wait_ps_bucket{le="10"} 1`,
+		`wait_ps_bucket{le="100"} 2`,
+		`wait_ps_bucket{le="+Inf"} 3`,
+		"wait_ps_sum 555",
+		"wait_ps_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// bu-first sorts before fifo within the family.
+	if strings.Index(out, `"bu-first"`) > strings.Index(out, `"fifo"`) {
+		t.Error("label sets not sorted within family")
+	}
+}
+
+func TestJSONDeterministicAndVolatileExcluded(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b_total").Add(2)
+		r.Counter("a_total", "k", "v").Add(1)
+		r.VolatileGauge("rate").Set(float64(time.Now().UnixNano()))
+		r.Histogram("h_ps", []int64{10}).Observe(7)
+		return r
+	}
+	d1, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Errorf("JSON not byte-deterministic:\n%s\n---\n%s", d1, d2)
+	}
+	if strings.Contains(string(d1), "rate") {
+		t.Error("volatile metric leaked into JSON")
+	}
+	var doc struct {
+		Version int                        `json:"version"`
+		Metrics map[string]json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(d1, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 1 {
+		t.Errorf("version = %d", doc.Version)
+	}
+	if string(doc.Metrics[`a_total{k="v"}`]) != "1" {
+		t.Errorf("a_total = %s", doc.Metrics[`a_total{k="v"}`])
+	}
+	var h struct {
+		Buckets []struct {
+			LE         string `json:"le"`
+			Cumulative int64  `json:"cumulative"`
+		} `json:"buckets"`
+		Sum   int64 `json:"sum"`
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(doc.Metrics["h_ps"], &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Sum != 7 || h.Count != 1 || len(h.Buckets) != 2 || h.Buckets[1].LE != "+Inf" {
+		t.Errorf("histogram JSON = %+v", h)
+	}
+}
+
+func TestSnapshotAndFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(4)
+	r.VolatileGauge("rate").Set(9)
+	r.Histogram("h_ps", []int64{10}).Observe(3)
+	snap := r.Snapshot(false)
+	if snap["c_total"] != 4 || snap["h_ps_count"] != 1 || snap["h_ps_sum"] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if _, ok := snap["rate"]; ok {
+		t.Error("volatile in deterministic snapshot")
+	}
+	if all := r.Snapshot(true); all["rate"] != 9 {
+		t.Errorf("volatile snapshot = %v", all)
+	}
+	fams := r.Families()
+	if len(fams) != 3 || fams[0] != "c_total" || fams[1] != "h_ps" || fams[2] != "rate" {
+		t.Errorf("families = %v", fams)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			h := r.Histogram("h_ps", []int64{50})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != 8000 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := r.Histogram("h_ps", []int64{50}).Count(); got != 8000 {
+		t.Errorf("hist count = %d", got)
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewHeartbeat(&buf, "case", time.Millisecond, 100)
+	time.Sleep(2 * time.Millisecond)
+	h.Tick(40, 2)
+	h.Tick(41, 2) // within the interval: suppressed
+	h.Final(100, 2)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "40/100 cases") || !strings.Contains(lines[0], "2 failure(s)") ||
+		!strings.Contains(lines[0], "ETA") {
+		t.Errorf("tick line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "100/100 cases") || !strings.Contains(lines[1], "(done)") {
+		t.Errorf("final line = %q", lines[1])
+	}
+
+	var nilHB *Heartbeat
+	nilHB.Tick(1, 0)
+	nilHB.Final(1, 0)
+	if NewHeartbeat(nil, "x", 0, 0) != nil {
+		t.Error("nil writer should yield nil heartbeat")
+	}
+
+	// Unknown total: no ETA, bare count.
+	buf.Reset()
+	h2 := NewHeartbeat(&buf, "sample", time.Nanosecond, 0)
+	time.Sleep(time.Millisecond)
+	h2.Tick(7, 0)
+	if !strings.Contains(buf.String(), "7 samples") || strings.Contains(buf.String(), "ETA") {
+		t.Errorf("unknown-total line = %q", buf.String())
+	}
+}

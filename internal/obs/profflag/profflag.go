@@ -1,0 +1,127 @@
+// Package profflag provides the diagnostics flags every segbus command
+// shares: -version (module and toolchain identification via the build
+// info embedded in the binary) and -cpuprofile/-memprofile (pprof
+// output for performance work on the emulator and its harnesses).
+//
+// Usage, immediately after flag.Parse:
+//
+//	pf := profflag.Register(fs)
+//	...
+//	if pf.PrintVersion(stdout) {
+//		return nil
+//	}
+//	if err := pf.Start(); err != nil {
+//		return err
+//	}
+//	defer pf.Stop(os.Stderr)
+package profflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+)
+
+// Flags holds the parsed shared flags. Register wires them into a
+// FlagSet; the zero value is inert.
+type Flags struct {
+	version    bool
+	cpuProfile string
+	memProfile string
+
+	tool    string
+	cpuFile *os.File
+}
+
+// Register adds -version, -cpuprofile and -memprofile to fs and
+// returns the handle the command consults after parsing. The tool name
+// reported by -version is the FlagSet's name.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{tool: fs.Name()}
+	fs.BoolVar(&f.version, "version", false, "print version information and exit")
+	fs.StringVar(&f.cpuProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.memProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	return f
+}
+
+// PrintVersion writes the tool's version line to w when -version was
+// given and reports whether the command should exit. The line carries
+// the module version (or "devel"), the VCS revision when the binary
+// was built from a checkout, and the Go toolchain version.
+func (f *Flags) PrintVersion(w io.Writer) bool {
+	if !f.version {
+		return false
+	}
+	fmt.Fprintln(w, f.tool+" "+Version())
+	return true
+}
+
+// Version renders the version string -version prints after the tool
+// name, from the build info embedded in the binary.
+func Version() string {
+	v := "devel"
+	var rev string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			v = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				rev = s.Value[:12]
+			}
+		}
+	}
+	if rev != "" {
+		v += " (" + rev + ")"
+	}
+	return v + " " + runtime.Version()
+}
+
+// Start begins CPU profiling when -cpuprofile was given.
+func (f *Flags) Start() error {
+	if f.cpuProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.cpuProfile)
+	if err != nil {
+		return fmt.Errorf("%s: -cpuprofile: %w", f.tool, err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("%s: -cpuprofile: %w", f.tool, err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes CPU profiling and writes the heap profile when
+// requested. It is designed for defer: problems are reported on errw
+// (the command's stderr) rather than returned, so a failed profile
+// write never masks the command's own outcome.
+func (f *Flags) Stop(errw io.Writer) {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			fmt.Fprintf(errw, "%s: -cpuprofile: %v\n", f.tool, err)
+		}
+		f.cpuFile = nil
+	}
+	if f.memProfile != "" {
+		file, err := os.Create(f.memProfile)
+		if err != nil {
+			fmt.Fprintf(errw, "%s: -memprofile: %v\n", f.tool, err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			fmt.Fprintf(errw, "%s: -memprofile: %v\n", f.tool, err)
+		}
+		if err := file.Close(); err != nil {
+			fmt.Fprintf(errw, "%s: -memprofile: %v\n", f.tool, err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package profflag
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newSet(t *testing.T, args ...string) (*flag.FlagSet, *Flags) {
+	t.Helper()
+	fs := flag.NewFlagSet("segbus-test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return fs, f
+}
+
+func TestPrintVersion(t *testing.T) {
+	_, f := newSet(t, "-version")
+	var buf bytes.Buffer
+	if !f.PrintVersion(&buf) {
+		t.Fatal("PrintVersion = false with -version set")
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "segbus-test ") {
+		t.Errorf("version line = %q", out)
+	}
+	if !strings.Contains(out, "go1.") {
+		t.Errorf("version line lacks toolchain: %q", out)
+	}
+
+	_, f = newSet(t)
+	if f.PrintVersion(&buf) {
+		t.Error("PrintVersion = true without -version")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	_, f := newSet(t, "-cpuprofile", cpu, "-memprofile", mem)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var errw bytes.Buffer
+	f.Stop(&errw)
+	if errw.Len() != 0 {
+		t.Errorf("Stop reported: %s", errw.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestNoProfilesNoFiles(t *testing.T) {
+	_, f := newSet(t)
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var errw bytes.Buffer
+	f.Stop(&errw)
+	if errw.Len() != 0 {
+		t.Errorf("Stop reported: %s", errw.String())
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	_, f := newSet(t, "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "x"))
+	if err := f.Start(); err == nil {
+		t.Error("Start succeeded with unwritable path")
+	}
+}
+
+func TestStopBadMemPath(t *testing.T) {
+	_, f := newSet(t, "-memprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "x"))
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var errw bytes.Buffer
+	f.Stop(&errw)
+	if !strings.Contains(errw.String(), "-memprofile") {
+		t.Errorf("Stop did not report the failure: %q", errw.String())
+	}
+}

@@ -20,6 +20,7 @@ package realplat
 
 import (
 	"segbus/internal/emulator"
+	"segbus/internal/obs"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
 	"segbus/internal/trace"
@@ -46,6 +47,10 @@ type Config struct {
 	// Trace, when non-nil, records busy intervals and point events.
 	Trace *trace.Trace
 
+	// Metrics, when non-nil, receives the run's monitoring counters
+	// (see emulator.Config.Metrics).
+	Metrics *obs.Registry
+
 	// DetectTicks is the end-of-run detection latency in CA ticks
 	// (zero selects the emulator default).
 	DetectTicks int64
@@ -61,6 +66,7 @@ func Run(m *psdf.Model, plat *platform.Platform, cfg Config) (*emulator.Report, 
 	return emulator.Run(m, plat, emulator.Config{
 		Overheads:   ov,
 		Trace:       cfg.Trace,
+		Metrics:     cfg.Metrics,
 		DetectTicks: cfg.DetectTicks,
 	})
 }

@@ -33,6 +33,14 @@ func Utilisations(r *emulator.Report, tr *trace.Trace) []Utilisation {
 		u := Utilisation{Element: element, BusyPs: busy, TotalPs: total}
 		if busy > 0 {
 			u.BusyPercent = 100 * float64(busy) / float64(total)
+			// The denominator is the TCT-derived execution time
+			// (section 4's formula), which trace activity can slightly
+			// exceed — e.g. the monitor's detection latency falls after
+			// the last counted tick. Clamp so no element ever reads
+			// more than fully busy; BusyPs keeps the raw figure.
+			if u.BusyPercent > 100 {
+				u.BusyPercent = 100
+			}
 		}
 		out = append(out, u)
 	}

@@ -46,6 +46,56 @@ func TestUtilisationsEmpty(t *testing.T) {
 	if got := Utilisations(&emulator.Report{}, nil); got != nil {
 		t.Errorf("empty report produced rows: %v", got)
 	}
+	// Zero ExecutionTimePs means no denominator: nil, not NaN rows —
+	// even when the report carries elements.
+	r := &emulator.Report{SAs: []emulator.SAStats{{Segment: 1}}}
+	if got := Utilisations(r, &trace.Trace{}); got != nil {
+		t.Errorf("zero-time report produced rows: %v", got)
+	}
+}
+
+// TestUtilisationsMergesOverlaps: an element's busy time merges
+// overlapping and adjacent intervals through trace.BusyTime instead of
+// double-counting them.
+func TestUtilisationsMergesOverlaps(t *testing.T) {
+	tr := &trace.Trace{}
+	// Overlapping [0,100) and [50,150), adjacent [150,200): 200 busy.
+	tr.AddInterval("Segment 1", trace.Transfer, 0, 100, "")
+	tr.AddInterval("Segment 1", trace.Transfer, 50, 150, "")
+	tr.AddInterval("Segment 1", trace.Transfer, 150, 200, "")
+	r := &emulator.Report{
+		ExecutionTimePs: 400,
+		SAs:             []emulator.SAStats{{Segment: 1}},
+	}
+	us := Utilisations(r, tr)
+	if len(us) != 1 {
+		t.Fatalf("rows = %d", len(us))
+	}
+	if us[0].BusyPs != 200 {
+		t.Errorf("BusyPs = %d, want 200 (merged)", us[0].BusyPs)
+	}
+	if us[0].BusyPercent != 50 {
+		t.Errorf("BusyPercent = %v, want 50", us[0].BusyPercent)
+	}
+}
+
+// TestUtilisationsClamped: trace activity past the TCT-derived
+// execution time (the monitor's detection latency falls outside the
+// counted ticks) clamps at 100%, with BusyPs keeping the raw figure.
+func TestUtilisationsClamped(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.AddInterval("Segment 1", trace.Transfer, 0, 500, "")
+	r := &emulator.Report{
+		ExecutionTimePs: 400,
+		SAs:             []emulator.SAStats{{Segment: 1}},
+	}
+	us := Utilisations(r, tr)
+	if us[0].BusyPercent != 100 {
+		t.Errorf("BusyPercent = %v, want clamp at 100", us[0].BusyPercent)
+	}
+	if us[0].BusyPs != 500 {
+		t.Errorf("BusyPs = %d, want the raw 500", us[0].BusyPs)
+	}
 }
 
 func TestUtilisationTable(t *testing.T) {

@@ -13,7 +13,9 @@ package sweep
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
+	"segbus/internal/obs"
 	"segbus/internal/parallel"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
@@ -32,25 +34,56 @@ type Curve struct {
 	Points []Point
 }
 
+// Options tunes a sweep evaluation. The sweep functions take it
+// variadically so existing call sites stay unchanged.
+type Options struct {
+	// Heartbeat, when non-nil, receives a progress tick after every
+	// completed sample (from worker goroutines — Heartbeat.Tick is
+	// concurrency-safe) and the unconditional final line.
+	Heartbeat *obs.Heartbeat
+}
+
+// first collapses the variadic options to one value.
+func first(opts []Options) Options {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options{}
+}
+
 // run evaluates the variants concurrently in submission order.
-func run(m *psdf.Model, variants []*platform.Platform, values []int64, param string) Curve {
+func run(m *psdf.Model, variants []*platform.Platform, values []int64, param string, o Options) Curve {
 	jobs := make([]parallel.Job, len(variants))
 	for i, p := range variants {
 		jobs[i] = parallel.Job{Label: fmt.Sprintf("%s=%d", param, values[i]), Model: m, Platform: p}
 	}
-	results := parallel.Run(jobs, parallel.Options{})
+	popts := parallel.Options{}
+	if o.Heartbeat != nil {
+		var done, failed atomic.Int64
+		popts.Progress = func(r parallel.Result) {
+			if r.Err != nil {
+				failed.Add(1)
+			}
+			o.Heartbeat.Tick(int(done.Add(1)), int(failed.Load()))
+		}
+	}
+	results := parallel.Run(jobs, popts)
 	c := Curve{Param: param, Points: make([]Point, len(values))}
+	failures := 0
 	for i, r := range results {
 		c.Points[i] = Point{Value: values[i], Err: r.Err}
 		if r.Err == nil {
 			c.Points[i].ExecPs = int64(r.Report.ExecutionTimePs)
+		} else {
+			failures++
 		}
 	}
+	o.Heartbeat.Final(len(results), failures)
 	return c
 }
 
 // PackageSizes sweeps the platform package size.
-func PackageSizes(m *psdf.Model, base *platform.Platform, sizes []int) Curve {
+func PackageSizes(m *psdf.Model, base *platform.Platform, sizes []int, opts ...Options) Curve {
 	variants := make([]*platform.Platform, len(sizes))
 	values := make([]int64, len(sizes))
 	for i, s := range sizes {
@@ -59,11 +92,11 @@ func PackageSizes(m *psdf.Model, base *platform.Platform, sizes []int) Curve {
 		variants[i] = p
 		values[i] = int64(s)
 	}
-	return run(m, variants, values, "packageSize")
+	return run(m, variants, values, "packageSize", first(opts))
 }
 
 // HeaderTicks sweeps the per-package protocol overhead.
-func HeaderTicks(m *psdf.Model, base *platform.Platform, ticks []int) Curve {
+func HeaderTicks(m *psdf.Model, base *platform.Platform, ticks []int, opts ...Options) Curve {
 	variants := make([]*platform.Platform, len(ticks))
 	values := make([]int64, len(ticks))
 	for i, h := range ticks {
@@ -72,11 +105,11 @@ func HeaderTicks(m *psdf.Model, base *platform.Platform, ticks []int) Curve {
 		variants[i] = p
 		values[i] = int64(h)
 	}
-	return run(m, variants, values, "headerTicks")
+	return run(m, variants, values, "headerTicks", first(opts))
 }
 
 // CAHopTicks sweeps the central arbiter's chain set-up cost.
-func CAHopTicks(m *psdf.Model, base *platform.Platform, ticks []int) Curve {
+func CAHopTicks(m *psdf.Model, base *platform.Platform, ticks []int, opts ...Options) Curve {
 	variants := make([]*platform.Platform, len(ticks))
 	values := make([]int64, len(ticks))
 	for i, h := range ticks {
@@ -85,11 +118,11 @@ func CAHopTicks(m *psdf.Model, base *platform.Platform, ticks []int) Curve {
 		variants[i] = p
 		values[i] = int64(h)
 	}
-	return run(m, variants, values, "caHopTicks")
+	return run(m, variants, values, "caHopTicks", first(opts))
 }
 
 // SegmentClock sweeps one segment's clock frequency (1-based index).
-func SegmentClock(m *psdf.Model, base *platform.Platform, segment int, clocks []platform.Hz) (Curve, error) {
+func SegmentClock(m *psdf.Model, base *platform.Platform, segment int, clocks []platform.Hz, opts ...Options) (Curve, error) {
 	if base.Segment(segment) == nil {
 		return Curve{}, fmt.Errorf("sweep: no segment %d", segment)
 	}
@@ -101,7 +134,7 @@ func SegmentClock(m *psdf.Model, base *platform.Platform, segment int, clocks []
 		variants[i] = p
 		values[i] = int64(hz)
 	}
-	return run(m, variants, values, fmt.Sprintf("segment%dClockHz", segment)), nil
+	return run(m, variants, values, fmt.Sprintf("segment%dClockHz", segment), first(opts)), nil
 }
 
 // CSV renders the curve as two-column CSV (value, exec_us); failed

@@ -2,9 +2,12 @@ package sweep
 
 import (
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"segbus/internal/apps"
+	"segbus/internal/obs"
 	"segbus/internal/platform"
 )
 
@@ -104,4 +107,42 @@ func TestCurveRenderings(t *testing.T) {
 	if !strings.Contains(bad.CSV(), "0,\n") || !strings.Contains(bad.Table(), "error") {
 		t.Error("failed point rendering wrong")
 	}
+}
+
+func TestSweepHeartbeat(t *testing.T) {
+	var buf syncBuffer
+	hb := obs.NewHeartbeat(&buf, "sample", time.Nanosecond, 3)
+	c := PackageSizes(apps.MP3Model(), apps.MP3Platform3(36), []int{18, 36, 72},
+		Options{Heartbeat: hb})
+	if len(c.Points) != 3 {
+		t.Fatalf("points = %d", len(c.Points))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(done)") {
+		t.Errorf("no final heartbeat line:\n%s", out)
+	}
+	if !strings.Contains(out, "3/3 samples") {
+		t.Errorf("final line lacks totals:\n%s", out)
+	}
+	// Without options nothing is printed and nothing panics.
+	PackageSizes(apps.MP3Model(), apps.MP3Platform3(36), []int{36})
+}
+
+// syncBuffer is a strings.Builder safe for the concurrent Progress
+// callbacks of the worker pool.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

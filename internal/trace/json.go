@@ -52,6 +52,15 @@ func (t *Trace) JSON() ([]byte, error) {
 			})
 		}
 		doc.Marks = append(doc.Marks, t.Marks...)
+		sort.Slice(doc.Marks, func(i, j int) bool {
+			if doc.Marks[i].At != doc.Marks[j].At {
+				return doc.Marks[i].At < doc.Marks[j].At
+			}
+			if doc.Marks[i].Element != doc.Marks[j].Element {
+				return doc.Marks[i].Element < doc.Marks[j].Element
+			}
+			return doc.Marks[i].Label < doc.Marks[j].Label
+		})
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

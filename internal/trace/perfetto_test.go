@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// chromeEvent mirrors the trace-event fields every Chrome/Perfetto
+// loader requires; the schema test below validates each emitted event
+// against the format's rules for its phase.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    *int64         `json:"ts"`
+	Dur   *int64         `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args"`
+}
+
+func decodePerfetto(t *testing.T, data []byte) []chromeEvent {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("not valid trace-event JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("traceEvents key missing")
+	}
+	return doc.TraceEvents
+}
+
+// TestPerfettoSchema validates every emitted event against the
+// Chrome trace-event format rules.
+func TestPerfettoSchema(t *testing.T) {
+	data, err := sample().Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := decodePerfetto(t, data)
+	var meta, complete, instant int
+	for _, ev := range evs {
+		if ev.Pid != 1 || ev.Tid < 1 {
+			t.Errorf("event %q has bad pid/tid %d/%d", ev.Name, ev.Pid, ev.Tid)
+		}
+		switch ev.Phase {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" && ev.Name != "thread_sort_index" {
+				t.Errorf("unexpected metadata event %q", ev.Name)
+			}
+			if ev.Args == nil {
+				t.Errorf("metadata event %q lacks args", ev.Name)
+			}
+		case "X":
+			complete++
+			if ev.Ts == nil || ev.Dur == nil {
+				t.Errorf("complete event %q lacks ts/dur", ev.Name)
+			} else if *ev.Dur < 0 {
+				t.Errorf("complete event %q has negative dur", ev.Name)
+			}
+		case "i":
+			instant++
+			if ev.Ts == nil {
+				t.Errorf("instant event %q lacks ts", ev.Name)
+			}
+			if ev.Scope != "t" {
+				t.Errorf("instant event %q scope = %q", ev.Name, ev.Scope)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+	}
+	// sample(): 5 elements × 2 metadata, 8 intervals, 1 mark.
+	if meta != 10 || complete != 8 || instant != 1 {
+		t.Errorf("event counts = %d meta, %d complete, %d instant", meta, complete, instant)
+	}
+	// Thread names cover all elements of the trace.
+	names := map[string]bool{}
+	for _, ev := range evs {
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			names[ev.Args["name"].(string)] = true
+		}
+	}
+	for _, el := range sample().Elements() {
+		if !names[el] {
+			t.Errorf("element %s has no thread_name metadata", el)
+		}
+	}
+}
+
+// TestPerfettoGolden pins the export byte for byte. Regenerate after a
+// deliberate format change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/trace -run TestPerfettoGolden
+func TestPerfettoGolden(t *testing.T) {
+	const golden = "testdata/sample-perfetto.json"
+	got, err := sample().Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s is stale: rerun with UPDATE_GOLDEN=1", golden)
+	}
+}
+
+func TestPerfettoNilAndEmpty(t *testing.T) {
+	var nilTrace *Trace
+	for _, tr := range []*Trace{nilTrace, {}} {
+		data, err := tr.Perfetto()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evs := decodePerfetto(t, data); len(evs) != 0 {
+			t.Errorf("empty trace produced %d events", len(evs))
+		}
+	}
+}
+
+func TestPerfettoDeterministic(t *testing.T) {
+	a, err := sample().Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sample().Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("Perfetto output differs across identical traces")
+	}
+}

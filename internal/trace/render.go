@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"encoding/csv"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -76,30 +78,38 @@ func (t *Trace) Gantt(width int) string {
 	return b.String()
 }
 
-// CSV renders all intervals as comma-separated records
+// CSV renders all intervals as RFC 4180 comma-separated records
 // (element,kind,start_ps,end_ps,detail), sorted by start time, with a
 // header row — suitable for external plotting of Figures 10 and 11.
+// Fields containing commas or quotes are quoted, not mangled, so the
+// detail strings round-trip through any conformant CSV reader.
 func (t *Trace) CSV() string {
-	if t == nil {
-		return "element,kind,start_ps,end_ps,detail\n"
-	}
-	ivs := make([]Interval, len(t.Intervals))
-	copy(ivs, t.Intervals)
-	sort.Slice(ivs, func(i, j int) bool {
-		if ivs[i].Start != ivs[j].Start {
-			return ivs[i].Start < ivs[j].Start
-		}
-		if ivs[i].Element != ivs[j].Element {
-			return ivs[i].Element < ivs[j].Element
-		}
-		return ivs[i].End < ivs[j].End
-	})
 	var b strings.Builder
-	b.WriteString("element,kind,start_ps,end_ps,detail\n")
-	for _, iv := range ivs {
-		detail := strings.ReplaceAll(iv.Detail, ",", ";")
-		fmt.Fprintf(&b, "%s,%s,%d,%d,%s\n", iv.Element, iv.Kind, iv.Start, iv.End, detail)
+	w := csv.NewWriter(&b)
+	w.Write([]string{"element", "kind", "start_ps", "end_ps", "detail"})
+	if t != nil {
+		ivs := make([]Interval, len(t.Intervals))
+		copy(ivs, t.Intervals)
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].Start != ivs[j].Start {
+				return ivs[i].Start < ivs[j].Start
+			}
+			if ivs[i].Element != ivs[j].Element {
+				return ivs[i].Element < ivs[j].Element
+			}
+			return ivs[i].End < ivs[j].End
+		})
+		for _, iv := range ivs {
+			w.Write([]string{
+				iv.Element,
+				iv.Kind.String(),
+				strconv.FormatInt(iv.Start, 10),
+				strconv.FormatInt(iv.End, 10),
+				iv.Detail,
+			})
+		}
 	}
+	w.Flush()
 	return b.String()
 }
 

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -151,11 +152,23 @@ func TestCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[1], "P0,compute,0,") {
 		t.Errorf("first row = %q", lines[1])
 	}
-	// Commas in detail are sanitised.
+	// Commas in detail are RFC 4180 quoted and round-trip intact.
 	tr := &Trace{}
-	tr.AddInterval("X", Compute, 0, 1, "a,b")
-	if !strings.Contains(tr.CSV(), "a;b") {
-		t.Error("detail comma not sanitised")
+	tr.AddInterval("X", Compute, 0, 1, "P3->P5 pkg 7/15, retry")
+	tr.AddInterval("Y", Transfer, 2, 3, `say "hi"`)
+	out := tr.CSV()
+	if !strings.Contains(out, `"P3->P5 pkg 7/15, retry"`) {
+		t.Errorf("comma detail not quoted:\n%s", out)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output unreadable: %v", err)
+	}
+	if got := recs[1][4]; got != "P3->P5 pkg 7/15, retry" {
+		t.Errorf("detail round-trip = %q", got)
+	}
+	if got := recs[2][4]; got != `say "hi"` {
+		t.Errorf("quoted detail round-trip = %q", got)
 	}
 }
 
@@ -219,5 +232,38 @@ func TestJSON(t *testing.T) {
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestJSONMarksSorted(t *testing.T) {
+	tr := &Trace{}
+	tr.AddMark("P9", "late", 500)
+	tr.AddMark("P2", "early", 100)
+	tr.AddMark("P1", "tie-b", 300)
+	tr.AddMark("P1", "tie-a", 300)
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Marks []Mark `json:"marks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := []Mark{
+		{Element: "P2", Label: "early", At: 100},
+		{Element: "P1", Label: "tie-a", At: 300},
+		{Element: "P1", Label: "tie-b", At: 300},
+		{Element: "P9", Label: "late", At: 500},
+	}
+	for i, m := range want {
+		if doc.Marks[i] != m {
+			t.Fatalf("marks[%d] = %+v, want %+v (all: %+v)", i, doc.Marks[i], m, doc.Marks)
+		}
+	}
+	// Recording order is untouched — only the export sorts.
+	if tr.Marks[0].Label != "late" {
+		t.Error("JSON() mutated the trace's mark order")
 	}
 }

@@ -18,6 +18,21 @@ go build ./...
 go test -race ./...
 go test -shuffle=on -count=1 ./...
 
+# Bench smoke: every benchmark must still run (one iteration each) —
+# catches bit-rot in the bench harnesses without paying for stable
+# timings.
+go test -bench=. -benchtime=1x -run '^$' ./...
+
+# Metrics golden diff: segbus-emu -metrics-json over the MP3 scenario
+# must stay byte-identical to the reviewed golden (deterministic
+# counters only; rates are excluded from this export by design).
+metrics_tmp=$(mktemp)
+trap 'rm -f "$metrics_tmp"' EXIT
+go run ./cmd/segbus-emu \
+	-psdf testdata/golden/mp3-psdf.xsd -psm testdata/golden/mp3-psm.xsd \
+	-metrics-json "$metrics_tmp" >/dev/null
+diff -u testdata/golden/mp3-metrics.json "$metrics_tmp"
+
 # Differential conformance smoke sweep: 200 deterministic cases (seed
 # 1, scenario-corpus seeded) through the full oracle battery. The JSON
 # summary goes to stdout for CI artifact collection; a non-zero exit

@@ -1,0 +1,48 @@
+package segbus_test
+
+// Every command shares the diagnostics flags of internal/obs/profflag;
+// this table pins that -version works — and exits zero without doing
+// any work — across all eight mains. Kept at the module root next to
+// the example smoke tests for the same `go run` treatment.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestVersionFlagAllTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the command binaries")
+	}
+	tools := []string{
+		"segbus-bench",
+		"segbus-codegen",
+		"segbus-conform",
+		"segbus-emu",
+		"segbus-m2t",
+		"segbus-place",
+		"segbus-sweep",
+		"segbus-vet",
+	}
+	for _, tool := range tools {
+		tool := tool
+		t.Run(tool, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./cmd/"+tool, "-version").CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s -version failed: %v\n%s", tool, err, out)
+			}
+			line := strings.TrimSpace(string(out))
+			if !strings.HasPrefix(line, tool+" ") {
+				t.Errorf("%s -version = %q, want prefix %q", tool, line, tool+" ")
+			}
+			if !strings.Contains(line, "go1.") {
+				t.Errorf("%s -version lacks the toolchain version: %q", tool, line)
+			}
+			if strings.Count(line, "\n") != 0 {
+				t.Errorf("%s -version printed more than one line:\n%s", tool, out)
+			}
+		})
+	}
+}
