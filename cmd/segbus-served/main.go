@@ -1,0 +1,125 @@
+// segbus-served is the long-lived estimation service: the same
+// pipeline segbus-emu runs once per invocation (parse schemes →
+// preflight → emulate → report), kept hot behind HTTP so a
+// design-space exploration can probe many candidates cheaply.
+// Repeated probes are answered from a content-addressed result cache;
+// concurrency is bounded by a worker pool with queue-full
+// backpressure (429) and per-request deadlines (504); SIGTERM/SIGINT
+// trigger a graceful drain.
+//
+// Usage:
+//
+//	segbus-served -addr :8080 [-workers 8] [-queue 16] [-cache 1024]
+//	              [-timeout 30s] [-drain-timeout 10s]
+//
+// Endpoints:
+//
+//	POST /estimate  {"psdf": "<scheme>", "psm": "<scheme>",
+//	                 "package_size": 36, "policy": "fifo", ...}
+//	                → the versioned report JSON of segbus-emu
+//	                  -report-json, byte-identical; X-Segbus-Cache
+//	                  says hit or miss.
+//	GET  /healthz   → 200 while serving, 503 while draining.
+//	GET  /metrics   → Prometheus text exposition (requests, latency,
+//	                  cache hits/misses, queue rejections, ...).
+//
+// Like every segbus tool, the shared diagnostics flags -version,
+// -cpuprofile and -memprofile are available.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"segbus/internal/obs"
+	"segbus/internal/obs/profflag"
+	"segbus/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "segbus-served:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until shutdown. ready, when
+// non-nil, receives the bound address once the listener is up (tests
+// pass -addr 127.0.0.1:0 and read the actual port from it).
+func run(args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("segbus-served", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent emulations (0: one per CPU)")
+	queue := fs.Int("queue", -1, "admitted requests beyond the running ones before 429s (-1: twice the workers)")
+	cacheEntries := fs.Int("cache", 1024, "result-cache entries (0: disable caching)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included (0: none)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	pf := profflag.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if pf.PrintVersion(stdout) {
+		return nil
+	}
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer pf.Stop(os.Stderr)
+
+	reg := obs.NewRegistry()
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *timeout,
+		Registry:       reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "segbus-served: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful drain: stop admitting (healthz flips to 503, estimates
+	// shed with SB905), wait for in-flight emulations, then close the
+	// listener and idle connections.
+	fmt.Fprintln(stdout, "segbus-served: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drained := s.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-errc // Serve has returned http.ErrServerClosed by now
+	if !drained {
+		return fmt.Errorf("drain timed out after %s with requests in flight", *drainTimeout)
+	}
+	fmt.Fprintln(stdout, "segbus-served: drained, bye")
+	return nil
+}

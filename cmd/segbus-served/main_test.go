@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "segbus") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+func TestBadAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-addr", "256.256.256.256:http"}, &out, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestServeEstimateAndGracefulShutdown boots the real binary
+// lifecycle on a loopback port, serves one cold and one cached
+// estimate, then drains it with SIGTERM — the signal path operators
+// will use.
+func TestServeEstimateAndGracefulShutdown(t *testing.T) {
+	psdfXML, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "mp3-psdf.xsd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psmXML, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "mp3-psm.xsd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-cache", "8"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v\n%s", err, out.String())
+	}
+	base := "http://" + addr
+
+	body, err := json.Marshal(map[string]string{"psdf": string(psdfXML), "psm": string(psmXML)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []byte
+	for i, wantCache := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, got)
+		}
+		if state := resp.Header.Get("X-Segbus-Cache"); state != wantCache {
+			t.Errorf("request %d: cache state %q, want %q", i, state, wantCache)
+		}
+		if i == 0 {
+			first = got
+		} else if !bytes.Equal(first, got) {
+			t.Error("cached response differs from the cold one")
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "segbus_served_cache_hits_total 1") {
+		t.Errorf("metrics missing the cache hit:\n%s", metrics)
+	}
+
+	// The operator's shutdown path: SIGTERM → drain → clean exit.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("missing drain banner:\n%s", out.String())
+	}
+}

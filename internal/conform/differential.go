@@ -1,0 +1,49 @@
+package conform
+
+import (
+	"bytes"
+	"fmt"
+
+	"segbus/internal/core"
+)
+
+// This file is the service-vs-CLI differential oracle: the hooks a
+// serving stack (cmd/segbus-served) uses to prove that its HTTP
+// responses are byte-identical to what the one-shot CLI pipeline
+// produces for the same generated case. The serve test harness feeds
+// Schemes() to the service and compares the response body against
+// ReportJSON() with CheckServed.
+
+// Schemes returns the canonical XML schemes of the case's model pair
+// — the same m2t rendering segbus-m2t writes and segbus-emu reads —
+// so a case can be replayed through any transport that accepts the
+// schemes (the HTTP estimation service, the CLI, ...).
+func (c *Case) Schemes() (psdfXML, psmXML []byte, err error) {
+	return core.Transform(c.Doc.Model, c.Doc.Platform)
+}
+
+// ReportJSON returns the canonical versioned report JSON of the
+// case's estimation run — byte-for-byte what `segbus-emu
+// -report-json` emits for the case's schemes.
+func (c *Case) ReportJSON() ([]byte, error) {
+	est, err := c.Est()
+	if err != nil {
+		return nil, err
+	}
+	return est.Report.JSON()
+}
+
+// CheckServed compares a served response body against the case's
+// canonical report JSON. A mismatch is returned in the oracle
+// violation style (what differs, with both renderings), nil means
+// byte-identical.
+func (c *Case) CheckServed(body []byte) error {
+	want, err := c.ReportJSON()
+	if err != nil {
+		return fmt.Errorf("canonical run failed: %w", err)
+	}
+	if !bytes.Equal(body, want) {
+		return fmt.Errorf("served response differs from the CLI report JSON\nserved: %s\ncli:    %s", body, want)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"segbus/internal/core"
+)
+
+func TestSchemesRoundTripMatchesDirectRun(t *testing.T) {
+	g := NewGenerator(11, nil)
+	c := g.Next()
+	psdfXML, psmXML, err := c.Schemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.EstimateXML(psdfXML, psmXML, 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := c.Est()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Report.ExecutionTimePs != direct.Report.ExecutionTimePs {
+		t.Errorf("scheme round trip changed the estimate: %d vs %d",
+			est.Report.ExecutionTimePs, direct.Report.ExecutionTimePs)
+	}
+}
+
+func TestCheckServed(t *testing.T) {
+	g := NewGenerator(12, nil)
+	c := g.Next()
+	want, err := c.ReportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckServed(want); err != nil {
+		t.Errorf("identical body rejected: %v", err)
+	}
+	err = c.CheckServed([]byte(`{"version":1}`))
+	if err == nil || !strings.Contains(err.Error(), "differs") {
+		t.Errorf("mismatching body accepted: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import "net/http"
+
+// Server metric catalogue: the families a long-lived segbus service
+// records, mirroring the emulator catalogue in internal/emulator.
+// Names follow the Prometheus conventions (unit-suffixed, _total for
+// counters); the catalogue is documented in DESIGN.md ("Serving").
+const (
+	// MetricServedRequests counts finished HTTP requests, labelled by
+	// endpoint and status code.
+	MetricServedRequests = "segbus_served_requests_total"
+
+	// MetricServedLatency is the request service-time histogram in
+	// microseconds, labelled by endpoint.
+	MetricServedLatency = "segbus_served_request_latency_us"
+
+	// MetricServedInFlight gauges requests currently being handled.
+	MetricServedInFlight = "segbus_served_in_flight_requests"
+
+	// MetricServedCacheHits / Misses / Evictions count result-cache
+	// outcomes.
+	MetricServedCacheHits      = "segbus_served_cache_hits_total"
+	MetricServedCacheMisses    = "segbus_served_cache_misses_total"
+	MetricServedCacheEvictions = "segbus_served_cache_evictions_total"
+
+	// MetricServedQueueFull counts requests shed with 429 because the
+	// worker pool had no admission capacity.
+	MetricServedQueueFull = "segbus_served_queue_rejections_total"
+
+	// MetricServedDeadline counts requests that hit their deadline
+	// (504) before a result was produced.
+	MetricServedDeadline = "segbus_served_deadline_exceeded_total"
+
+	// MetricServedDraining is 1 while the server is in its graceful
+	// drain, 0 otherwise.
+	MetricServedDraining = "segbus_served_draining"
+)
+
+// ServedLatencyBoundsUs buckets request service time in microseconds:
+// cache hits land in the sub-millisecond buckets, cold emulations of
+// paper-sized models in the millisecond ones, and the top buckets
+// catch queueing under load.
+var ServedLatencyBoundsUs = []int64{
+	100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000,
+}
+
+// ServerMetrics bundles the catalogue's resolved handles for a
+// serving process. Like every obs handle set it is nil-safe end to
+// end: NewServerMetrics(nil) returns a value whose updates all no-op,
+// so handlers update unconditionally.
+type ServerMetrics struct {
+	reg *Registry
+
+	InFlight       *Gauge
+	Draining       *Gauge
+	CacheHits      *Counter
+	CacheMisses    *Counter
+	CacheEvictions *Counter
+	QueueFull      *Counter
+	Deadline       *Counter
+}
+
+// NewServerMetrics resolves the static handles of the server
+// catalogue and registers the help strings. reg may be nil.
+func NewServerMetrics(reg *Registry) *ServerMetrics {
+	m := &ServerMetrics{
+		reg:            reg,
+		InFlight:       reg.Gauge(MetricServedInFlight),
+		Draining:       reg.Gauge(MetricServedDraining),
+		CacheHits:      reg.Counter(MetricServedCacheHits),
+		CacheMisses:    reg.Counter(MetricServedCacheMisses),
+		CacheEvictions: reg.Counter(MetricServedCacheEvictions),
+		QueueFull:      reg.Counter(MetricServedQueueFull),
+		Deadline:       reg.Counter(MetricServedDeadline),
+	}
+	reg.Describe(MetricServedRequests, "finished HTTP requests by endpoint and status code")
+	reg.Describe(MetricServedLatency, "request service time, microseconds")
+	reg.Describe(MetricServedInFlight, "requests currently being handled")
+	reg.Describe(MetricServedDraining, "1 while the server drains for shutdown")
+	reg.Describe(MetricServedCacheHits, "estimate requests answered from the result cache")
+	reg.Describe(MetricServedCacheMisses, "estimate requests that ran the emulator")
+	reg.Describe(MetricServedCacheEvictions, "result-cache entries evicted to make room")
+	reg.Describe(MetricServedQueueFull, "requests shed with 429 (worker pool saturated)")
+	reg.Describe(MetricServedDeadline, "requests that exceeded their deadline (504)")
+	return m
+}
+
+// Request records one finished request: the per-endpoint/status
+// counter and the per-endpoint latency histogram. The dynamic label
+// pair is resolved through the registry (which caches instruments by
+// identity), so arbitrary endpoint/status combinations stay cheap.
+func (m *ServerMetrics) Request(endpoint, status string, latencyUs int64) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter(MetricServedRequests, "endpoint", endpoint, "code", status).Inc()
+	m.reg.Histogram(MetricServedLatency, ServedLatencyBoundsUs, "endpoint", endpoint).Observe(latencyUs)
+}
+
+// Handler serves the registry in Prometheus text exposition — the
+// /metrics endpoint of a serving process. A nil registry serves an
+// empty exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r == nil {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -17,6 +17,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -59,6 +60,14 @@ type Options struct {
 	// Stop, when non-nil and closed, prevents un-started jobs from
 	// running; their results carry ErrStopped.
 	Stop <-chan struct{}
+
+	// Context, when non-nil, cancels the run the same way Stop does,
+	// but with the caller's cancellation cause: jobs not yet started
+	// when the context is done are skipped and their results carry
+	// context.Cause. A worker slot occupied by a cancelled batch is
+	// therefore freed as soon as its current job finishes instead of
+	// grinding through the remaining queue.
+	Context context.Context
 }
 
 // ErrStopped marks jobs skipped because the pool was stopped early.
@@ -86,7 +95,7 @@ func Run(jobs []Job, opts Options) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(i, jobs[i], opts.Stop)
+				results[i] = runOne(i, jobs[i], opts.Stop, opts.Context)
 				if opts.Progress != nil {
 					opts.Progress(results[i])
 				}
@@ -101,12 +110,20 @@ func Run(jobs []Job, opts Options) []Result {
 	return results
 }
 
-func runOne(i int, j Job, stop <-chan struct{}) (r Result) {
+func runOne(i int, j Job, stop <-chan struct{}, ctx context.Context) (r Result) {
 	r = Result{Index: i, Label: j.Label}
 	if stop != nil {
 		select {
 		case <-stop:
 			r.Err = ErrStopped
+			return r
+		default:
+		}
+	}
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			r.Err = context.Cause(ctx)
 			return r
 		default:
 		}

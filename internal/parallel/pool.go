@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// poolToken is what occupies admission and worker slots; only the
+// channel capacities matter.
+type poolToken = struct{}
+
+// Pool is the long-lived counterpart of Run: a bounded set of worker
+// slots plus a bounded admission queue, built for serving workloads
+// where requests arrive over time instead of as one batch.
+//
+// Admission is two-staged. Submit first claims an admission token
+// (workers + queue depth of them exist); when none is free the pool is
+// saturated and Submit fails fast with ErrQueueFull so the caller can
+// shed load (HTTP 429) instead of stacking unbounded goroutines. With
+// a token held, Submit waits for a worker slot — honouring the
+// caller's context, so an abandoned request stops waiting, releases
+// its token immediately and never occupies a slot.
+//
+// The work function runs on the caller's goroutine (net/http already
+// provides one per request); the pool only rations concurrency. Close
+// starts a graceful drain: new submissions are rejected with
+// ErrPoolClosed while admitted work runs to completion, and Drain
+// blocks until the last slot is back.
+type Pool struct {
+	tokens chan struct{} // admission tokens: workers + queue depth
+	slots  chan struct{} // concurrent execution slots: workers
+
+	closed   chan struct{}
+	closeOne sync.Once
+	inflight atomic.Int64
+}
+
+// ErrQueueFull reports that the pool had no admission capacity left;
+// the caller should shed the request.
+var ErrQueueFull = fmt.Errorf("parallel: pool queue is full")
+
+// ErrPoolClosed reports a submission to a pool that has begun its
+// graceful drain.
+var ErrPoolClosed = fmt.Errorf("parallel: pool is closed")
+
+// NewPool returns a pool with the given number of worker slots and
+// queued (admitted but not yet running) submissions. workers <= 0
+// selects GOMAXPROCS; queue < 0 selects twice the worker count.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 2 * workers
+	}
+	return &Pool{
+		tokens: make(chan struct{}, workers+queue),
+		slots:  make(chan struct{}, workers),
+		closed: make(chan struct{}),
+	}
+}
+
+// Submit runs fn on a worker slot. It returns ErrQueueFull when the
+// pool is saturated, ErrPoolClosed after Close, or the context's cause
+// when ctx is cancelled while waiting for a slot — in which case fn
+// never runs and the queued position is released immediately. A nil
+// ctx waits indefinitely.
+func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	select {
+	case <-p.closed:
+		return ErrPoolClosed
+	default:
+	}
+	select {
+	case p.tokens <- struct{}{}:
+	default:
+		return ErrQueueFull
+	}
+	defer func() { <-p.tokens }()
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case p.slots <- struct{}{}:
+	case <-done:
+		return context.Cause(ctx)
+	case <-p.closed:
+		return ErrPoolClosed
+	}
+	p.inflight.Add(1)
+	defer func() {
+		p.inflight.Add(-1)
+		<-p.slots
+	}()
+	fn()
+	return nil
+}
+
+// InFlight returns the number of submissions currently executing.
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
+
+// Close starts the graceful drain: subsequent and slot-waiting
+// submissions fail with ErrPoolClosed; running work is unaffected.
+// Safe to call more than once.
+func (p *Pool) Close() {
+	p.closeOne.Do(func() { close(p.closed) })
+}
+
+// Drain blocks until every in-flight submission has finished or ctx
+// is done, whichever comes first, and reports whether the pool fully
+// drained. It works by parking a token in every worker slot, so it
+// must only be called after Close (otherwise it would compete with
+// live submissions for slots).
+func (p *Pool) Drain(ctx context.Context) bool {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for i := 0; i < cap(p.slots); i++ {
+		select {
+		case p.slots <- poolToken{}:
+		case <-done:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsSubmissions(t *testing.T) {
+	p := NewPool(4, 4)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Saturation rejections are legal here; count runs only.
+			if err := p.Submit(context.Background(), func() { ran.Add(1) }); err != nil && !errors.Is(err, ErrQueueFull) {
+				t.Errorf("Submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() == 0 {
+		t.Fatal("no submission ran")
+	}
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight after quiesce = %d", got)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 0) // one slot, no queue
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), func() {
+		close(started)
+		<-block
+	})
+	<-started
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated Submit = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+// TestPoolCancelledWaiterFreesSlot is the regression test for the
+// latent bug this PR fixes: a caller that abandons its request while
+// queued must release its position so the next request can run.
+func TestPoolCancelledWaiterFreesSlot(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), func() {
+		close(started)
+		<-block
+	})
+	<-started
+
+	// Admitted to the queue, then abandoned before a slot freed up.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Submit(ctx, func() { t.Error("cancelled submission ran") })
+	}()
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Submit = %v, want context.Canceled", err)
+	}
+
+	// The abandoned waiter's queue position must be free again: with
+	// the worker still busy, a fresh submission must be admitted (and
+	// run once the worker frees up) rather than rejected.
+	ran := make(chan struct{})
+	errc2 := make(chan error, 1)
+	go func() {
+		errc2 <- p.Submit(context.Background(), func() { close(ran) })
+	}()
+	// Give the fresh submission time to fail fast if the slot leaked.
+	select {
+	case err := <-errc2:
+		t.Fatalf("fresh submission rejected after cancellation: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	if err := <-errc2; err != nil {
+		t.Fatalf("fresh submission after cancellation: %v", err)
+	}
+	<-ran
+}
+
+func TestPoolCloseRejectsAndDrains(t *testing.T) {
+	p := NewPool(2, 2)
+	block := make(chan struct{})
+	started := make(chan struct{}, 2)
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			done <- p.Submit(context.Background(), func() {
+				started <- struct{}{}
+				<-block
+			})
+		}()
+	}
+	<-started
+	<-started
+	p.Close()
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	if p.Drain(ctx) {
+		t.Fatal("Drain reported success with work still in flight")
+	}
+	cancel()
+
+	close(block)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("in-flight submission failed: %v", err)
+		}
+	}
+	if !p.Drain(context.Background()) {
+		t.Fatal("Drain failed on an idle closed pool")
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(0, -1)
+	if err := p.Submit(context.Background(), func() {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := Run(jobs(5), Options{Workers: 2, Context: ctx})
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d ran despite cancelled context: %v", i, r.Err)
+		}
+	}
+}
+
+func TestRunContextMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	js := jobs(8)
+	var cancelled atomic.Bool
+	results := Run(js, Options{
+		Workers: 1,
+		Context: ctx,
+		Progress: func(r Result) {
+			// Cancel after the first completed job; with one worker the
+			// remaining queue must be skipped.
+			if !cancelled.Swap(true) {
+				cancel()
+			}
+		},
+	})
+	var ran, skipped int
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			skipped++
+		} else if r.Err == nil {
+			ran++
+		}
+	}
+	if ran == 0 || skipped == 0 {
+		t.Fatalf("ran=%d skipped=%d; want both non-zero", ran, skipped)
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed LRU result cache: core.Key addresses
+// map to serialized report JSON. Because equal keys promise
+// byte-identical reports (the key covers the canonical schemes and
+// every report-affecting option), a hit can be served verbatim — the
+// cache stores the exact bytes a cold run would produce.
+//
+// The cache is safe for concurrent use. Stored values are treated as
+// immutable: Put keeps the slice it is given and Get returns it
+// without copying, so callers must not mutate either.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache holding at most max entries. max <= 0
+// disables caching: every Get misses and Put discards.
+func NewCache(max int) *Cache {
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key and promotes it to most
+// recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil || c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry
+// when full, and reports whether an eviction happened. Re-putting an
+// existing key refreshes its value and recency instead of growing the
+// cache.
+func (c *Cache) Put(key string, val []byte) (evicted bool) {
+	if c == nil || c.max <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return false
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() <= c.max {
+		return false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	delete(c.items, oldest.Value.(*cacheEntry).key)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil || c.max <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

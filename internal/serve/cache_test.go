@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/core"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("Get a = %q %v", v, ok)
+	}
+	// "a" was just used, so inserting "c" evicts "b".
+	if evicted := c.Put("c", []byte("C")); !evicted {
+		t.Fatal("full cache did not evict")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU evicted the wrong entry")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Re-putting refreshes, never grows or evicts.
+	if evicted := c.Put("a", []byte("A2")); evicted {
+		t.Fatal("refresh evicted")
+	}
+	if v, _ := c.Get("a"); string(v) != "A2" {
+		t.Fatalf("refresh lost: %q", v)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	for _, c := range []*Cache{NewCache(0), nil} {
+		c.Put("a", []byte("A"))
+		if _, ok := c.Get("a"); ok {
+			t.Fatal("disabled cache hit")
+		}
+		if c.Len() != 0 {
+			t.Fatal("disabled cache has entries")
+		}
+	}
+}
+
+// TestCacheConcurrent hammers parallel Get/Put with eviction under
+// the race detector: the run is only meaningful with -race, which the
+// tier-1 loop applies.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8) // much smaller than the key space: constant eviction
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%32)
+				if v, ok := c.Get(key); ok && string(v) != "v-"+key {
+					t.Errorf("cache returned foreign value %q for %s", v, key)
+				}
+				c.Put(key, []byte("v-"+key))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Fatalf("cache grew past its bound: %d", n)
+	}
+}
+
+// TestCacheHitIsByteIdenticalToColdRun is the serving determinism
+// guarantee: a hit returns exactly the bytes a fresh emulation would
+// produce.
+func TestCacheHitIsByteIdenticalToColdRun(t *testing.T) {
+	r := core.NewRunner(core.Options{})
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	key, err := r.Key(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := r.ReportJSON(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(4)
+	c.Put(key, cold)
+	hit, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	again, err := r.ReportJSON(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hit, again) {
+		t.Error("cache hit differs from a fresh cold run")
+	}
+}
+
+// BenchmarkColdEstimate measures the full serving cost of a cache
+// miss: canonical key derivation plus emulation plus report
+// rendering. Compare with BenchmarkCacheHit (EXPERIMENTS.md records
+// the ratio).
+func BenchmarkColdEstimate(b *testing.B) {
+	r := core.NewRunner(core.Options{})
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Key(m, p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReportJSON(m, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures the same request served from the result
+// cache: key derivation plus one LRU lookup.
+func BenchmarkCacheHit(b *testing.B) {
+	r := core.NewRunner(core.Options{})
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	key, err := r.Key(m, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := r.ReportJSON(m, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCache(4)
+	c.Put(key, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := r.Key(m, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := c.Get(k); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}

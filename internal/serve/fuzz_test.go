@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"segbus/internal/conform"
+)
+
+// FuzzEstimateHandler fuzzes the /estimate request body. The seed
+// corpus comes from the same generator that feeds segbus-conform's
+// go-fuzz corpus export (scenario-corpus seeded), plus hand-written
+// malformed envelopes. Invariants: the handler never panics, and
+// every non-200 response is well-formed JSON carrying a diagnostic
+// code.
+func FuzzEstimateHandler(f *testing.F) {
+	corpus, err := conform.LoadCorpusDir(filepath.Join("..", "..", "testdata", "scenarios"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := conform.NewGenerator(7, corpus)
+	for i := 0; i < 8; i++ {
+		c := g.Next()
+		psdfXML, psmXML, err := c.Schemes()
+		if err != nil {
+			continue
+		}
+		body, err := json.Marshal(EstimateRequest{PSDF: string(psdfXML), PSM: string(psmXML)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+		// A mutated sibling: valid envelope, damaged scheme.
+		f.Add(bytes.Replace(body, []byte("xs:element"), []byte("xs:elemen"), 1))
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"psdf":"x","psm":"y"}`))
+	f.Add([]byte(`{"psdf":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"psdf":"<xs:schema/>","psm":"<xs:schema/>","policy":"warp-speed"}`))
+
+	s := New(Config{Workers: 2, Queue: 2, CacheEntries: 16, RequestTimeout: 10 * time.Second})
+	h := s.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/estimate", bytes.NewReader(body)))
+		if rec.Code == http.StatusOK {
+			return
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("status %d body is not JSON: %v\n%s", rec.Code, err, rec.Body.String())
+		}
+		if e.Code == "" {
+			t.Fatalf("status %d body has no diagnostic code:\n%s", rec.Code, rec.Body.String())
+		}
+	})
+}

@@ -1,0 +1,390 @@
+// Package serve turns the one-shot estimation pipeline into a
+// long-lived concurrent HTTP service: POST the PSDF and PSM XML
+// schemes (the same documents segbus-emu reads) to /estimate and get
+// back the versioned report JSON, byte-identical to `segbus-emu
+// -report-json` on the same schemes.
+//
+// The service introduces the repository's first shared mutable state,
+// managed by three mechanisms:
+//
+//   - a content-addressed LRU result cache (Cache) keyed by
+//     core.Key's canonical hash of model + platform + options, so
+//     repeated design-space probes are served without re-simulation;
+//   - a bounded worker pool (internal/parallel.Pool) with per-request
+//     deadlines, queue-full backpressure (HTTP 429) and caller
+//     cancellation — an abandoned request frees its admission slot;
+//   - a graceful drain: Drain flips /healthz to 503, sheds new
+//     estimates with SB905, and waits for in-flight emulations.
+//
+// Every non-200 response is a JSON ErrorResponse carrying a stable
+// service code (SB9xx) and, for schema or preflight rejections, the
+// SB0xx diagnostics of the static analyzers. Request, latency, cache
+// and saturation metrics flow into an obs.Registry exposed on
+// /metrics in Prometheus text exposition.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"segbus/internal/analyze"
+	"segbus/internal/core"
+	"segbus/internal/emulator"
+	"segbus/internal/obs"
+	"segbus/internal/parallel"
+	"segbus/internal/schema"
+)
+
+// Service diagnostic codes, in the SB9xx range so they can never
+// collide with the analyzer codes (SB0xx–SB3xx) they may carry.
+const (
+	// CodeBadRequest marks a malformed request envelope: invalid
+	// JSON, an unsupported method, an oversized body or an unknown
+	// option value.
+	CodeBadRequest = "SB900"
+
+	// CodeBadScheme marks a PSDF or PSM scheme that failed parsing or
+	// validation; Diagnostics carries the SB0xx findings when the
+	// scheme was well-formed XML describing a broken model.
+	CodeBadScheme = "SB901"
+
+	// CodeBadModel marks a model pair rejected by the static
+	// preflight analysis; Diagnostics carries the SB0xx findings.
+	CodeBadModel = "SB902"
+
+	// CodeQueueFull marks a request shed because the worker pool had
+	// no admission capacity (HTTP 429).
+	CodeQueueFull = "SB903"
+
+	// CodeDeadline marks a request that hit its deadline or was
+	// abandoned before a result was produced (HTTP 504).
+	CodeDeadline = "SB904"
+
+	// CodeDraining marks a request refused because the server is
+	// shutting down (HTTP 503).
+	CodeDraining = "SB905"
+
+	// CodeInternal marks an emulation failure on a model pair that
+	// passed validation and preflight (HTTP 500).
+	CodeInternal = "SB906"
+)
+
+// EstimateRequest is the /estimate request body.
+type EstimateRequest struct {
+	// PSDF and PSM are the XML schemes, verbatim.
+	PSDF string `json:"psdf"`
+	PSM  string `json:"psm"`
+
+	// PackageSize, when positive, overrides the scheme's package size
+	// (the -s flag of segbus-emu).
+	PackageSize int `json:"package_size,omitempty"`
+
+	// Policy selects the arbitration policy: "" or "bu-first",
+	// "fifo", "fixed-priority".
+	Policy string `json:"policy,omitempty"`
+
+	// DetectTicks overrides the monitor's end-detection latency.
+	DetectTicks int64 `json:"detect_ticks,omitempty"`
+
+	// Overheads selects a non-default timing model.
+	Overheads *OverheadsSpec `json:"overheads,omitempty"`
+}
+
+// OverheadsSpec mirrors emulator.Overheads in the request JSON.
+type OverheadsSpec struct {
+	GrantTicks   int `json:"grant_ticks,omitempty"`
+	SyncTicks    int `json:"sync_ticks,omitempty"`
+	CASetTicks   int `json:"ca_set_ticks,omitempty"`
+	CAResetTicks int `json:"ca_reset_ticks,omitempty"`
+}
+
+// ErrorResponse is the body of every non-200 response.
+type ErrorResponse struct {
+	Code        string               `json:"code"`
+	Error       string               `json:"error"`
+	Diagnostics []analyze.Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrent emulations; <= 0 selects GOMAXPROCS.
+	Workers int
+
+	// Queue bounds requests admitted beyond the running ones before
+	// 429s start; < 0 selects twice the worker count.
+	Queue int
+
+	// CacheEntries bounds the result cache; <= 0 disables caching.
+	CacheEntries int
+
+	// RequestTimeout is the per-request deadline (queue wait
+	// included); 0 means no server-imposed deadline.
+	RequestTimeout time.Duration
+
+	// MaxBodyBytes bounds the request body; <= 0 selects 16 MiB.
+	MaxBodyBytes int64
+
+	// Registry receives the server metric catalogue; nil disables
+	// metrics (the /metrics endpoint then serves an empty
+	// exposition).
+	Registry *obs.Registry
+}
+
+// Server is the estimation service. Create with New, expose with
+// Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	cache    *Cache
+	pool     *parallel.Pool
+	metrics  *obs.ServerMetrics
+	draining atomic.Bool
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	return &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		pool:    parallel.NewPool(cfg.Workers, cfg.Queue),
+		metrics: obs.NewServerMetrics(cfg.Registry),
+	}
+}
+
+// Cache returns the server's result cache (for tests and stats).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the service mux: POST /estimate, GET /healthz, GET
+// /metrics. Every endpoint is instrumented with the obs server
+// catalogue.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/estimate", s.instrument("/estimate", http.HandlerFunc(s.handleEstimate)))
+	mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/metrics", s.instrument("/metrics", obs.Handler(s.cfg.Registry)))
+	return mux
+}
+
+// Drain starts the graceful shutdown: /healthz turns 503, new
+// estimates are refused with SB905, and the call blocks until
+// in-flight emulations finish or ctx expires, reporting whether the
+// drain completed. Idempotent.
+func (s *Server) Drain(ctx context.Context) bool {
+	s.draining.Store(true)
+	s.metrics.Draining.Set(1)
+	s.pool.Close()
+	return s.pool.Drain(ctx)
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with the in-flight gauge, the request
+// counter and the latency histogram.
+func (s *Server) instrument(endpoint string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.InFlight.Set(float64(s.pool.InFlight() + 1))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.metrics.InFlight.Set(float64(s.pool.InFlight()))
+		s.metrics.Request(endpoint, strconv.Itoa(sw.status), time.Since(start).Microseconds())
+	})
+}
+
+// fail writes an ErrorResponse.
+func fail(w http.ResponseWriter, status int, code, msg string, ds []analyze.Diagnostic) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, err := json.Marshal(ErrorResponse{Code: code, Error: msg, Diagnostics: ds})
+	if err != nil {
+		// Diagnostics are plain data; this cannot happen. Keep the
+		// contract anyway: non-200 bodies are always well-formed JSON.
+		body = []byte(`{"code":"` + CodeInternal + `","error":"error encoding failure"}`)
+	}
+	w.Write(body)
+}
+
+// parsePolicy maps the request's policy name.
+func parsePolicy(name string) (emulator.Policy, error) {
+	switch name {
+	case "", "bu-first":
+		return emulator.PolicyBUFirst, nil
+	case "fifo":
+		return emulator.PolicyFIFO, nil
+	case "fixed-priority":
+		return emulator.PolicyFixedPriority, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want bu-first, fifo or fixed-priority)", name)
+}
+
+// handleEstimate is the serving pipeline: decode → parse schemes →
+// preflight → cache probe → pooled emulation → cache fill.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", nil)
+		return
+	}
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST required", nil)
+		return
+	}
+	var req EstimateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, CodeBadRequest, "request body: "+err.Error(), nil)
+		return
+	}
+	if req.PSDF == "" || req.PSM == "" {
+		fail(w, http.StatusBadRequest, CodeBadRequest, "psdf and psm schemes are required", nil)
+		return
+	}
+	m, err := schema.ParsePSDF([]byte(req.PSDF))
+	if err != nil {
+		ds, _ := analyze.FromError(err)
+		fail(w, http.StatusBadRequest, CodeBadScheme, "psdf: "+err.Error(), ds)
+		return
+	}
+	plat, err := schema.ParsePSM([]byte(req.PSM))
+	if err != nil {
+		ds, _ := analyze.FromError(err)
+		fail(w, http.StatusBadRequest, CodeBadScheme, "psm: "+err.Error(), ds)
+		return
+	}
+	if req.PackageSize > 0 {
+		plat.PackageSize = req.PackageSize
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		fail(w, http.StatusBadRequest, CodeBadRequest, err.Error(), nil)
+		return
+	}
+	opts := core.Options{Policy: policy, DetectTicks: req.DetectTicks}
+	if req.Overheads != nil {
+		opts.Overheads = emulator.Overheads{
+			GrantTicks:   req.Overheads.GrantTicks,
+			SyncTicks:    req.Overheads.SyncTicks,
+			CASetTicks:   req.Overheads.CASetTicks,
+			CAResetTicks: req.Overheads.CAResetTicks,
+		}
+	}
+
+	// The preflight gate runs on the request goroutine: it is cheap,
+	// and rejecting a broken pair must not cost a worker slot.
+	if pre := core.Preflight(m, plat); pre.HasErrors() {
+		e, warns, _ := pre.Counts()
+		fail(w, http.StatusBadRequest, CodeBadModel,
+			fmt.Sprintf("preflight found %d error(s), %d warning(s)", e, warns),
+			pre.Diagnostics)
+		return
+	}
+
+	runner := core.NewRunner(opts)
+	key, err := runner.Key(m, plat)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, CodeInternal, "canonicalize: "+err.Error(), nil)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Inc()
+		writeReport(w, body, "hit")
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	var body []byte
+	var runErr error
+	err = s.pool.Submit(ctx, func() {
+		body, runErr = runner.ReportJSON(m, plat)
+	})
+	switch {
+	case errors.Is(err, parallel.ErrQueueFull):
+		s.metrics.QueueFull.Inc()
+		fail(w, http.StatusTooManyRequests, CodeQueueFull, "worker pool saturated, retry later", nil)
+		return
+	case errors.Is(err, parallel.ErrPoolClosed):
+		fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", nil)
+		return
+	case err != nil:
+		// Deadline hit or caller gone while queued; either way no
+		// worker slot was burnt.
+		s.metrics.Deadline.Inc()
+		fail(w, http.StatusGatewayTimeout, CodeDeadline, "request abandoned before a worker was free: "+err.Error(), nil)
+		return
+	}
+	if runErr != nil {
+		var pf *core.PreflightError
+		if errors.As(runErr, &pf) {
+			fail(w, http.StatusBadRequest, CodeBadModel, runErr.Error(), pf.Result.Diagnostics)
+			return
+		}
+		fail(w, http.StatusInternalServerError, CodeInternal, "emulation: "+runErr.Error(), nil)
+		return
+	}
+	if evicted := s.cache.Put(key, body); evicted {
+		s.metrics.CacheEvictions.Inc()
+	}
+	s.metrics.CacheMisses.Inc()
+	writeReport(w, body, "miss")
+}
+
+// writeReport writes a 200 report-JSON response. The body bytes are
+// exactly what `segbus-emu -report-json` writes for the same schemes;
+// cache state travels in a header so it cannot perturb the payload.
+func writeReport(w http.ResponseWriter, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Segbus-Cache", cacheState)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// healthzBody is the /healthz response shape.
+type healthzBody struct {
+	Status       string `json:"status"` // "ok" or "draining"
+	Code         string `json:"code,omitempty"`
+	InFlight     int64  `json:"in_flight"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 once the
+// drain has begun (so load balancers stop routing here).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "GET required", nil)
+		return
+	}
+	b := healthzBody{
+		Status:       "ok",
+		InFlight:     s.pool.InFlight(),
+		CacheEntries: s.cache.Len(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		b.Status, b.Code, status = "draining", CodeDraining, http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(b)
+}

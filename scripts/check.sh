@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # check.sh — the repo's CI gate: formatting, vet, build, the full
 # race-enabled test suite, an order-shuffled re-run (catches
-# inter-test coupling), and the segbus-conform differential smoke
-# sweep. Run from anywhere inside the repo.
+# inter-test coupling), the segbus-conform differential smoke sweep
+# and extra race rounds of the segbus-served stress test. Run from
+# anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,3 +40,8 @@ diff -u testdata/golden/mp3-metrics.json "$metrics_tmp"
 # means an oracle failed and a shrunk reproducer was written under
 # testdata/conform/repros/.
 go run ./cmd/segbus-conform -n 200 -seed 1 -corpus testdata/scenarios -json
+
+# Serve stress under the race detector, extra rounds: the suite above
+# already ran it once; repeating it in fresh processes varies the
+# goroutine schedules the shared cache/pool/drain state is exposed to.
+go test -race -count=2 -run 'TestServeStress' ./internal/serve
