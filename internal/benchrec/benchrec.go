@@ -1,0 +1,317 @@
+// Package benchrec records the repository's performance trajectory as
+// machine-readable JSON: a fixed battery of kernel, emulator and
+// serving benchmarks plus the emulator's wall-clock rate gauges,
+// written once per PR (BENCH_<n>.json at the repository root) so
+// future changes have a baseline to compare against and CI can check
+// the file's schema without re-measuring.
+//
+// The harness is self-contained rather than delegating to
+// testing.Benchmark: quick mode (CI smoke) runs a small fixed
+// iteration count, full mode calibrates until a minimum wall time is
+// reached, and allocation figures come from runtime.MemStats deltas —
+// the same numbers `go test -benchmem` reports, without depending on
+// the testing package's flag machinery from a non-test binary.
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"segbus/internal/apps"
+	"segbus/internal/core"
+	"segbus/internal/emulator"
+	"segbus/internal/engine"
+	"segbus/internal/obs"
+	"segbus/internal/serve"
+)
+
+// Schema identifies the record layout. Bump on incompatible change.
+const Schema = "segbus/bench-record/v1"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// Record is one point of the performance trajectory.
+type Record struct {
+	Schema  string   `json:"schema"`
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	Quick   bool     `json:"quick"`
+	Results []Result `json:"results"`
+
+	// Emulator wall-clock rates from one instrumented MP3 run (the
+	// obs volatile gauges, exported here because the deterministic
+	// metrics JSON deliberately omits them).
+	SimPsPerWallSecond  float64 `json:"sim_ps_per_wall_second"`
+	EventsPerWallSecond float64 `json:"events_per_wall_second"`
+}
+
+// battery is the fixed benchmark list. Names are stable identifiers:
+// Validate rejects a record that misses one, so a future PR cannot
+// silently drop a tracked surface.
+var battery = []struct {
+	name  string
+	quick int // iterations in quick mode
+	body  func(n int) error
+}{
+	{"kernel/event_throughput", 20_000, benchEventThroughput},
+	{"kernel/queue_churn", 50, benchQueueChurn},
+	{"kernel/cancel_heavy", 200, benchCancelHeavy},
+	{"emulator/mp3_estimate", 20, benchMP3Estimate},
+	{"serve/cold_estimate", 10, benchColdEstimate},
+	{"serve/cache_hit", 200, benchCacheHit},
+}
+
+// RequiredNames returns the stable benchmark identifiers every record
+// must carry.
+func RequiredNames() []string {
+	names := make([]string, len(battery))
+	for i, b := range battery {
+		names[i] = b.name
+	}
+	return names
+}
+
+func benchEventThroughput(n int) error {
+	s := engine.NewSim()
+	count := 0
+	var next engine.Handler
+	next = func(now engine.Time) {
+		count++
+		if count < n {
+			s.After(10, 0, next)
+		}
+	}
+	s.At(0, 0, next)
+	_, err := s.Run()
+	return err
+}
+
+func benchQueueChurn(n int) error {
+	for i := 0; i < n; i++ {
+		s := engine.NewSim()
+		for j := 0; j < 1024; j++ {
+			s.At(engine.Time((j*37)%1024), j%3, func(engine.Time) {})
+		}
+		if _, err := s.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchCancelHeavy(n int) error {
+	s := engine.NewSim()
+	noop := engine.Handler(func(engine.Time) {})
+	ids := make([]engine.EventID, 0, 64)
+	for i := 0; i < n; i++ {
+		now := s.Now()
+		for j := 0; j < 64; j++ {
+			ids = append(ids, s.At(now+engine.Time(1+j%17), j%3, noop))
+		}
+		for j, id := range ids {
+			if j%2 == 0 {
+				s.Cancel(id)
+			}
+		}
+		ids = ids[:0]
+		if _, err := s.RunUntil(now + 20); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchMP3Estimate(n int) error {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	for i := 0; i < n; i++ {
+		if _, err := emulator.Run(m, p, emulator.Config{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchColdEstimate(n int) error {
+	r := core.NewRunner(core.Options{})
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	for i := 0; i < n; i++ {
+		if _, err := r.Key(m, p); err != nil {
+			return err
+		}
+		if _, err := r.ReportJSON(m, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchCacheHit(n int) error {
+	r := core.NewRunner(core.Options{})
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	key, err := r.Key(m, p)
+	if err != nil {
+		return err
+	}
+	body, err := r.ReportJSON(m, p)
+	if err != nil {
+		return err
+	}
+	c := serve.NewCache(4)
+	c.Put(key, body)
+	for i := 0; i < n; i++ {
+		k, err := r.Key(m, p)
+		if err != nil {
+			return err
+		}
+		if _, ok := c.Get(k); !ok {
+			return fmt.Errorf("benchrec: unexpected cache miss")
+		}
+	}
+	return nil
+}
+
+// minFullDuration is the per-benchmark wall-time target of a full
+// (non-quick) run; iteration counts double until it is reached.
+const minFullDuration = 300 * time.Millisecond
+
+// measure times body(n): ns/op, allocs/op and bytes/op over n
+// iterations from MemStats deltas (the counters are monotonic, so a
+// concurrent GC does not disturb them).
+func measure(body func(n int) error, n int) (Result, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := body(n); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(n)
+	res := Result{
+		Iterations:  n,
+		NsPerOp:     ns,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}
+	if ns > 0 {
+		res.OpsPerSec = 1e9 / ns
+	}
+	return res, nil
+}
+
+// Run executes the battery and assembles the trajectory record. quick
+// uses fixed small iteration counts (a CI smoke that finishes in
+// ~a second); the full mode calibrates each benchmark to a stable
+// wall-time window.
+func Run(quick bool) (*Record, error) {
+	rec := &Record{
+		Schema: Schema,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Quick:  quick,
+	}
+	for _, b := range battery {
+		// Warm caches, pools and lazy initialisation outside the
+		// measurement window.
+		if err := b.body(1); err != nil {
+			return nil, fmt.Errorf("%s: %w", b.name, err)
+		}
+		n := b.quick
+		if !quick {
+			for {
+				probe, err := measure(b.body, n)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", b.name, err)
+				}
+				if time.Duration(probe.NsPerOp*float64(n)) >= minFullDuration {
+					break
+				}
+				n *= 2
+			}
+		}
+		res, err := measure(b.body, n)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.name, err)
+		}
+		res.Name = b.name
+		rec.Results = append(rec.Results, res)
+	}
+
+	// One instrumented emulation for the wall-clock rate gauges.
+	reg := obs.NewRegistry()
+	if _, err := emulator.Run(apps.MP3Model(), apps.MP3Platform3(36), emulator.Config{Metrics: reg}); err != nil {
+		return nil, err
+	}
+	all := reg.Snapshot(true)
+	rec.SimPsPerWallSecond = all["segbus_emu_sim_ps_per_wall_second"]
+	rec.EventsPerWallSecond = all["segbus_emu_events_per_wall_second"]
+	return rec, nil
+}
+
+// Marshal renders the record as indented JSON with a trailing
+// newline.
+func (r *Record) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Validate checks that data is a structurally sound trajectory
+// record: current schema, every battery benchmark present exactly
+// once with positive timings, and non-negative rates. It is the CI
+// gate over a committed BENCH_<n>.json.
+func Validate(data []byte) error {
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("benchrec: not a record: %w", err)
+	}
+	if rec.Schema != Schema {
+		return fmt.Errorf("benchrec: schema %q, want %q", rec.Schema, Schema)
+	}
+	if rec.Go == "" || rec.GOOS == "" || rec.GOARCH == "" {
+		return fmt.Errorf("benchrec: missing environment fields")
+	}
+	seen := make(map[string]bool, len(rec.Results))
+	for _, res := range rec.Results {
+		if seen[res.Name] {
+			return fmt.Errorf("benchrec: duplicate result %q", res.Name)
+		}
+		seen[res.Name] = true
+		if res.Iterations <= 0 {
+			return fmt.Errorf("benchrec: %s: non-positive iterations %d", res.Name, res.Iterations)
+		}
+		if res.NsPerOp <= 0 || res.OpsPerSec <= 0 {
+			return fmt.Errorf("benchrec: %s: non-positive timing", res.Name)
+		}
+		if res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
+			return fmt.Errorf("benchrec: %s: negative allocation figure", res.Name)
+		}
+	}
+	for _, name := range RequiredNames() {
+		if !seen[name] {
+			return fmt.Errorf("benchrec: missing benchmark %q", name)
+		}
+	}
+	if rec.SimPsPerWallSecond <= 0 || rec.EventsPerWallSecond <= 0 {
+		return fmt.Errorf("benchrec: missing emulator rate gauges")
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package benchrec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick exercises the whole battery in quick mode and checks
+// the produced record is self-consistent and passes its own gate.
+func TestRunQuick(t *testing.T) {
+	rec, err := Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Quick {
+		t.Error("quick flag not recorded")
+	}
+	if len(rec.Results) != len(RequiredNames()) {
+		t.Fatalf("results = %d, want %d", len(rec.Results), len(RequiredNames()))
+	}
+	data, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Errorf("quick record fails its own gate: %v", err)
+	}
+	// The kernel battery must confirm the zero-allocation property the
+	// engine tests assert: steady-state event dispatch allocates only
+	// when the heap or pool grows, which the warm-up run already did.
+	for _, res := range rec.Results {
+		if res.Name == "kernel/event_throughput" && res.AllocsPerOp > 0.01 {
+			t.Errorf("event throughput allocates: %v allocs/op", res.AllocsPerOp)
+		}
+	}
+	if rec.SimPsPerWallSecond <= 0 || rec.EventsPerWallSecond <= 0 {
+		t.Errorf("rate gauges = %v, %v", rec.SimPsPerWallSecond, rec.EventsPerWallSecond)
+	}
+}
+
+// TestValidateRejects enumerates the corruption cases the CI gate must
+// catch on a committed BENCH_<n>.json.
+func TestValidateRejects(t *testing.T) {
+	rec, err := Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(f func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(good, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"garbage", []byte("{"), "not a record"},
+		{"wrong schema", mutate(func(m map[string]any) { m["schema"] = "other/v9" }), "schema"},
+		{"missing env", mutate(func(m map[string]any) { m["go"] = "" }), "environment"},
+		{"missing benchmark", mutate(func(m map[string]any) {
+			m["results"] = m["results"].([]any)[1:]
+		}), "missing benchmark"},
+		{"duplicate benchmark", mutate(func(m map[string]any) {
+			rs := m["results"].([]any)
+			m["results"] = append(rs, rs[0])
+		}), "duplicate"},
+		{"zero timing", mutate(func(m map[string]any) {
+			m["results"].([]any)[0].(map[string]any)["ns_per_op"] = 0.0
+		}), "timing"},
+		{"negative allocs", mutate(func(m map[string]any) {
+			m["results"].([]any)[0].(map[string]any)["allocs_per_op"] = -1.0
+		}), "negative"},
+		{"no rates", mutate(func(m map[string]any) { m["sim_ps_per_wall_second"] = 0.0 }), "rate"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.data)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Validate(good); err != nil {
+		t.Errorf("unmutated record rejected: %v", err)
+	}
+}

@@ -81,6 +81,23 @@ type fuState struct {
 	endPs    engine.Time
 	lastRecv engine.Time
 	gotRecv  bool
+
+	// In-flight emission context. An FU has at most one emission in
+	// flight (busy gates advanceFU until deliver), so the bound
+	// handlers below read these fields at fire time instead of
+	// capturing them — one closure per FU for the whole run rather
+	// than one per scheduled event.
+	pending  emitEntry
+	xferBuf  *buBuffer // reserved first-hop buffer (inter-segment only)
+	xferDst  int       // destination segment of the in-flight emission
+	xferHops int       // CA chain hops of the in-flight emission
+
+	computeDone engine.Handler    // compute finished: raise the bus request
+	attempt     func(engine.Time) // first-hop buffer free: reserve it and request the fill
+	intraRun    func(engine.Time) // intra-segment transfer granted
+	fillRun     func(engine.Time) // first-hop fill granted
+	intraEnd    engine.Handler    // intra-segment transfer completed
+	fillEnd     engine.Handler    // first-hop fill completed
 }
 
 // busReq is one pending request for a segment bus.
@@ -138,6 +155,7 @@ type segState struct {
 	toLeft    int
 	toRight   int
 	lastBusy  engine.Time
+	pump      engine.Handler // bound once: the SA's arbitration step
 }
 
 // transitPkg is a package sitting in a border-unit buffer.
@@ -158,6 +176,27 @@ type buBuffer struct {
 	reserved  bool
 	pkg       transitPkg
 	waiters   []func(now engine.Time)
+
+	// Route constants, resolved once at machine construction: the
+	// segment the buffer unloads onto, the next buffer of the chain in
+	// its direction (nil at the chain's end) and the deterministic
+	// requester identity.
+	nextSeg int
+	next    *buBuffer
+	id      int
+
+	// In-flight package context for the bound handlers: the forward
+	// buffer chosen for the current package (nil: deliver onto
+	// nextSeg) and the unload data-phase start, recorded at grant time
+	// for the forward-load trace interval. Depth-one buffering makes
+	// both stable from load to unload completion.
+	forward     *buBuffer
+	dataStartPs engine.Time
+
+	startFn    engine.Handler    // buffer full: arrange the next hop
+	fwdAttempt func(engine.Time) // forward buffer free: reserve it and queue the unload
+	unloadRun  func(engine.Time) // unload granted on the next segment
+	unloadEnd  engine.Handler    // unload completed
 }
 
 func (b *buBuffer) free() bool { return !b.occupied && !b.reserved }
@@ -308,6 +347,8 @@ func newMachine(plat *platform.Platform, sch *sched.Schedule, nominal int, cfg C
 		}
 	}
 
+	mc.bindHandlers()
+
 	mc.stageLeft = make([]int, sch.NumStages())
 	mc.stageStart = make([]engine.Time, sch.NumStages())
 	mc.stageEnd = make([]engine.Time, sch.NumStages())
@@ -317,6 +358,85 @@ func newMachine(plat *platform.Platform, sch *sched.Schedule, nominal int, cfg C
 		}
 	}
 	return mc, nil
+}
+
+// bindHandlers builds the per-element event handlers once. The
+// simulation loop then schedules these bound closures instead of
+// allocating a fresh closure per event — the dominant allocation
+// source of the dispatch path before the pooled kernel (the handlers
+// read the owning element's in-flight state at fire time).
+func (mc *machine) bindHandlers() {
+	for _, g := range mc.segs {
+		g := g
+		g.pump = func(now engine.Time) { mc.pumpSegment(g, now) }
+	}
+	for _, fu := range mc.fus {
+		fu := fu
+		fu.computeDone = func(t engine.Time) { mc.requestTransfer(fu, fu.pending, t) }
+		fu.intraRun = func(grantAt engine.Time) {
+			mc.runIntra(fu, fu.pending, mc.segment(fu.seg), grantAt)
+		}
+		fu.fillRun = func(grantAt engine.Time) {
+			mc.runFill(fu, fu.pending, mc.segment(fu.seg), fu.xferBuf, fu.xferDst, grantAt)
+		}
+		fu.attempt = func(t engine.Time) {
+			buf := fu.xferBuf
+			buf.reserved = true
+			grantT := mc.caGrant(t)
+			if mc.plat.CAHopTicks > 0 {
+				setup := mc.caClock.NextEdge(grantT) + mc.caClock.Ticks(int64(fu.xferHops*mc.plat.CAHopTicks))
+				if mc.cfg.Trace.Enabled() {
+					mc.cfg.Trace.AddInterval("CA", traceOverhead, int64(grantT), int64(setup),
+						fmt.Sprintf("chain setup %d->%d", fu.seg, fu.xferDst))
+				}
+				grantT = setup
+			}
+			g := mc.segment(fu.seg)
+			mc.pushRequest(g, &busReq{at: grantT, prio: 1, id: int(fu.proc)}, fu.fillRun)
+		}
+		fu.intraEnd = func(now engine.Time) {
+			e := fu.pending
+			g := mc.segment(fu.seg)
+			fu.sent++
+			mc.deliver(e.flow, e.pkg, now)
+			mc.pumpSegment(g, now)
+		}
+		fu.fillEnd = func(now engine.Time) { mc.finishFill(fu, now) }
+	}
+	for _, buf := range mc.buffers {
+		buf := buf
+		buf.nextSeg = buf.bu.Left
+		if buf.rightward {
+			buf.nextSeg = buf.bu.Right
+		}
+		if buf.rightward {
+			buf.next = mc.buffers[buKey{buf.nextSeg, true}]
+		} else {
+			buf.next = mc.buffers[buKey{buf.nextSeg - 1, false}]
+		}
+		buf.id = buID(buf)
+		buf.startFn = func(now engine.Time) {
+			if buf.nextSeg == buf.pkg.dstSeg {
+				buf.forward = nil
+				mc.queueUnload(buf, now)
+				return
+			}
+			if buf.next.free() {
+				buf.fwdAttempt(now)
+			} else {
+				buf.next.waiters = append(buf.next.waiters, buf.fwdAttempt)
+			}
+		}
+		buf.fwdAttempt = func(now engine.Time) {
+			buf.next.reserved = true
+			buf.forward = buf.next
+			mc.queueUnload(buf, now)
+		}
+		buf.unloadRun = func(grantAt engine.Time) {
+			mc.runUnload(buf, buf.forward, mc.segment(buf.nextSeg), grantAt)
+		}
+		buf.unloadEnd = func(now engine.Time) { mc.finishUnload(buf, now) }
+	}
 }
 
 func (mc *machine) segment(index int) *segState { return mc.segs[index-1] }
@@ -372,6 +492,7 @@ func (mc *machine) run() (*Report, error) {
 	if mc.met.enabled {
 		if secs := time.Since(wallStart).Seconds(); secs > 0 {
 			mc.met.simRate.Set(float64(end) / secs)
+			mc.met.evRate.Set(float64(mc.sim.Steps()) / secs)
 		}
 	}
 	if mc.stage < len(mc.stageLeft) {
@@ -420,13 +541,14 @@ func (mc *machine) advanceFU(fu *fuState, now engine.Time) {
 		fu.started = true
 		fu.startPs = start
 	}
-	f := mc.sch.Flow(e.flow)
 	compEnd := start + clock.Ticks(mc.computeTicks(e.flow, e.pkg))
-	mc.cfg.Trace.AddInterval(fu.proc.String(), traceCompute, int64(start), int64(compEnd),
-		fmt.Sprintf("%s pkg %d/%d", flowLabel(f), e.pkg, mc.sch.Packages(e.flow)))
-	mc.sim.At(compEnd, prioCompute, func(t engine.Time) {
-		mc.requestTransfer(fu, e, t)
-	})
+	if mc.cfg.Trace.Enabled() {
+		f := mc.sch.Flow(e.flow)
+		mc.cfg.Trace.AddInterval(fu.proc.String(), traceCompute, int64(start), int64(compEnd),
+			fmt.Sprintf("%s pkg %d/%d", flowLabel(f), e.pkg, mc.sch.Packages(e.flow)))
+	}
+	fu.pending = e
+	mc.sim.At(compEnd, prioCompute, fu.computeDone)
 }
 
 func flowLabel(f psdf.Flow) string {
@@ -446,33 +568,20 @@ func (mc *machine) requestTransfer(fu *fuState, e emitEntry, now engine.Time) {
 	g := mc.segment(src)
 	if src == dst {
 		g.intraReq++
-		mc.pushRequest(g, &busReq{at: now, prio: 1, id: int(fu.proc)}, func(grantAt engine.Time) {
-			mc.runIntra(fu, e, g, grantAt)
-		})
+		mc.pushRequest(g, &busReq{at: now, prio: 1, id: int(fu.proc)}, fu.intraRun)
 		return
 	}
 
 	g.interReq++
 	rightward := dst > src
-	hops := mc.plat.Hops(src, dst)
+	fu.xferDst = dst
+	fu.xferHops = mc.plat.Hops(src, dst)
 	buf := mc.firstBuffer(src, rightward)
-	attempt := func(t engine.Time) {
-		buf.reserved = true
-		grantT := mc.caGrant(t)
-		if mc.plat.CAHopTicks > 0 {
-			setup := mc.caClock.NextEdge(grantT) + mc.caClock.Ticks(int64(hops*mc.plat.CAHopTicks))
-			mc.cfg.Trace.AddInterval("CA", traceOverhead, int64(grantT), int64(setup),
-				fmt.Sprintf("chain setup %d->%d", src, dst))
-			grantT = setup
-		}
-		mc.pushRequest(g, &busReq{at: grantT, prio: 1, id: int(fu.proc)}, func(grantAt engine.Time) {
-			mc.runFill(fu, e, g, buf, dst, grantAt)
-		})
-	}
+	fu.xferBuf = buf
 	if buf.free() {
-		attempt(now)
+		fu.attempt(now)
 	} else {
-		buf.waiters = append(buf.waiters, attempt)
+		buf.waiters = append(buf.waiters, fu.attempt)
 	}
 }
 
@@ -525,9 +634,7 @@ func (mc *machine) pushRequest(g *segState, r *busReq, run func(engine.Time)) {
 }
 
 func (mc *machine) scheduleGrant(g *segState, at engine.Time) {
-	mc.sim.At(maxTime(at, mc.sim.Now()), prioGrant, func(now engine.Time) {
-		mc.pumpSegment(g, now)
-	})
+	mc.sim.At(maxTime(at, mc.sim.Now()), prioGrant, g.pump)
 }
 
 // pumpSegment is the SA's arbitration step: when the bus is free it
@@ -575,100 +682,85 @@ func (mc *machine) pumpSegment(g *segState, now engine.Time) {
 // occupied for GrantTicks + s ticks of the segment clock, and the
 // package is delivered to the local slave at the end.
 func (mc *machine) runIntra(fu *fuState, e emitEntry, g *segState, grantAt engine.Time) {
-	f := mc.sch.Flow(e.flow)
 	start := g.clock.NextEdge(grantAt)
 	dataStart := start + g.clock.Ticks(mc.grantTicks()+mc.header)
 	end := dataStart + g.clock.Ticks(int64(mc.itemsInPackage(e.flow, e.pkg)))
 	g.busyUntil = end
 	g.lastBusy = end
-	mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", g.index), traceTransfer, int64(start), int64(end),
-		fmt.Sprintf("%s pkg %d", flowLabel(f), e.pkg))
-	mc.sim.At(end, prioEffect, func(now engine.Time) {
-		fu.sent++
-		mc.deliver(e.flow, e.pkg, now)
-		mc.pumpSegment(g, now)
-	})
+	if mc.cfg.Trace.Enabled() {
+		f := mc.sch.Flow(e.flow)
+		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", g.index), traceTransfer, int64(start), int64(end),
+			fmt.Sprintf("%s pkg %d", flowLabel(f), e.pkg))
+	}
+	mc.sim.At(end, prioEffect, fu.intraEnd)
 }
 
 // runFill performs the first hop of an inter-segment transfer: the
 // master streams the package into the reserved border-unit buffer over
 // its own segment bus.
 func (mc *machine) runFill(fu *fuState, e emitEntry, g *segState, buf *buBuffer, dstSeg int, grantAt engine.Time) {
-	f := mc.sch.Flow(e.flow)
 	items := mc.itemsInPackage(e.flow, e.pkg)
 	start := g.clock.NextEdge(grantAt)
 	dataStart := start + g.clock.Ticks(mc.grantTicks()+mc.header)
 	end := dataStart + g.clock.Ticks(int64(items))
 	g.busyUntil = end
 	g.lastBusy = end
+	if mc.cfg.Trace.Enabled() {
+		f := mc.sch.Flow(e.flow)
+		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", g.index), traceTransfer, int64(start), int64(end),
+			fmt.Sprintf("%s pkg %d fill %s", flowLabel(f), e.pkg, buf.bu.Name()))
+		mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBULoad, int64(dataStart), int64(end),
+			fmt.Sprintf("%s pkg %d", flowLabel(f), e.pkg))
+	}
+	mc.sim.At(end, prioEffect, fu.fillEnd)
+}
+
+// finishFill is the bound fill-completed handler body: the package is
+// now sitting in the reserved border-unit buffer, the source segment
+// is released and the next hop is arranged.
+func (mc *machine) finishFill(fu *fuState, now engine.Time) {
+	e := fu.pending
+	buf := fu.xferBuf
+	g := mc.segment(fu.seg)
+	items := mc.itemsInPackage(e.flow, e.pkg)
 	st := mc.bus[buf.bu.Left]
-	mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", g.index), traceTransfer, int64(start), int64(end),
-		fmt.Sprintf("%s pkg %d fill %s", flowLabel(f), e.pkg, buf.bu.Name()))
-	mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBULoad, int64(dataStart), int64(end),
-		fmt.Sprintf("%s pkg %d", flowLabel(f), e.pkg))
-	mc.sim.At(end, prioEffect, func(now engine.Time) {
-		mc.caRelease(now)
-		fullAt := now + g.clock.Ticks(mc.syncTicks())
-		buf.reserved = false
-		buf.occupied = true
-		buf.pkg = transitPkg{flow: e.flow, pkg: e.pkg, items: items, srcSeg: fu.seg, dstSeg: dstSeg, fullAt: fullAt}
-		st.in++
-		st.loadTicks += int64(items)
-		mc.met.buLoad[buf.bu.Left].Add(int64(items))
-		if buf.rightward {
-			st.recvFromLeft++
-			g.toRight++
-		} else {
-			st.recvFromRight++
-			g.toLeft++
-		}
-		// The master holds its circuit until the package reaches its
-		// destination: it is released by the delivery, not here
-		// (end-to-end, circuit-switched transfer semantics).
-		fu.sent++
-		mc.pumpSegment(g, now)
-		mc.startUnload(buf, fullAt)
-	})
+	mc.caRelease(now)
+	fullAt := now + g.clock.Ticks(mc.syncTicks())
+	buf.reserved = false
+	buf.occupied = true
+	buf.pkg = transitPkg{flow: e.flow, pkg: e.pkg, items: items, srcSeg: fu.seg, dstSeg: fu.xferDst, fullAt: fullAt}
+	st.in++
+	st.loadTicks += int64(items)
+	mc.met.buLoad[buf.bu.Left].Add(int64(items))
+	if buf.rightward {
+		st.recvFromLeft++
+		g.toRight++
+	} else {
+		st.recvFromRight++
+		g.toLeft++
+	}
+	// The master holds its circuit until the package reaches its
+	// destination: it is released by the delivery, not here
+	// (end-to-end, circuit-switched transfer semantics).
+	fu.sent++
+	mc.pumpSegment(g, now)
+	mc.startUnload(buf, fullAt)
 }
 
 // startUnload arranges the next hop for a loaded buffer: either a
 // delivery onto the destination segment, or a forward into the next
 // border unit of the route (which must first be free).
 func (mc *machine) startUnload(buf *buBuffer, t engine.Time) {
-	nextSeg := buf.bu.Left
-	if buf.rightward {
-		nextSeg = buf.bu.Right
-	}
-	queueUnload := func(now engine.Time, forward *buBuffer) {
-		ns := mc.segment(nextSeg)
-		ns.intraReq++
-		mc.pushRequest(ns, &busReq{at: now, prio: 0, id: buID(buf)}, func(grantAt engine.Time) {
-			mc.runUnload(buf, forward, ns, grantAt)
-		})
-	}
-	if nextSeg == buf.pkg.dstSeg {
-		mc.sim.At(maxTime(t, mc.sim.Now()), prioCompute, func(now engine.Time) {
-			queueUnload(now, nil)
-		})
-		return
-	}
-	var forward *buBuffer
-	if buf.rightward {
-		forward = mc.buffers[buKey{nextSeg, true}]
-	} else {
-		forward = mc.buffers[buKey{nextSeg - 1, false}]
-	}
-	attempt := func(now engine.Time) {
-		forward.reserved = true
-		queueUnload(now, forward)
-	}
-	mc.sim.At(maxTime(t, mc.sim.Now()), prioCompute, func(now engine.Time) {
-		if forward.free() {
-			attempt(now)
-		} else {
-			forward.waiters = append(forward.waiters, attempt)
-		}
-	})
+	mc.sim.At(maxTime(t, mc.sim.Now()), prioCompute, buf.startFn)
+}
+
+// queueUnload raises the unload request on the buffer's next segment.
+// buf.forward has been set by the caller: nil for a delivery onto the
+// destination segment, the next buffer of the chain otherwise.
+func (mc *machine) queueUnload(buf *buBuffer, now engine.Time) {
+	ns := mc.segment(buf.nextSeg)
+	ns.intraReq++
+	mc.pushRequest(ns, &busReq{at: now, prio: 0, id: buf.id}, buf.unloadRun)
 }
 
 // buID gives border-unit buffers a deterministic requester identity
@@ -686,7 +778,6 @@ func buID(buf *buBuffer) int {
 // or loaded into the next border unit.
 func (mc *machine) runUnload(buf *buBuffer, forward *buBuffer, ns *segState, grantAt engine.Time) {
 	pkg := buf.pkg
-	f := mc.sch.Flow(pkg.flow)
 	start := ns.clock.NextEdge(grantAt)
 	dataStart := start + ns.clock.Ticks(mc.grantTicks()+mc.syncTicks()+mc.header)
 	end := dataStart + ns.clock.Ticks(int64(pkg.items))
@@ -700,47 +791,65 @@ func (mc *machine) runUnload(buf *buBuffer, forward *buBuffer, ns *segState, gra
 		ticks := (wait + ns.clock.PeriodPs() - 1) / ns.clock.PeriodPs()
 		st.waitTicks += ticks
 		mc.met.buWait[buf.bu.Left].Add(ticks)
-		mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUWait, int64(pkg.fullAt), int64(start),
-			fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
+		if mc.cfg.Trace.Enabled() {
+			mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUWait, int64(pkg.fullAt), int64(start),
+				fmt.Sprintf("%s pkg %d", flowLabel(mc.sch.Flow(pkg.flow)), pkg.pkg))
+		}
 	}
 	st.unloadTicks += int64(pkg.items)
 	mc.met.buUnload[buf.bu.Left].Add(int64(pkg.items))
-	mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", ns.index), traceTransfer, int64(start), int64(end),
-		fmt.Sprintf("%s pkg %d unload %s", flowLabel(f), pkg.pkg, buf.bu.Name()))
-	mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUUnload, int64(dataStart), int64(end),
-		fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
-	mc.sim.At(end, prioEffect, func(now engine.Time) {
-		st.out++
-		if buf.rightward {
-			st.sentToRight++
+	if mc.cfg.Trace.Enabled() {
+		f := mc.sch.Flow(pkg.flow)
+		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", ns.index), traceTransfer, int64(start), int64(end),
+			fmt.Sprintf("%s pkg %d unload %s", flowLabel(f), pkg.pkg, buf.bu.Name()))
+		mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUUnload, int64(dataStart), int64(end),
+			fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
+	}
+	buf.dataStartPs = dataStart
+	mc.sim.At(end, prioEffect, buf.unloadEnd)
+}
+
+// finishUnload is the bound unload-completed handler body: the
+// package has crossed onto the next segment — deliver it or load it
+// into the forward buffer, then hand the freed buffer to any waiter
+// and pump the segment.
+func (mc *machine) finishUnload(buf *buBuffer, now engine.Time) {
+	pkg := buf.pkg
+	forward := buf.forward
+	ns := mc.segment(buf.nextSeg)
+	st := mc.bus[buf.bu.Left]
+	st.out++
+	if buf.rightward {
+		st.sentToRight++
+	} else {
+		st.sentToLeft++
+	}
+	buf.occupied = false
+	buf.pkg = transitPkg{}
+	mc.serveWaiters(buf, now)
+	if forward == nil {
+		mc.deliver(pkg.flow, pkg.pkg, now)
+	} else {
+		fst := mc.bus[forward.bu.Left]
+		fullAt := now + ns.clock.Ticks(mc.syncTicks())
+		forward.reserved = false
+		forward.occupied = true
+		forward.pkg = transitPkg{flow: pkg.flow, pkg: pkg.pkg, items: pkg.items, srcSeg: pkg.srcSeg, dstSeg: pkg.dstSeg, fullAt: fullAt}
+		fst.in++
+		fst.loadTicks += int64(pkg.items)
+		mc.met.buLoad[forward.bu.Left].Add(int64(pkg.items))
+		if forward.rightward {
+			fst.recvFromLeft++
 		} else {
-			st.sentToLeft++
+			fst.recvFromRight++
 		}
-		buf.occupied = false
-		buf.pkg = transitPkg{}
-		mc.serveWaiters(buf, now)
-		if forward == nil {
-			mc.deliver(pkg.flow, pkg.pkg, now)
-		} else {
-			fst := mc.bus[forward.bu.Left]
-			fullAt := now + ns.clock.Ticks(mc.syncTicks())
-			forward.reserved = false
-			forward.occupied = true
-			forward.pkg = transitPkg{flow: pkg.flow, pkg: pkg.pkg, items: pkg.items, srcSeg: pkg.srcSeg, dstSeg: pkg.dstSeg, fullAt: fullAt}
-			fst.in++
-			fst.loadTicks += int64(pkg.items)
-			mc.met.buLoad[forward.bu.Left].Add(int64(pkg.items))
-			if forward.rightward {
-				fst.recvFromLeft++
-			} else {
-				fst.recvFromRight++
-			}
-			mc.cfg.Trace.AddInterval(forward.bu.Name(), traceBULoad, int64(dataStart), int64(now),
-				fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
-			mc.startUnload(forward, fullAt)
+		if mc.cfg.Trace.Enabled() {
+			mc.cfg.Trace.AddInterval(forward.bu.Name(), traceBULoad, int64(buf.dataStartPs), int64(now),
+				fmt.Sprintf("%s pkg %d", flowLabel(mc.sch.Flow(pkg.flow)), pkg.pkg))
 		}
-		mc.pumpSegment(ns, now)
-	})
+		mc.startUnload(forward, fullAt)
+	}
+	mc.pumpSegment(ns, now)
 }
 
 // serveWaiters hands a freed buffer to the first registered waiter.

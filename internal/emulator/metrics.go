@@ -22,6 +22,7 @@ const (
 	metricCARequests  = "segbus_emu_ca_requests_total"
 	metricDelivered   = "segbus_emu_packages_delivered_total"
 	metricSimPsPerSec = "segbus_emu_sim_ps_per_wall_second"
+	metricEvPerSec    = "segbus_emu_events_per_wall_second"
 )
 
 // contentionBoundsPs buckets the arbitration waiting time (request
@@ -44,6 +45,7 @@ type machineMetrics struct {
 	caRequests *obs.Counter
 	delivered  *obs.Counter
 	simRate    *obs.Gauge
+	evRate     *obs.Gauge
 
 	grants     []*obs.Counter // index 0 = segment 1
 	denials    []*obs.Counter
@@ -64,6 +66,7 @@ func newMachineMetrics(reg *obs.Registry, plat *platform.Platform, policy Policy
 		caRequests: reg.Counter(metricCARequests),
 		delivered:  reg.Counter(metricDelivered),
 		simRate:    reg.VolatileGauge(metricSimPsPerSec),
+		evRate:     reg.VolatileGauge(metricEvPerSec),
 		buLoad:     make(map[int]*obs.Counter),
 		buUnload:   make(map[int]*obs.Counter),
 		buWait:     make(map[int]*obs.Counter),
@@ -80,6 +83,7 @@ func newMachineMetrics(reg *obs.Registry, plat *platform.Platform, policy Policy
 		reg.Describe(metricCARequests, "inter-segment transfer requests received by the central arbiter")
 		reg.Describe(metricDelivered, "packages delivered to their destination")
 		reg.Describe(metricSimPsPerSec, "simulated picoseconds advanced per wall-clock second (volatile)")
+		reg.Describe(metricEvPerSec, "kernel events dispatched per wall-clock second (volatile)")
 	}
 	pol := policy.String()
 	for _, seg := range plat.Segments {

@@ -71,12 +71,24 @@ func TestRunMetrics(t *testing.T) {
 		t.Errorf("contention observations = %v, grants = %v", waits, grants)
 	}
 
-	// The volatile rate gauge is set but excluded from the snapshot.
-	if _, ok := snap["segbus_emu_sim_ps_per_wall_second"]; ok {
-		t.Error("volatile gauge leaked into deterministic snapshot")
+	// The volatile rate gauges are set but excluded from the snapshot.
+	for _, rate := range []string{"segbus_emu_sim_ps_per_wall_second", "segbus_emu_events_per_wall_second"} {
+		if _, ok := snap[rate]; ok {
+			t.Errorf("volatile gauge %s leaked into deterministic snapshot", rate)
+		}
+		if all := reg.Snapshot(true); all[rate] <= 0 {
+			t.Errorf("%s = %v", rate, all[rate])
+		}
 	}
-	if all := reg.Snapshot(true); all["segbus_emu_sim_ps_per_wall_second"] <= 0 {
-		t.Errorf("sim rate = %v", all["segbus_emu_sim_ps_per_wall_second"])
+	// The events-per-second gauge derives from the kernel's step
+	// counter: both rate gauges divide by the same wall time, so their
+	// ratio must reproduce EndPs/Steps (up to float rounding).
+	all := reg.Snapshot(true)
+	if evs, sim := all["segbus_emu_events_per_wall_second"], all["segbus_emu_sim_ps_per_wall_second"]; evs > 0 && sim > 0 {
+		got, want := sim/evs, float64(r.EndPs)/float64(r.Steps)
+		if diff := (got - want) / want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("rate gauges disagree on steps: sim/ev = %v, EndPs/Steps = %v", got, want)
+		}
 	}
 
 	// The exposition renders without error and carries the catalogue.

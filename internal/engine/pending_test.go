@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPendingMatchesBruteForce drives random schedule/cancel/dispatch
+// interleavings and checks the O(1) live-event counter against a
+// shadow bookkeeping of every event's lifecycle maintained by the
+// test itself: scheduled minus fired minus effectively-canceled.
+func TestPendingMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		type st struct {
+			id       EventID
+			fired    bool
+			canceled bool
+		}
+		var events []*st
+		liveCount := func() int {
+			n := 0
+			for _, e := range events {
+				if !e.fired && !e.canceled {
+					n++
+				}
+			}
+			return n
+		}
+		check := func(op string) {
+			if got, want := s.Pending(), liveCount(); got != want {
+				t.Fatalf("seed %d after %s: Pending() = %d, brute force = %d", seed, op, got, want)
+			}
+		}
+		for round := 0; round < 40; round++ {
+			switch rng.Intn(4) {
+			case 0, 1: // schedule a burst
+				for i, n := 0, 1+rng.Intn(6); i < n; i++ {
+					e := &st{}
+					e.id = s.At(s.Now()+Time(rng.Intn(50)), rng.Intn(3), func(Time) { e.fired = true })
+					events = append(events, e)
+				}
+				check("schedule")
+			case 2: // cancel something, possibly dead already
+				if len(events) > 0 {
+					e := events[rng.Intn(len(events))]
+					s.Cancel(e.id)
+					if !e.fired && !e.canceled {
+						e.canceled = true
+					}
+					// double cancel must stay a no-op
+					s.Cancel(e.id)
+					check("cancel")
+				}
+			case 3: // dispatch a window
+				if _, err := s.RunUntil(s.Now() + Time(rng.Intn(40))); err != nil {
+					t.Fatal(err)
+				}
+				check("rununtil")
+			}
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		check("final run")
+		if s.Pending() != 0 {
+			t.Fatalf("seed %d: %d events left after Run", seed, s.Pending())
+		}
+	}
+}

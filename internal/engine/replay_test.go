@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateReplay = flag.Bool("update", false, "rewrite the kernel dispatch-order golden")
+
+// dispatchTrace drives one seeded random workload — a mix of
+// scheduling, cancellation, Stop and RunUntil windows — and records
+// the complete observable behaviour of the kernel: every dispatched
+// event (serial, time), every driver-level return value, and the
+// Pending/NextEventTime views between phases.
+//
+// The trace for each seed is pinned in testdata/dispatch_order.golden.
+// The golden was recorded against the original container/heap kernel
+// (pointer events, lazy cancellation flags); the current kernel must
+// replay it byte-for-byte, which pins the (time, priority, seq) total
+// order, the Stop/RunUntil resume semantics and the cancellation
+// behaviour across the rewrite to the pooled 4-ary heap.
+func dispatchTrace(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSim()
+	var b strings.Builder
+
+	type slot struct {
+		id     EventID
+		serial int
+	}
+	var ids []slot // every schedule ever made, fired or not
+	serial := 0
+	budget := 200 // total events any one workload may schedule
+
+	var schedule func(at Time, prio int)
+	mkHandler := func(sn int) Handler {
+		return func(now Time) {
+			fmt.Fprintf(&b, "fire %d at=%d\n", sn, now)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				if budget > 0 {
+					schedule(now+Time(rng.Intn(60)), rng.Intn(3))
+				}
+			case 4:
+				if budget > 0 && rng.Intn(2) == 0 {
+					schedule(now+Time(rng.Intn(60)), rng.Intn(3))
+					schedule(now+Time(rng.Intn(60)), rng.Intn(3))
+				}
+			case 5:
+				if len(ids) > 0 {
+					pick := ids[rng.Intn(len(ids))]
+					s.Cancel(pick.id)
+					fmt.Fprintf(&b, "cancel %d\n", pick.serial)
+				}
+			case 6:
+				if rng.Intn(4) == 0 {
+					s.Stop()
+					fmt.Fprintf(&b, "stop\n")
+				}
+			}
+		}
+	}
+	schedule = func(at Time, prio int) {
+		budget--
+		sn := serial
+		serial++
+		id := s.At(at, prio, mkHandler(sn))
+		ids = append(ids, slot{id, sn})
+		fmt.Fprintf(&b, "sched %d at=%d prio=%d\n", sn, at, prio)
+	}
+
+	checkpoint := func() {
+		next, ok := s.NextEventTime()
+		fmt.Fprintf(&b, "state now=%d pending=%d next=%d,%v steps=%d\n",
+			s.Now(), s.Pending(), next, ok, s.Steps())
+	}
+
+	for phase := 0; phase < 6; phase++ {
+		fmt.Fprintf(&b, "phase %d\n", phase)
+		for i, n := 0, 2+rng.Intn(5); i < n && budget > 0; i++ {
+			schedule(s.Now()+Time(rng.Intn(120)), rng.Intn(3))
+		}
+		// Cancel a few arbitrary ids (possibly already fired or
+		// already canceled — both must be no-ops).
+		for i, n := 0, rng.Intn(3); i < n && len(ids) > 0; i++ {
+			pick := ids[rng.Intn(len(ids))]
+			s.Cancel(pick.id)
+			fmt.Fprintf(&b, "cancel %d\n", pick.serial)
+		}
+		if phase%2 == 0 {
+			deadline := s.Now() + Time(rng.Intn(150))
+			now, err := s.RunUntil(deadline)
+			fmt.Fprintf(&b, "rununtil deadline=%d now=%d err=%v\n", deadline, now, err)
+		} else {
+			now, err := s.Run()
+			fmt.Fprintf(&b, "run now=%d err=%v\n", now, err)
+		}
+		checkpoint()
+	}
+	now, err := s.Run()
+	fmt.Fprintf(&b, "final now=%d err=%v\n", now, err)
+	checkpoint()
+	return b.String()
+}
+
+const replaySeeds = 12
+
+func replayGolden() string {
+	var b strings.Builder
+	for seed := int64(1); seed <= replaySeeds; seed++ {
+		fmt.Fprintf(&b, "==== seed %d ====\n", seed)
+		b.WriteString(dispatchTrace(seed))
+	}
+	return b.String()
+}
+
+// TestDispatchOrderGolden asserts the kernel replays the recorded
+// dispatch order of the original container/heap implementation on
+// every seeded workload, byte for byte.
+func TestDispatchOrderGolden(t *testing.T) {
+	got := replayGolden()
+	path := filepath.Join("testdata", "dispatch_order.golden")
+	if *updateReplay {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		n := len(gl)
+		if len(wl) < n {
+			n = len(wl)
+		}
+		for i := 0; i < n; i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("dispatch order diverges from the recorded kernel at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("dispatch trace length differs: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+// TestDispatchTraceSelfDeterministic: the harness itself is
+// deterministic — two in-process runs of the same seed agree. This
+// guards the golden against accidental nondeterminism in the harness
+// rather than the kernel.
+func TestDispatchTraceSelfDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		if a, b := dispatchTrace(seed), dispatchTrace(seed); a != b {
+			t.Fatalf("seed %d: harness trace not deterministic", seed)
+		}
+	}
+}

@@ -72,6 +72,13 @@ type Trace struct {
 	Marks     []Mark
 }
 
+// Enabled reports whether this trace records anything. Hot paths with
+// costly label construction (fmt.Sprintf per interval) branch on it
+// so a disabled trace skips the formatting work entirely — the nil
+// receiver already discards the append, but the arguments would still
+// be evaluated at the call site.
+func (t *Trace) Enabled() bool { return t != nil }
+
 // AddInterval records a busy interval. No-op on a nil receiver.
 func (t *Trace) AddInterval(element string, kind Kind, start, end int64, detail string) {
 	if t == nil {

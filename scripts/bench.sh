@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench.sh — record the repository's performance trajectory.
+#
+#   scripts/bench.sh              # full calibrated run, writes BENCH_5.json
+#   scripts/bench.sh -quick       # CI smoke: fixed small iteration counts,
+#                                 # writes to a throwaway file and validates it
+#   scripts/bench.sh -out F.json  # full run to a custom path
+#
+# The record (see internal/benchrec) captures ns/op, allocs/op and
+# bytes/op for the kernel, emulator and serving benchmarks, plus the
+# emulator's sim-ps-per-wall-second and events-per-wall-second gauges.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_5.json
+quick=""
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-quick)
+		quick="-bench-quick"
+		out=$(mktemp)
+		trap 'rm -f "$out"' EXIT
+		;;
+	-out)
+		out=$2
+		shift
+		;;
+	*)
+		echo "bench.sh: unknown argument $1" >&2
+		exit 2
+		;;
+	esac
+	shift
+done
+
+go run ./cmd/segbus-bench -bench-json "$out" $quick
+go run ./cmd/segbus-bench -bench-validate "$out"

@@ -24,6 +24,17 @@ go test -shuffle=on -count=1 ./...
 # timings.
 go test -bench=. -benchtime=1x -run '^$' ./...
 
+# Trajectory-recorder smoke: the battery runs end to end in quick mode
+# and its output passes the schema gate; then the committed trajectory
+# record must still satisfy the same gate.
+scripts/bench.sh -quick
+go run ./cmd/segbus-bench -bench-validate BENCH_5.json
+
+# The event kernel is the hottest shared state in the tree; give its
+# suite (dispatch-order replay, alloc regression, pending bookkeeping)
+# extra race-enabled rounds in fresh processes.
+go test -race -count=2 ./internal/engine
+
 # Metrics golden diff: segbus-emu -metrics-json over the MP3 scenario
 # must stay byte-identical to the reviewed golden (deterministic
 # counters only; rates are excluded from this export by design).
