@@ -133,6 +133,9 @@ func run(args []string, stdout io.Writer) error {
 	if pre := core.Preflight(m, plat); pre.HasErrors() {
 		for _, d := range pre.Diagnostics {
 			fmt.Fprintln(os.Stderr, d)
+			for i, line := range d.Trace {
+				fmt.Fprintf(os.Stderr, "  %4d. %s\n", i+1, line)
+			}
 		}
 		e, w, _ := pre.Counts()
 		return fmt.Errorf("model failed preflight analysis: %d error(s), %d warning(s)", e, w)
@@ -159,6 +162,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if err != nil {
+		// Aggregate coded findings (e.g. an SB050 deadlock caught at
+		// run time after an inconclusive preflight) the same way the
+		// scheme validators are reported.
+		if ds, ok := analyze.FromError(err); ok {
+			for _, d := range ds {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			return fmt.Errorf("emulation aborted: %d coded finding(s)", len(ds))
+		}
 		return err
 	}
 

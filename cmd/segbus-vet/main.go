@@ -7,7 +7,12 @@
 // Usage:
 //
 //	segbus-vet -model design.sbd [-json] [-strict] [-s 36]
+//	segbus-vet -model design.sbd -why SB050 [-repro repro.sbd]
 //	segbus-vet -psdf gen/mp3-psdf.xsd -psm gen/mp3-psm.xsd
+//
+// Reachability findings (SB050) carry a minimal counterexample: -why
+// prints the action trace after the report, and -repro exports a
+// replayable .sbd (the model with the trace appended as comments).
 //
 // Exit status: 0 when the model is clean (or carries only warnings),
 // 1 when errors are found (or warnings with -strict), 2 on usage or
@@ -48,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	strict := fs.Bool("strict", false, "exit non-zero on warnings, not only on errors")
 	codes := fs.Bool("codes", false, "print the diagnostic code table and exit")
 	analyzers := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	why := fs.String("why", "", "print counterexample detail for findings with this code (text mode)")
+	repro := fs.String("repro", "", "write a replayable .sbd reproducer with the counterexample trace to this path")
 	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -94,11 +101,77 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, string(data))
 	} else {
 		fmt.Fprint(stdout, res)
+		if *why != "" {
+			printWhy(stdout, res, *why)
+		}
+	}
+	if *repro != "" {
+		if err := writeRepro(*repro, doc, res); err != nil {
+			fmt.Fprintln(stderr, "segbus-vet:", err)
+			return exitUsage
+		}
 	}
 	if res.HasErrors() || (*strict && res.HasWarnings()) {
 		return exitFindings
 	}
 	return exitClean
+}
+
+// printWhy expands the findings carrying the given code: the
+// counterexample trace for reachability findings, or the code-table
+// summary when the report has no such finding.
+func printWhy(w io.Writer, res *analyze.Result, code string) {
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Code != code {
+			continue
+		}
+		found = true
+		fmt.Fprintf(w, "\n%s %s: %s\n", code, d.Element, d.Message)
+		if len(d.Trace) == 0 {
+			fmt.Fprintln(w, "(no counterexample trace attached)")
+			continue
+		}
+		fmt.Fprintln(w, "counterexample:")
+		for i, line := range d.Trace {
+			fmt.Fprintf(w, "%4d. %s\n", i+1, line)
+		}
+	}
+	if found {
+		return
+	}
+	for _, ci := range analyze.CodeTable() {
+		if ci.Code == code {
+			fmt.Fprintf(w, "\n%s (%s): %s\nno findings with this code in the report above\n",
+				ci.Code, ci.Severity, ci.Summary)
+			return
+		}
+	}
+	fmt.Fprintf(w, "\nunknown diagnostic code %s (see -codes)\n", code)
+}
+
+// writeRepro exports a replayable reproducer: the document itself with
+// the first attached counterexample trace appended as '#' comments, so
+// the file still parses as the original model.
+func writeRepro(path string, doc *dsl.Document, res *analyze.Result) error {
+	var trace []string
+	var code string
+	for _, d := range res.Diagnostics {
+		if len(d.Trace) > 0 {
+			trace, code = d.Trace, d.Code
+			break
+		}
+	}
+	if trace == nil {
+		return fmt.Errorf("-repro: no finding with a counterexample trace to export")
+	}
+	var b strings.Builder
+	b.WriteString(doc.Print())
+	fmt.Fprintf(&b, "\n# %s counterexample: the schedule below reaches a stuck state.\n", code)
+	for i, line := range trace {
+		fmt.Fprintf(&b, "# %4d. %s\n", i+1, line)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // load reads the model pair from either input form. On failure it

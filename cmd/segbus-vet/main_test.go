@@ -21,12 +21,23 @@ func TestScenarioGoldens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Deadlocking scenarios live in a subdirectory so the conform
+	// corpus loader (top-level glob) never seeds its generator with
+	// models the oracles would reject.
+	deadlocks, err := filepath.Glob(filepath.Join(scenarioDir, "deadlock", "*.sbd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, deadlocks...)
 	if len(paths) == 0 {
 		t.Fatal("no scenarios found")
 	}
 	update := os.Getenv("UPDATE_GOLDEN") != ""
 	for _, path := range paths {
 		name := strings.TrimSuffix(filepath.Base(path), ".sbd")
+		if filepath.Base(filepath.Dir(path)) == "deadlock" {
+			name = "deadlock-" + name
+		}
 		t.Run(name, func(t *testing.T) {
 			var out, errOut bytes.Buffer
 			code := run([]string{"-model", path}, &out, &errOut)
@@ -148,6 +159,54 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"-model", "does-not-exist.sbd"}, &out, &errOut); code != exitUsage {
 		t.Errorf("missing file exit = %d, want %d", code, exitUsage)
+	}
+}
+
+// TestWhyAndRepro exercises the counterexample surface: -why expands
+// the SB050 trace after the report, -repro writes a .sbd that still
+// parses and re-diagnoses the same deadlock.
+func TestWhyAndRepro(t *testing.T) {
+	model := filepath.Join(scenarioDir, "deadlock", "starved-order.sbd")
+	repro := filepath.Join(t.TempDir(), "repro.sbd")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-model", model, "-why", "SB050", "-repro", repro}, &out, &errOut); code != exitFindings {
+		t.Fatalf("exit = %d, want %d: %s", code, exitFindings, errOut.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "error SB050") || !strings.Contains(report, "counterexample:") {
+		t.Errorf("missing expanded counterexample:\n%s", report)
+	}
+	if !strings.Contains(report, "delivers package") {
+		t.Errorf("trace lacks delivery actions:\n%s", report)
+	}
+
+	data, err := os.ReadFile(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# SB050 counterexample") {
+		t.Errorf("reproducer lacks the trace comment block:\n%s", data)
+	}
+	out.Reset()
+	if code := run([]string{"-model", repro}, &out, &errOut); code != exitFindings {
+		t.Fatalf("reproducer vet exit = %d, want %d: %s", code, exitFindings, errOut.String())
+	}
+	if !strings.Contains(out.String(), "error SB050") {
+		t.Errorf("reproducer does not re-diagnose the deadlock:\n%s", out.String())
+	}
+
+	// -why on a clean model falls back to the code-table summary.
+	out.Reset()
+	if code := run([]string{"-model", "../../testdata/mp3.sbd", "-why", "SB050"}, &out, &errOut); code != exitClean {
+		t.Fatalf("clean-model exit = %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no findings with this code") {
+		t.Errorf("missing no-findings fallback:\n%s", out.String())
+	}
+
+	// -repro with nothing to export is a usage error.
+	if code := run([]string{"-model", "../../testdata/mp3.sbd", "-repro", repro}, &out, &errOut); code != exitUsage {
+		t.Errorf("-repro without a trace exit = %d, want %d", code, exitUsage)
 	}
 }
 

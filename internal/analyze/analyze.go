@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"segbus/internal/dsl"
+	"segbus/internal/emulator"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
 )
@@ -92,6 +93,13 @@ type Diagnostic struct {
 	Analyzer string   `json:"analyzer"` // reporting analyzer name
 	Element  string   `json:"element"`  // model element to highlight
 	Message  string   `json:"message"`  // human-readable description
+
+	// Trace is a minimal counterexample for reachability findings
+	// (SB050): the action sequence driving the schedule into the
+	// reported state, one action per line. Empty for other codes; the
+	// one-line String rendering omits it (segbus-vet prints it behind
+	// -why, and the JSON report carries it verbatim).
+	Trace []string `json:"trace,omitempty"`
 }
 
 // String renders the diagnostic on one line:
@@ -363,6 +371,16 @@ func FromError(err error) (ds []Diagnostic, ok bool) {
 					Element: cv.Element, Message: cv.Message,
 				})
 			}
+			return ds, true
+		case *emulator.DeadlockError:
+			el := "model"
+			if len(v.Blocked) > 0 {
+				el = v.Blocked[0].Proc.String()
+			}
+			ds = append(ds, Diagnostic{
+				Code: CodeDeadlockState, Severity: SeverityError, Analyzer: "liveness",
+				Element: el, Message: strings.TrimPrefix(v.Error(), "emulator: "),
+			})
 			return ds, true
 		}
 	}

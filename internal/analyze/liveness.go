@@ -32,10 +32,14 @@ const (
 // gates enforce: same-stage dependency cycles that deadlock or stall,
 // T-order contradictions, and processes whose results can never reach
 // a FinalNode. It runs on a bare PSDF model; no platform is needed.
+// On valid models it additionally delegates to the exact reachability
+// checker (internal/automata), which decides deadlock-versus-
+// termination by exhaustive product exploration (SB050–SB052) where
+// the structural heuristics can only grade suspicion.
 func init() {
 	Register(&Analyzer{
 		Name: "liveness",
-		Doc:  "same-stage dependency cycles, T-order contradictions, unobservable processes",
+		Doc:  "same-stage dependency cycles, T-order contradictions, unobservable processes, exact deadlock reachability",
 		Run:  runLiveness,
 	})
 }
@@ -45,6 +49,7 @@ func runLiveness(pass *Pass) {
 	checkStageCycles(pass, m)
 	checkLateInputs(pass, m)
 	checkFeedsFinal(pass, m)
+	checkExactReachability(pass)
 }
 
 // checkStageCycles finds dependency cycles among the flows of one

@@ -1,0 +1,181 @@
+package automata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+	"segbus/internal/sched"
+)
+
+// ErrTooLarge marks a model whose product encoding would overflow the
+// compact state layout; exact analysis is skipped for it and callers
+// fall back to heuristics.
+var ErrTooLarge = errors.New("automata: model too large for exact analysis")
+
+// Encoding capacity limits: counters are packed as uint16, so the
+// package and stage counts must fit, with generous headroom below the
+// representable maximum (a model near these limits exhausts any
+// reasonable state budget long before the encoding matters).
+const (
+	maxPackages = 1 << 15
+	maxStages   = 1 << 14
+	maxProcs    = 1 << 12
+)
+
+// Compile builds the product system for model m mapped onto plat.
+// Both inputs are validated first; a validation error is returned
+// as-is, so callers can distinguish broken models (skip silently —
+// the structural analyzers own those findings) from oversized ones
+// (ErrTooLarge). plat may be nil to check a bare application model:
+// every process then shares one implicit segment and the package
+// size falls back to the model's nominal (or 1 when unset) —
+// deadlock is a property of the firing gates, not of the platform
+// timing, so the verdict is meaningful either way.
+func Compile(m *psdf.Model, plat *platform.Platform) (*System, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	packageSize := 0
+	if plat != nil {
+		if err := plat.Validate(); err != nil {
+			return nil, err
+		}
+		if err := plat.ValidateMapping(m); err != nil {
+			return nil, err
+		}
+		if err := plat.ValidateRoles(m); err != nil {
+			return nil, err
+		}
+		packageSize = plat.PackageSize
+	} else {
+		packageSize = m.NominalPackageSize()
+		if packageSize <= 0 {
+			packageSize = 1
+		}
+	}
+	sch, err := sched.Extract(m, packageSize)
+	if err != nil {
+		return nil, err
+	}
+	if t := sch.TotalPackages(); t > maxPackages {
+		return nil, fmt.Errorf("%w: %d packages (max %d)", ErrTooLarge, t, maxPackages)
+	}
+	if n := sch.NumStages(); n > maxStages {
+		return nil, fmt.Errorf("%w: %d stages (max %d)", ErrTooLarge, n, maxStages)
+	}
+	procs := m.Processes()
+	if len(procs) > maxProcs {
+		return nil, fmt.Errorf("%w: %d processes (max %d)", ErrTooLarge, len(procs), maxProcs)
+	}
+
+	s := &System{
+		sch:     sch,
+		procs:   procs,
+		procIdx: make(map[psdf.ProcessID]int, len(procs)),
+		segOf:   make([]int, len(procs)),
+	}
+	for i, p := range procs {
+		s.procIdx[p] = i
+		if plat != nil {
+			s.segOf[i] = plat.SegmentOf(p)
+		} else {
+			s.segOf[i] = 1
+		}
+	}
+
+	// Emission programs, built exactly the way the emulator builds its
+	// per-FU programs: the flows in canonical order, one entry per
+	// package, gated by inputs-before-this-order plus the proportional
+	// same-order share ceil(k·is/os).
+	s.programs = make([][]Entry, len(procs))
+	inBefore := func(p psdf.ProcessID, order int) int {
+		n := 0
+		for i, f := range sch.Flows() {
+			if f.Target == p && f.Order < order {
+				n += sch.Packages(sched.FlowID(i))
+			}
+		}
+		return n
+	}
+	inSame := func(p psdf.ProcessID, order int) int {
+		n := 0
+		for i, f := range sch.Flows() {
+			if f.Target == p && f.Order == order {
+				n += sch.Packages(sched.FlowID(i))
+			}
+		}
+		return n
+	}
+	outSame := make(map[psdf.ProcessID]map[int]int)
+	for i, f := range sch.Flows() {
+		if outSame[f.Source] == nil {
+			outSame[f.Source] = make(map[int]int)
+		}
+		outSame[f.Source][f.Order] += sch.Packages(sched.FlowID(i))
+	}
+	kSame := make(map[psdf.ProcessID]map[int]int)
+	for i, f := range sch.Flows() {
+		pi, ok := s.procIdx[f.Source]
+		if !ok {
+			return nil, fmt.Errorf("automata: flow %v source not a model process", f)
+		}
+		if kSame[f.Source] == nil {
+			kSame[f.Source] = make(map[int]int)
+		}
+		ib := inBefore(f.Source, f.Order)
+		is := inSame(f.Source, f.Order)
+		os := outSame[f.Source][f.Order]
+		for pkg := 1; pkg <= sch.Packages(sched.FlowID(i)); pkg++ {
+			kSame[f.Source][f.Order]++
+			k := kSame[f.Source][f.Order]
+			need := ib
+			if is > 0 && os > 0 {
+				need = ib + (k*is+os-1)/os
+			}
+			s.programs[pi] = append(s.programs[pi], Entry{Flow: sched.FlowID(i), Pkg: pkg, Need: need})
+		}
+	}
+	for i := range procs {
+		if len(s.programs[i]) > 0 {
+			s.emitters = append(s.emitters, i)
+		}
+	}
+	sort.Ints(s.emitters)
+
+	s.numStages = sch.NumStages()
+	s.stageTotal = make([]int, s.numStages)
+	s.stageOfFlw = make([]int, sch.NumFlows())
+	for si, st := range sch.Stages() {
+		for _, id := range st.Flows {
+			s.stageTotal[si] += sch.Packages(id)
+			s.stageOfFlw[id] = si
+		}
+	}
+
+	// Symmetry reduction: a segment hosting no emitter is inert — its
+	// bus automaton never leaves its initial state — so it contributes
+	// nothing to the product. The grant rule below only ever inspects
+	// emitters, which prunes such segments implicitly; record how many
+	// for the result's accounting.
+	active := make(map[int]bool)
+	for _, e := range s.emitters {
+		active[s.segOf[e]] = true
+	}
+	if plat != nil {
+		s.pruned = plat.NumSegments() - len(active)
+	}
+	return s, nil
+}
+
+// Program returns process p's emission program (nil for pure sinks).
+// The slice must not be mutated.
+func (s *System) Program(p psdf.ProcessID) []Entry {
+	i, ok := s.procIdx[p]
+	if !ok {
+		return nil
+	}
+	return s.programs[i]
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"segbus/internal/apps"
+	"segbus/internal/automata"
 	"segbus/internal/core"
 	"segbus/internal/emulator"
 	"segbus/internal/engine"
@@ -68,6 +69,7 @@ var battery = []struct {
 	{"kernel/queue_churn", 50, benchQueueChurn},
 	{"kernel/cancel_heavy", 200, benchCancelHeavy},
 	{"emulator/mp3_estimate", 20, benchMP3Estimate},
+	{"analyze/exact_reachability", 50, benchExactReachability},
 	{"serve/cold_estimate", 10, benchColdEstimate},
 	{"serve/cache_hit", 200, benchCacheHit},
 }
@@ -138,6 +140,22 @@ func benchMP3Estimate(n int) error {
 	for i := 0; i < n; i++ {
 		if _, err := emulator.Run(m, p, emulator.Config{}); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+func benchExactReachability(n int) error {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	sys, err := automata.Compile(m, p)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		res := sys.Check(automata.Options{})
+		if res.Verdict != automata.Terminates {
+			return fmt.Errorf("benchrec: MP3 schedule verdict %v, want terminates", res.Verdict)
 		}
 	}
 	return nil

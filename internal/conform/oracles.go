@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"segbus/internal/automata"
 	"segbus/internal/core"
 	"segbus/internal/dsl"
 	"segbus/internal/emulator"
@@ -60,6 +61,50 @@ var oracleList = []*Oracle{
 		Doc:   "relabeling a tie-free same-segment process pair preserves the estimate",
 		Check: checkPermuteIDs,
 	},
+	{
+		Name:  "reachability",
+		Doc:   "exact checker verdict (deadlock vs terminates) matches the emulator outcome",
+		Check: checkReachability,
+	},
+}
+
+// checkReachability cross-validates the exact reachability checker
+// (internal/automata) against the emulator: the checker's
+// deadlock-versus-terminates verdict must match whether the
+// estimation run actually gets stuck, and a deadlock verdict's
+// counterexample must replay into a stuck product state. Models the
+// compiler rejects (the validators own those) and budget-exhausted
+// explorations are out of the oracle's domain.
+func checkReachability(c *Case) error {
+	sys, err := automata.Compile(c.Doc.Model, c.Doc.Platform)
+	if err != nil {
+		return errSkip
+	}
+	res := sys.Check(automata.Options{})
+	if res.Verdict == automata.Inconclusive {
+		return errSkip
+	}
+
+	_, estErr := c.Est()
+	var dl *emulator.DeadlockError
+	emuDeadlock := errors.As(estErr, &dl)
+	if estErr != nil && !emuDeadlock {
+		return fmt.Errorf("emulator failed for a non-deadlock reason on a compilable model: %w", estErr)
+	}
+	if emuDeadlock != (res.Verdict == automata.Deadlocks) {
+		return fmt.Errorf("checker verdict %v disagrees with the emulator (deadlock=%v, err=%v)",
+			res.Verdict, emuDeadlock, estErr)
+	}
+	if res.Verdict == automata.Deadlocks {
+		stuck, rerr := sys.Replay(res.Trace)
+		if rerr != nil {
+			return fmt.Errorf("counterexample does not replay: %w", rerr)
+		}
+		if !stuck {
+			return fmt.Errorf("counterexample replays to a live state")
+		}
+	}
+	return nil
 }
 
 // Oracles returns the built-in oracle battery in execution order.

@@ -1,0 +1,38 @@
+package emulator
+
+import (
+	"fmt"
+	"strings"
+
+	"segbus/internal/psdf"
+)
+
+// BlockedProc is one process stalled in a deadlocked stage: its next
+// emission's firing gate against the packages it actually received.
+type BlockedProc struct {
+	Proc psdf.ProcessID `json:"proc"`
+	Need int            `json:"need"`
+	Have int            `json:"have"`
+}
+
+// DeadlockError reports an emulation that stalled before delivering
+// every package: no eligible functional unit could fire in the stage
+// it stopped at. It unwraps from the error returned by Run, letting
+// callers (analyze.FromError, the conform reachability oracle)
+// distinguish a genuine deadlock from configuration problems.
+type DeadlockError struct {
+	Stage       int           `json:"stage"`       // index of the stalled stage
+	Order       int           `json:"order"`       // the stage's ordering number
+	Undelivered int           `json:"undelivered"` // packages the stage still owes
+	Blocked     []BlockedProc `json:"blocked"`     // stalled emitters, by process order
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "emulator: deadlock at stage %d (order %d) with %d package(s) undelivered;",
+		e.Stage, e.Order, e.Undelivered)
+	for _, bp := range e.Blocked {
+		fmt.Fprintf(&b, " %s blocked (needs %d input packages, has %d);", bp.Proc, bp.Need, bp.Have)
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}

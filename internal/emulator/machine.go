@@ -3,7 +3,6 @@ package emulator
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"segbus/internal/engine"
@@ -504,9 +503,11 @@ func (mc *machine) run() (*Report, error) {
 // deadlockError builds a diagnostic for a model that cannot make
 // progress (e.g. a same-order dependency cycle).
 func (mc *machine) deadlockError() error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "emulator: deadlock at stage %d (order %d) with %d package(s) undelivered;",
-		mc.stage, mc.sch.Stages()[mc.stage].Order, mc.stageLeft[mc.stage])
+	de := &DeadlockError{
+		Stage:       mc.stage,
+		Order:       mc.sch.Stages()[mc.stage].Order,
+		Undelivered: mc.stageLeft[mc.stage],
+	}
 	for _, fu := range mc.fus {
 		if fu.next >= len(fu.program) || fu.busy {
 			continue
@@ -515,9 +516,9 @@ func (mc *machine) deadlockError() error {
 		if mc.sch.StageOf(e.flow) != mc.stage {
 			continue
 		}
-		fmt.Fprintf(&b, " %s blocked (needs %d input packages, has %d);", fu.proc, e.need, fu.received)
+		de.Blocked = append(de.Blocked, BlockedProc{Proc: fu.proc, Need: e.need, Have: fu.received})
 	}
-	return fmt.Errorf("%s", strings.TrimSuffix(b.String(), ";"))
+	return de
 }
 
 // advanceFU starts the FU's next emission if it is eligible: the flow's

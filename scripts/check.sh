@@ -28,22 +28,38 @@ go test -bench=. -benchtime=1x -run '^$' ./...
 # and its output passes the schema gate; then the committed trajectory
 # record must still satisfy the same gate.
 scripts/bench.sh -quick
-go run ./cmd/segbus-bench -bench-validate BENCH_5.json
+go run ./cmd/segbus-bench -bench-validate BENCH_6.json
 
 # The event kernel is the hottest shared state in the tree; give its
 # suite (dispatch-order replay, alloc regression, pending bookkeeping)
 # extra race-enabled rounds in fresh processes.
 go test -race -count=2 ./internal/engine
 
+# The exact reachability explorer expands frontier levels in parallel;
+# give its suite (deadlock gallery, reduced-vs-product cross-check)
+# extra race-enabled rounds in fresh processes too.
+go test -race -count=2 ./internal/automata
+
 # Metrics golden diff: segbus-emu -metrics-json over the MP3 scenario
 # must stay byte-identical to the reviewed golden (deterministic
 # counters only; rates are excluded from this export by design).
 metrics_tmp=$(mktemp)
-trap 'rm -f "$metrics_tmp"' EXIT
+vet_exact_tmp=$(mktemp)
+trap 'rm -f "$metrics_tmp" "$vet_exact_tmp"' EXIT
 go run ./cmd/segbus-emu \
 	-psdf testdata/golden/mp3-psdf.xsd -psm testdata/golden/mp3-psm.xsd \
 	-metrics-json "$metrics_tmp" >/dev/null
 diff -u testdata/golden/mp3-metrics.json "$metrics_tmp"
+
+# Exact-reachability smoke: vet every scenario — the deadlocking ones
+# included — with the SB050 counterexample expanded, and diff the
+# concatenated reports against the reviewed golden. Regenerate after a
+# deliberate change with scripts/update-vet-exact.sh.
+for f in testdata/scenarios/*.sbd testdata/scenarios/deadlock/*.sbd; do
+	echo "== $f" >>"$vet_exact_tmp"
+	go run ./cmd/segbus-vet -model "$f" -why SB050 >>"$vet_exact_tmp" || true
+done
+diff -u testdata/scenarios/vet-exact.golden "$vet_exact_tmp"
 
 # Differential conformance smoke sweep: 200 deterministic cases (seed
 # 1, scenario-corpus seeded) through the full oracle battery. The JSON

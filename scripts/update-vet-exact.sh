@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# update-vet-exact.sh — regenerate testdata/scenarios/vet-exact.golden,
+# the concatenated segbus-vet -why SB050 reports over every checked-in
+# scenario that scripts/check.sh diffs against. Run after a deliberate
+# analyzer or rendering change, then review the diff before committing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=testdata/scenarios/vet-exact.golden
+: >"$out"
+for f in testdata/scenarios/*.sbd testdata/scenarios/deadlock/*.sbd; do
+	echo "== $f" >>"$out"
+	go run ./cmd/segbus-vet -model "$f" -why SB050 >>"$out" || true
+done
+echo "wrote $out"
