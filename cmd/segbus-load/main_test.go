@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadRunJSON drives a small but complete in-process run — warm
+// and cold traffic, batches, differential checking and the coalescing
+// proof — and checks the machine-readable report adds up.
+func TestLoadRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-seed", "1", "-models", "6", "-requests", "60", "-concurrency", "4",
+		"-hit-ratio", "0.5", "-batch", "3",
+		"-corpus", filepath.Join("..", "..", "testdata", "scenarios"),
+		"-diff", "-prove-coalescing", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.Requests != 60 {
+		t.Errorf("requests %d, want 60", rep.Requests)
+	}
+	if rep.Items != 180 {
+		t.Errorf("items %d, want 180 (60 batches of 3)", rep.Items)
+	}
+	if rep.Status["200"] != 180 {
+		t.Errorf("status tally %v, want 180 × 200", rep.Status)
+	}
+	if rep.Checked != 180 || rep.Mismatches != 0 {
+		t.Errorf("differential checked=%d mismatches=%d, want 180/0", rep.Checked, rep.Mismatches)
+	}
+	// Every served item is exactly one of hit/miss/coalesced.
+	if got := rep.CacheHits + rep.CacheMisses + rep.Coalesced; got != 180 {
+		t.Errorf("markers sum to %d, want 180", got)
+	}
+	// The corpus has 6 models (plus warmup): a warm run must reuse.
+	if rep.Emulations < 0 || rep.Emulations > 6 {
+		t.Errorf("emulations %d, want 0..6 for a 6-model corpus", rep.Emulations)
+	}
+	if !rep.ProofRan || !rep.Proven {
+		t.Errorf("coalescing proof ran=%v proven=%v", rep.ProofRan, rep.Proven)
+	}
+	if rep.Latency.MaxUs <= 0 || rep.Latency.P50Us > rep.Latency.MaxUs {
+		t.Errorf("latency digest inconsistent: %+v", rep.Latency)
+	}
+	if rep.ElapsedMs <= 0 || rep.ItemsPerSec <= 0 {
+		t.Errorf("throughput fields not populated: %+v", rep)
+	}
+}
+
+// TestLoadRunTextSingles covers the single-request path (-batch 1)
+// and the text renderer.
+func TestLoadRunTextSingles(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-seed", "2", "-models", "4", "-requests", "30", "-concurrency", "3",
+		"-hit-ratio", "1.0", "-batch", "1", "-diff",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"segbus-load: 30 requests (30 items)", "throughput:", "cache:", "latency:", "differential: 30/30"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestLoadRunFlagValidation pins the argument gates.
+func TestLoadRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-models", "0"},
+		{"-concurrency", "0"},
+		{"-batch", "0"},
+		{"-hit-ratio", "1.5"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v did not error", args)
+		}
+	}
+}

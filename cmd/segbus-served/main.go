@@ -10,6 +10,7 @@
 // Usage:
 //
 //	segbus-served -addr :8080 [-workers 8] [-queue 16] [-cache 1024]
+//	              [-cache-shards 8] [-max-batch 64]
 //	              [-timeout 30s] [-drain-timeout 10s]
 //
 // Endpoints:
@@ -18,10 +19,18 @@
 //	                 "package_size": 36, "policy": "fifo", ...}
 //	                → the versioned report JSON of segbus-emu
 //	                  -report-json, byte-identical; X-Segbus-Cache
-//	                  says hit or miss.
+//	                  says hit, miss or coalesced.
+//	POST /estimate/batch
+//	                {"items": [<estimate request>, ...]}
+//	                → 200 envelope with per-item results: items are
+//	                  deduplicated by content fingerprint, fanned out
+//	                  through the worker pool, and each carries its
+//	                  own status/SB9xx code plus the verbatim report
+//	                  bytes — one bad item never fails its siblings.
 //	GET  /healthz   → 200 while serving, 503 while draining.
 //	GET  /metrics   → Prometheus text exposition (requests, latency,
-//	                  cache hits/misses, queue rejections, ...).
+//	                  cache hits/misses per shard, coalesced and batch
+//	                  counters, queue rejections, ...).
 //
 // Like every segbus tool, the shared diagnostics flags -version,
 // -cpuprofile and -memprofile are available.
@@ -61,6 +70,8 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	workers := fs.Int("workers", 0, "concurrent emulations (0: one per CPU)")
 	queue := fs.Int("queue", -1, "admitted requests beyond the running ones before 429s (-1: twice the workers)")
 	cacheEntries := fs.Int("cache", 1024, "result-cache entries (0: disable caching)")
+	cacheShards := fs.Int("cache-shards", 0, "result-cache shards, rounded up to a power of two (0: default of 8; 1: single global LRU)")
+	maxBatch := fs.Int("max-batch", 0, "items accepted per /estimate/batch request (0: default of 64)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included (0: none)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	pf := profflag.Register(fs)
@@ -80,6 +91,8 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		Workers:        *workers,
 		Queue:          *queue,
 		CacheEntries:   *cacheEntries,
+		CacheShards:    *cacheShards,
+		MaxBatchItems:  *maxBatch,
 		RequestTimeout: *timeout,
 		Registry:       reg,
 	})

@@ -14,9 +14,13 @@
 package benchrec
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"sync"
 	"time"
 
 	"segbus/internal/apps"
@@ -28,8 +32,11 @@ import (
 	"segbus/internal/serve"
 )
 
-// Schema identifies the record layout. Bump on incompatible change.
-const Schema = "segbus/bench-record/v1"
+// Schema identifies the record layout. Bump on incompatible change —
+// v2 extended the required battery with the serving-cluster
+// benchmarks (batch estimation and single-flight coalescing), so a v1
+// record no longer covers every tracked surface.
+const Schema = "segbus/bench-record/v2"
 
 // Result is one benchmark's measurement.
 type Result struct {
@@ -72,6 +79,8 @@ var battery = []struct {
 	{"analyze/exact_reachability", 50, benchExactReachability},
 	{"serve/cold_estimate", 10, benchColdEstimate},
 	{"serve/cache_hit", 200, benchCacheHit},
+	{"serve/batch_estimate", 100, benchBatchEstimate},
+	{"serve/coalesced_hit", 50, benchCoalescedHit},
 }
 
 // RequiredNames returns the stable benchmark identifiers every record
@@ -197,6 +206,82 @@ func benchCacheHit(n int) error {
 		}
 		if _, ok := c.Get(k); !ok {
 			return fmt.Errorf("benchrec: unexpected cache miss")
+		}
+	}
+	return nil
+}
+
+// benchBatchEstimate measures the warm batch path end to end: one
+// POST /estimate/batch of eight items (four package-size variants,
+// each twice) through the real handler — envelope decode, per-item
+// parse and key derivation, dedup, sharded-cache hits and the
+// verbatim report splice.
+func benchBatchEstimate(n int) error {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	psdfXML, psmXML, err := core.Transform(m, p)
+	if err != nil {
+		return err
+	}
+	sizes := []int{36, 18, 12, 9}
+	var req serve.BatchRequest
+	for i := 0; i < 8; i++ {
+		req.Items = append(req.Items, serve.EstimateRequest{
+			PSDF: string(psdfXML), PSM: string(psmXML), PackageSize: sizes[i%len(sizes)],
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	s := serve.New(serve.Config{Workers: 4, Queue: 8, CacheEntries: 64})
+	h := s.Handler()
+	for i := 0; i <= n; i++ { // iteration 0 warms the cache, uncounted
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/estimate/batch", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("benchrec: batch status %d", rec.Code)
+		}
+	}
+	return nil
+}
+
+// benchCoalescedHit measures the single-flight fast path under
+// contention: per op, a fresh server (cold cache) takes four
+// concurrent identical requests — one emulation, three waiters served
+// from the published flight.
+func benchCoalescedHit(n int) error {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	psdfXML, psmXML, err := core.Transform(m, p)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.EstimateRequest{PSDF: string(psdfXML), PSM: string(psmXML)})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s := serve.New(serve.Config{Workers: 2, Queue: 8, CacheEntries: 8})
+		h := s.Handler()
+		var wg sync.WaitGroup
+		errc := make(chan error, 4)
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/estimate", bytes.NewReader(body)))
+				if rec.Code != http.StatusOK {
+					errc <- fmt.Errorf("benchrec: coalesced status %d", rec.Code)
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			return err
+		default:
 		}
 	}
 	return nil

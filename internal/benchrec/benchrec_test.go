@@ -19,6 +19,17 @@ func TestRunQuick(t *testing.T) {
 	if len(rec.Results) != len(RequiredNames()) {
 		t.Fatalf("results = %d, want %d", len(rec.Results), len(RequiredNames()))
 	}
+	for _, want := range []string{"serve/batch_estimate", "serve/coalesced_hit"} {
+		found := false
+		for _, name := range RequiredNames() {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("battery does not require %q", want)
+		}
+	}
 	data, err := rec.Marshal()
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +82,17 @@ func TestValidateRejects(t *testing.T) {
 	}{
 		{"garbage", []byte("{"), "not a record"},
 		{"wrong schema", mutate(func(m map[string]any) { m["schema"] = "other/v9" }), "schema"},
+		{"stale v1 schema", mutate(func(m map[string]any) { m["schema"] = "segbus/bench-record/v1" }), "schema"},
+		{"missing serve benchmarks", mutate(func(m map[string]any) {
+			var kept []any
+			for _, r := range m["results"].([]any) {
+				name := r.(map[string]any)["name"].(string)
+				if name != "serve/batch_estimate" && name != "serve/coalesced_hit" {
+					kept = append(kept, r)
+				}
+			}
+			m["results"] = kept
+		}), "missing benchmark"},
 		{"missing env", mutate(func(m map[string]any) { m["go"] = "" }), "environment"},
 		{"missing benchmark", mutate(func(m map[string]any) {
 			m["results"] = m["results"].([]any)[1:]

@@ -24,6 +24,23 @@ const (
 	MetricServedCacheMisses    = "segbus_served_cache_misses_total"
 	MetricServedCacheEvictions = "segbus_served_cache_evictions_total"
 
+	// MetricServedCoalesced counts estimate requests answered by
+	// waiting on an identical in-flight emulation (single-flight
+	// coalescing) instead of running their own.
+	MetricServedCoalesced = "segbus_served_coalesced_total"
+
+	// MetricServedBatchItems counts the items of /estimate/batch
+	// requests, before deduplication.
+	MetricServedBatchItems = "segbus_served_batch_items_total"
+
+	// MetricServedCacheShard* are the per-shard result-cache probe
+	// counters, labelled by shard index. They count cache probes (one
+	// per unique key a request pipeline touches), so they reconcile as
+	// hits+misses = probes and evictions ≤ insertions per shard.
+	MetricServedCacheShardHits      = "segbus_served_cache_shard_hits_total"
+	MetricServedCacheShardMisses    = "segbus_served_cache_shard_misses_total"
+	MetricServedCacheShardEvictions = "segbus_served_cache_shard_evictions_total"
+
 	// MetricServedQueueFull counts requests shed with 429 because the
 	// worker pool had no admission capacity.
 	MetricServedQueueFull = "segbus_served_queue_rejections_total"
@@ -57,6 +74,8 @@ type ServerMetrics struct {
 	CacheHits      *Counter
 	CacheMisses    *Counter
 	CacheEvictions *Counter
+	Coalesced      *Counter
+	BatchItems     *Counter
 	QueueFull      *Counter
 	Deadline       *Counter
 }
@@ -71,6 +90,8 @@ func NewServerMetrics(reg *Registry) *ServerMetrics {
 		CacheHits:      reg.Counter(MetricServedCacheHits),
 		CacheMisses:    reg.Counter(MetricServedCacheMisses),
 		CacheEvictions: reg.Counter(MetricServedCacheEvictions),
+		Coalesced:      reg.Counter(MetricServedCoalesced),
+		BatchItems:     reg.Counter(MetricServedBatchItems),
 		QueueFull:      reg.Counter(MetricServedQueueFull),
 		Deadline:       reg.Counter(MetricServedDeadline),
 	}
@@ -81,6 +102,11 @@ func NewServerMetrics(reg *Registry) *ServerMetrics {
 	reg.Describe(MetricServedCacheHits, "estimate requests answered from the result cache")
 	reg.Describe(MetricServedCacheMisses, "estimate requests that ran the emulator")
 	reg.Describe(MetricServedCacheEvictions, "result-cache entries evicted to make room")
+	reg.Describe(MetricServedCoalesced, "estimate requests answered by an identical in-flight emulation")
+	reg.Describe(MetricServedBatchItems, "batch estimate items received, before deduplication")
+	reg.Describe(MetricServedCacheShardHits, "result-cache probe hits by shard")
+	reg.Describe(MetricServedCacheShardMisses, "result-cache probe misses by shard")
+	reg.Describe(MetricServedCacheShardEvictions, "result-cache entries evicted by shard")
 	reg.Describe(MetricServedQueueFull, "requests shed with 429 (worker pool saturated)")
 	reg.Describe(MetricServedDeadline, "requests that exceeded their deadline (504)")
 	return m

@@ -65,14 +65,30 @@ func NewPool(workers, queue int) *Pool {
 
 // Submit runs fn on a worker slot. It returns ErrQueueFull when the
 // pool is saturated, ErrPoolClosed after Close, or the context's cause
-// when ctx is cancelled while waiting for a slot — in which case fn
-// never runs and the queued position is released immediately. A nil
-// ctx waits indefinitely.
+// when ctx is cancelled before fn starts — in which case fn never
+// runs and the queued position is released immediately. A nil ctx
+// waits indefinitely.
+//
+// Cancellation is checked at every stage, not just while waiting for
+// a slot: an already-abandoned submission neither claims an admission
+// token its siblings could use (a batch fan-out whose client is gone
+// must fail fast, not crowd out live requests) nor runs fn after
+// winning a slot in the same instant its context expired (the
+// slot-acquire select picks randomly among ready cases).
 func (p *Pool) Submit(ctx context.Context, fn func()) error {
 	select {
 	case <-p.closed:
 		return ErrPoolClosed
 	default:
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+		select {
+		case <-done:
+			return context.Cause(ctx)
+		default:
+		}
 	}
 	select {
 	case p.tokens <- struct{}{}:
@@ -81,10 +97,6 @@ func (p *Pool) Submit(ctx context.Context, fn func()) error {
 	}
 	defer func() { <-p.tokens }()
 
-	var done <-chan struct{}
-	if ctx != nil {
-		done = ctx.Done()
-	}
 	select {
 	case p.slots <- struct{}{}:
 	case <-done:
@@ -92,11 +104,16 @@ func (p *Pool) Submit(ctx context.Context, fn func()) error {
 	case <-p.closed:
 		return ErrPoolClosed
 	}
+	defer func() { <-p.slots }()
+	if done != nil {
+		select {
+		case <-done:
+			return context.Cause(ctx)
+		default:
+		}
+	}
 	p.inflight.Add(1)
-	defer func() {
-		p.inflight.Add(-1)
-		<-p.slots
-	}()
+	defer p.inflight.Add(-1)
 	fn()
 	return nil
 }

@@ -174,3 +174,127 @@ func TestRunContextMidway(t *testing.T) {
 		t.Fatalf("ran=%d skipped=%d; want both non-zero", ran, skipped)
 	}
 }
+
+// TestPoolBatchFanOutSaturation is the batch fan-out regression: a
+// concurrent burst of exactly workers+queue blocking submissions must
+// all be admitted (no admission token lost to a racing rejection),
+// one more must shed with ErrQueueFull without disturbing its
+// siblings, and after the burst drains the pool's full capacity is
+// back — no token leaked, none double-released.
+func TestPoolBatchFanOutSaturation(t *testing.T) {
+	const workers, queue = 2, 3
+	p := NewPool(workers, queue)
+	block := make(chan struct{})
+	running := make(chan struct{}, workers)
+	admitted := make(chan error, workers+queue)
+	for i := 0; i < workers+queue; i++ {
+		go func() {
+			admitted <- p.Submit(context.Background(), func() {
+				running <- struct{}{}
+				<-block
+			})
+		}()
+	}
+	// The burst fills every slot and every queue position.
+	for i := 0; i < workers; i++ {
+		<-running
+	}
+	// Wait until the queued three hold their admission tokens too —
+	// probing with Submit before then could claim the straggler's
+	// token and hang on the slot stage instead of shedding.
+	deadline := time.After(2 * time.Second)
+	for len(p.tokens) < workers+queue {
+		select {
+		case <-deadline:
+			t.Fatalf("burst never claimed all tokens: %d/%d", len(p.tokens), workers+queue)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// With every token held the shed attempt must fail fast.
+	if err := p.Submit(context.Background(), func() { t.Error("overflow submission ran") }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated Submit = %v, want ErrQueueFull", err)
+	}
+
+	// Release: every admitted submission completes without error (the
+	// queued three run and signal too — drain their signals as well).
+	close(block)
+	for i := 0; i < queue; i++ {
+		<-running
+	}
+	for i := 0; i < workers+queue; i++ {
+		if err := <-admitted; err != nil {
+			t.Fatalf("admitted submission failed: %v", err)
+		}
+	}
+
+	// Full capacity is back: workers+queue concurrent holds must all
+	// be admitted again. A leaked token from the first burst would
+	// turn exactly one of them into ErrQueueFull.
+	block2 := make(chan struct{})
+	errs2 := make(chan error, workers+queue)
+	for i := 0; i < workers+queue; i++ {
+		go func() { errs2 <- p.Submit(context.Background(), func() { <-block2 }) }()
+	}
+	deadline2 := time.After(2 * time.Second)
+	for len(p.tokens) < workers+queue {
+		select {
+		case <-deadline2:
+			t.Fatalf("capacity not restored: %d/%d tokens claimed", len(p.tokens), workers+queue)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(block2)
+	for i := 0; i < workers+queue; i++ {
+		if err := <-errs2; err != nil {
+			t.Fatalf("re-admitted submission failed: a token leaked: %v", err)
+		}
+	}
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("InFlight after quiesce = %d", got)
+	}
+}
+
+// TestPoolPreCancelledNeverRuns pins the fail-fast fix: a submission
+// whose context is already dead must return its cause without running
+// fn and without consuming an admission token — deterministically,
+// not just when the race happens to land that way.
+func TestPoolPreCancelledNeverRuns(t *testing.T) {
+	p := NewPool(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(ctx, func() { t.Fatal("cancelled submission ran") }); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: Submit = %v, want context.Canceled", i, err)
+		}
+	}
+	// The dead submissions consumed nothing: the pool still admits
+	// workers+queue concurrent holds.
+	block := make(chan struct{})
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { errs <- p.Submit(context.Background(), func() { <-block }) }()
+	}
+	// Wait until both holds have their admission tokens before probing:
+	// an early probe could claim the straggler's token and hang on the
+	// slot stage instead of shedding.
+	deadline := time.After(2 * time.Second)
+	for len(p.tokens) < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("pool lost capacity to pre-cancelled submissions")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated Submit = %v, want ErrQueueFull", err)
+	}
+	close(block)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("live submission failed: %v", err)
+		}
+	}
+}

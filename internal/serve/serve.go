@@ -1,15 +1,21 @@
 // Package serve turns the one-shot estimation pipeline into a
 // long-lived concurrent HTTP service: POST the PSDF and PSM XML
-// schemes (the same documents segbus-emu reads) to /estimate and get
-// back the versioned report JSON, byte-identical to `segbus-emu
-// -report-json` on the same schemes.
+// schemes (the same documents segbus-emu reads) to /estimate — or a
+// list of them to /estimate/batch — and get back the versioned report
+// JSON, byte-identical to `segbus-emu -report-json` on the same
+// schemes.
 //
 // The service introduces the repository's first shared mutable state,
-// managed by three mechanisms:
+// managed by four mechanisms:
 //
-//   - a content-addressed LRU result cache (Cache) keyed by
+//   - a sharded content-addressed LRU result cache (Cache) keyed by
 //     core.Key's canonical hash of model + platform + options, so
-//     repeated design-space probes are served without re-simulation;
+//     repeated design-space probes are served without re-simulation
+//     and concurrent probes for different keys rarely share a lock;
+//   - single-flight coalescing (flightGroup): K identical in-flight
+//     requests — batch items included — trigger exactly one
+//     emulation, with every waiter sharing the leader's
+//     pre-serialized response bytes;
 //   - a bounded worker pool (internal/parallel.Pool) with per-request
 //     deadlines, queue-full backpressure (HTTP 429) and caller
 //     cancellation — an abandoned request frees its admission slot;
@@ -18,9 +24,10 @@
 //
 // Every non-200 response is a JSON ErrorResponse carrying a stable
 // service code (SB9xx) and, for schema or preflight rejections, the
-// SB0xx diagnostics of the static analyzers. Request, latency, cache
-// and saturation metrics flow into an obs.Registry exposed on
-// /metrics in Prometheus text exposition.
+// SB0xx diagnostics of the static analyzers; batch requests carry the
+// same codes per item without failing the envelope. Request, latency,
+// cache, coalescing and saturation metrics flow into an obs.Registry
+// exposed on /metrics in Prometheus text exposition.
 package serve
 
 import (
@@ -38,6 +45,8 @@ import (
 	"segbus/internal/emulator"
 	"segbus/internal/obs"
 	"segbus/internal/parallel"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
 	"segbus/internal/schema"
 )
 
@@ -123,8 +132,18 @@ type Config struct {
 	// CacheEntries bounds the result cache; <= 0 disables caching.
 	CacheEntries int
 
+	// CacheShards selects the result cache's shard count (rounded up
+	// to a power of two, capped at 256); 0 selects 8, 1 gives a
+	// single exact global LRU.
+	CacheShards int
+
+	// MaxBatchItems bounds the items of one /estimate/batch request;
+	// <= 0 selects 64.
+	MaxBatchItems int
+
 	// RequestTimeout is the per-request deadline (queue wait
-	// included); 0 means no server-imposed deadline.
+	// included); 0 means no server-imposed deadline. A batch request
+	// gets one deadline for the whole batch.
 	RequestTimeout time.Duration
 
 	// MaxBodyBytes bounds the request body; <= 0 selects 16 MiB.
@@ -134,6 +153,12 @@ type Config struct {
 	// metrics (the /metrics endpoint then serves an empty
 	// exposition).
 	Registry *obs.Registry
+
+	// OnEmulate, when non-nil, is called once per emulation actually
+	// executed — after pool admission, immediately before the runner.
+	// The coalescing tests and the segbus-load harness use it to
+	// count runner invocations exactly.
+	OnEmulate func()
 }
 
 // Server is the estimation service. Create with New, expose with
@@ -141,6 +166,7 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	cache    *Cache
+	flights  *flightGroup
 	pool     *parallel.Pool
 	metrics  *obs.ServerMetrics
 	draining atomic.Bool
@@ -151,9 +177,13 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 16 << 20
 	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 64
+	}
 	return &Server{
 		cfg:     cfg,
-		cache:   NewCache(cfg.CacheEntries),
+		cache:   NewShardedCache(cfg.CacheEntries, cfg.CacheShards, cfg.Registry),
+		flights: newFlightGroup(),
 		pool:    parallel.NewPool(cfg.Workers, cfg.Queue),
 		metrics: obs.NewServerMetrics(cfg.Registry),
 	}
@@ -162,12 +192,13 @@ func New(cfg Config) *Server {
 // Cache returns the server's result cache (for tests and stats).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// Handler returns the service mux: POST /estimate, GET /healthz, GET
-// /metrics. Every endpoint is instrumented with the obs server
-// catalogue.
+// Handler returns the service mux: POST /estimate, POST
+// /estimate/batch, GET /healthz, GET /metrics. Every endpoint is
+// instrumented with the obs server catalogue.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/estimate", s.instrument("/estimate", http.HandlerFunc(s.handleEstimate)))
+	mux.Handle("/estimate/batch", s.instrument("/estimate/batch", http.HandlerFunc(s.handleBatch)))
 	mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
 	mux.Handle("/metrics", s.instrument("/metrics", obs.Handler(s.cfg.Registry)))
 	return mux
@@ -234,8 +265,183 @@ func parsePolicy(name string) (emulator.Policy, error) {
 	return 0, fmt.Errorf("unknown policy %q (want bu-first, fifo or fixed-priority)", name)
 }
 
-// handleEstimate is the serving pipeline: decode → parse schemes →
-// preflight → cache probe → pooled emulation → cache fill.
+// outcome is the transport-independent result of one estimate: what
+// the single endpoint writes as an HTTP response and the batch
+// endpoint embeds as one item. The zero value (status 0) is the
+// "no error" sentinel of parseRequest.
+type outcome struct {
+	status int    // HTTP status; 200 means body carries the report
+	cache  string // "hit" | "miss" | "coalesced" on 200
+	body   []byte // report JSON on 200
+	code   string // SB9xx on non-200
+	msg    string
+	diags  []analyze.Diagnostic
+}
+
+// errOutcome builds a non-200 outcome.
+func errOutcome(status int, code, msg string, ds []analyze.Diagnostic) outcome {
+	return outcome{status: status, code: code, msg: msg, diags: ds}
+}
+
+// parsed is one decoded estimate: the model pair, the configured
+// runner and the content key, ready for the cache → single-flight →
+// pool pipeline.
+type parsed struct {
+	m      *psdf.Model
+	plat   *platform.Platform
+	runner *core.Runner
+	key    string
+}
+
+// parseRequest decodes one estimate request into its parsed form:
+// scheme parsing, option resolution, the preflight gate and key
+// derivation, all on the request goroutine — rejecting a broken pair
+// must not cost a worker slot. A non-zero outcome status reports the
+// rejection.
+func (s *Server) parseRequest(req *EstimateRequest) (*parsed, outcome) {
+	if req.PSDF == "" || req.PSM == "" {
+		return nil, errOutcome(http.StatusBadRequest, CodeBadRequest, "psdf and psm schemes are required", nil)
+	}
+	m, err := schema.ParsePSDF([]byte(req.PSDF))
+	if err != nil {
+		ds, _ := analyze.FromError(err)
+		return nil, errOutcome(http.StatusBadRequest, CodeBadScheme, "psdf: "+err.Error(), ds)
+	}
+	plat, err := schema.ParsePSM([]byte(req.PSM))
+	if err != nil {
+		ds, _ := analyze.FromError(err)
+		return nil, errOutcome(http.StatusBadRequest, CodeBadScheme, "psm: "+err.Error(), ds)
+	}
+	if req.PackageSize > 0 {
+		plat.PackageSize = req.PackageSize
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		return nil, errOutcome(http.StatusBadRequest, CodeBadRequest, err.Error(), nil)
+	}
+	opts := core.Options{Policy: policy, DetectTicks: req.DetectTicks}
+	if req.Overheads != nil {
+		opts.Overheads = emulator.Overheads{
+			GrantTicks:   req.Overheads.GrantTicks,
+			SyncTicks:    req.Overheads.SyncTicks,
+			CASetTicks:   req.Overheads.CASetTicks,
+			CAResetTicks: req.Overheads.CAResetTicks,
+		}
+	}
+	if pre := core.Preflight(m, plat); pre.HasErrors() {
+		e, warns, _ := pre.Counts()
+		return nil, errOutcome(http.StatusBadRequest, CodeBadModel,
+			fmt.Sprintf("preflight found %d error(s), %d warning(s)", e, warns),
+			pre.Diagnostics)
+	}
+	runner := core.NewRunner(opts)
+	key, err := runner.Key(m, plat)
+	if err != nil {
+		return nil, errOutcome(http.StatusInternalServerError, CodeInternal, "canonicalize: "+err.Error(), nil)
+	}
+	return &parsed{m: m, plat: plat, runner: runner, key: key}, outcome{}
+}
+
+// estimate serves one parsed request through the shared pipeline:
+// cache probe → single-flight join → pooled emulation → cache fill.
+// Identical concurrent requests — across /estimate, /estimate/batch
+// and any mix of the two — resolve to one emulation: the first becomes
+// the flight's leader, the rest wait and share its pre-serialized
+// bytes.
+func (s *Server) estimate(ctx context.Context, pr *parsed) outcome {
+	if body, ok := s.cache.Get(pr.key); ok {
+		s.metrics.CacheHits.Inc()
+		return outcome{status: http.StatusOK, cache: "hit", body: body}
+	}
+	f, leader := s.flights.join(pr.key)
+	if !leader {
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-f.done:
+		case <-done:
+			// The waiter's own deadline wins over the shared flight;
+			// the leader keeps running for everyone else.
+			s.metrics.Deadline.Inc()
+			return errOutcome(http.StatusGatewayTimeout, CodeDeadline,
+				"request abandoned while waiting on a coalesced emulation: "+context.Cause(ctx).Error(), nil)
+		}
+		out := f.out
+		if out.status == http.StatusOK {
+			out.cache = "coalesced"
+			s.metrics.Coalesced.Inc()
+		}
+		return out
+	}
+
+	// Leader. Publish on every exit path — an unfinished flight would
+	// hang its waiters until their own deadlines (or forever without
+	// one), so even a panic in the emulation must complete it.
+	out := errOutcome(http.StatusInternalServerError, CodeInternal, "emulation aborted", nil)
+	defer func() { s.flights.publish(pr.key, f, out) }()
+
+	// Re-probe the cache after winning leadership: this request may
+	// have missed just before a previous leader filled the entry, and
+	// re-running the emulation then would break the "K identical
+	// requests, one emulation" guarantee.
+	if body, ok := s.cache.Get(pr.key); ok {
+		s.metrics.CacheHits.Inc()
+		out = outcome{status: http.StatusOK, cache: "hit", body: body}
+		return out
+	}
+	out = s.emulate(ctx, pr)
+	return out
+}
+
+// emulate runs the leader's pooled emulation and classifies every
+// admission and run failure into its service code.
+func (s *Server) emulate(ctx context.Context, pr *parsed) outcome {
+	var body []byte
+	var runErr error
+	err := s.pool.Submit(ctx, func() {
+		if s.cfg.OnEmulate != nil {
+			s.cfg.OnEmulate()
+		}
+		body, runErr = pr.runner.ReportJSON(pr.m, pr.plat)
+	})
+	switch {
+	case errors.Is(err, parallel.ErrQueueFull):
+		s.metrics.QueueFull.Inc()
+		return errOutcome(http.StatusTooManyRequests, CodeQueueFull, "worker pool saturated, retry later", nil)
+	case errors.Is(err, parallel.ErrPoolClosed):
+		return errOutcome(http.StatusServiceUnavailable, CodeDraining, "server is draining", nil)
+	case err != nil:
+		// Deadline hit or caller gone while queued; either way no
+		// worker slot was burnt.
+		s.metrics.Deadline.Inc()
+		return errOutcome(http.StatusGatewayTimeout, CodeDeadline, "request abandoned before a worker was free: "+err.Error(), nil)
+	}
+	if runErr != nil {
+		var pf *core.PreflightError
+		if errors.As(runErr, &pf) {
+			return errOutcome(http.StatusBadRequest, CodeBadModel, runErr.Error(), pf.Result.Diagnostics)
+		}
+		return errOutcome(http.StatusInternalServerError, CodeInternal, "emulation: "+runErr.Error(), nil)
+	}
+	if evicted := s.cache.Put(pr.key, body); evicted {
+		s.metrics.CacheEvictions.Inc()
+	}
+	s.metrics.CacheMisses.Inc()
+	return outcome{status: http.StatusOK, cache: "miss", body: body}
+}
+
+// requestCtx applies the server's per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// handleEstimate is the single-estimate endpoint: decode → shared
+// pipeline → one report or one coded error.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", nil)
@@ -251,102 +457,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, CodeBadRequest, "request body: "+err.Error(), nil)
 		return
 	}
-	if req.PSDF == "" || req.PSM == "" {
-		fail(w, http.StatusBadRequest, CodeBadRequest, "psdf and psm schemes are required", nil)
+	pr, out := s.parseRequest(&req)
+	if out.status != 0 {
+		fail(w, out.status, out.code, out.msg, out.diags)
 		return
 	}
-	m, err := schema.ParsePSDF([]byte(req.PSDF))
-	if err != nil {
-		ds, _ := analyze.FromError(err)
-		fail(w, http.StatusBadRequest, CodeBadScheme, "psdf: "+err.Error(), ds)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	out = s.estimate(ctx, pr)
+	if out.status != http.StatusOK {
+		fail(w, out.status, out.code, out.msg, out.diags)
 		return
 	}
-	plat, err := schema.ParsePSM([]byte(req.PSM))
-	if err != nil {
-		ds, _ := analyze.FromError(err)
-		fail(w, http.StatusBadRequest, CodeBadScheme, "psm: "+err.Error(), ds)
-		return
-	}
-	if req.PackageSize > 0 {
-		plat.PackageSize = req.PackageSize
-	}
-	policy, err := parsePolicy(req.Policy)
-	if err != nil {
-		fail(w, http.StatusBadRequest, CodeBadRequest, err.Error(), nil)
-		return
-	}
-	opts := core.Options{Policy: policy, DetectTicks: req.DetectTicks}
-	if req.Overheads != nil {
-		opts.Overheads = emulator.Overheads{
-			GrantTicks:   req.Overheads.GrantTicks,
-			SyncTicks:    req.Overheads.SyncTicks,
-			CASetTicks:   req.Overheads.CASetTicks,
-			CAResetTicks: req.Overheads.CAResetTicks,
-		}
-	}
-
-	// The preflight gate runs on the request goroutine: it is cheap,
-	// and rejecting a broken pair must not cost a worker slot.
-	if pre := core.Preflight(m, plat); pre.HasErrors() {
-		e, warns, _ := pre.Counts()
-		fail(w, http.StatusBadRequest, CodeBadModel,
-			fmt.Sprintf("preflight found %d error(s), %d warning(s)", e, warns),
-			pre.Diagnostics)
-		return
-	}
-
-	runner := core.NewRunner(opts)
-	key, err := runner.Key(m, plat)
-	if err != nil {
-		fail(w, http.StatusInternalServerError, CodeInternal, "canonicalize: "+err.Error(), nil)
-		return
-	}
-	if body, ok := s.cache.Get(key); ok {
-		s.metrics.CacheHits.Inc()
-		writeReport(w, body, "hit")
-		return
-	}
-
-	ctx := r.Context()
-	if s.cfg.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
-		defer cancel()
-	}
-	var body []byte
-	var runErr error
-	err = s.pool.Submit(ctx, func() {
-		body, runErr = runner.ReportJSON(m, plat)
-	})
-	switch {
-	case errors.Is(err, parallel.ErrQueueFull):
-		s.metrics.QueueFull.Inc()
-		fail(w, http.StatusTooManyRequests, CodeQueueFull, "worker pool saturated, retry later", nil)
-		return
-	case errors.Is(err, parallel.ErrPoolClosed):
-		fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", nil)
-		return
-	case err != nil:
-		// Deadline hit or caller gone while queued; either way no
-		// worker slot was burnt.
-		s.metrics.Deadline.Inc()
-		fail(w, http.StatusGatewayTimeout, CodeDeadline, "request abandoned before a worker was free: "+err.Error(), nil)
-		return
-	}
-	if runErr != nil {
-		var pf *core.PreflightError
-		if errors.As(runErr, &pf) {
-			fail(w, http.StatusBadRequest, CodeBadModel, runErr.Error(), pf.Result.Diagnostics)
-			return
-		}
-		fail(w, http.StatusInternalServerError, CodeInternal, "emulation: "+runErr.Error(), nil)
-		return
-	}
-	if evicted := s.cache.Put(key, body); evicted {
-		s.metrics.CacheEvictions.Inc()
-	}
-	s.metrics.CacheMisses.Inc()
-	writeReport(w, body, "miss")
+	writeReport(w, out.body, out.cache)
 }
 
 // writeReport writes a 200 report-JSON response. The body bytes are

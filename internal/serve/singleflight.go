@@ -1,0 +1,65 @@
+package serve
+
+import "sync"
+
+// flight is one in-flight estimation shared by every concurrent
+// request carrying the same content key. The leader fills out and
+// closes done; waiters block on done and then read out (the close is
+// the happens-before edge).
+type flight struct {
+	done chan struct{}
+	out  outcome
+}
+
+// flightGroup deduplicates concurrent work by content key: among K
+// requests for the same key in flight at once, exactly one (the
+// leader) runs the emulation, and the rest wait for its outcome. The
+// group holds no memory of completed flights — that is the cache's
+// job — so a key is forgotten the moment its outcome is published.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	// waiterHook, when non-nil, observes every request that joins an
+	// existing flight instead of leading its own. Test seam: the
+	// coalescing tests use it to block the leader until a known number
+	// of waiters have attached.
+	waiterHook func(key string)
+}
+
+// newFlightGroup returns an empty group.
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating and leading it when none
+// is in progress. leader reports whether the caller must run the work:
+// a leader is obliged to publish the flight's outcome on every exit
+// path — otherwise waiters would hang until their own deadlines.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		hook := g.waiterHook
+		g.mu.Unlock()
+		if hook != nil {
+			hook(key)
+		}
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+	return f, true
+}
+
+// publish stores the leader's outcome, removes the flight so the next
+// identical request starts fresh, and wakes every waiter. The removal
+// happens before the wake-up on purpose: a request arriving after the
+// close must never attach to a completed flight.
+func (g *flightGroup) publish(key string, f *flight, out outcome) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.out = out
+	close(f.done)
+}

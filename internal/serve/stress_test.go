@@ -116,14 +116,29 @@ func TestServeStress(t *testing.T) {
 		ok200.Load(), shed429.Load(), s.Cache().Len())
 
 	// The shared state must balance: every estimate request is
-	// accounted as exactly one of hit/miss/shed.
+	// accounted as exactly one of hit/miss/coalesced/shed.
 	snap := reg.Snapshot(false)
 	hits := snap[obs.MetricServedCacheHits]
 	misses := snap[obs.MetricServedCacheMisses]
-	if hits+misses != float64(ok200.Load()) {
-		t.Errorf("hits(%v)+misses(%v) != 200s(%d)", hits, misses, ok200.Load())
+	coalesced := snap[obs.MetricServedCoalesced]
+	if hits+misses+coalesced != float64(ok200.Load()) {
+		t.Errorf("hits(%v)+misses(%v)+coalesced(%v) != 200s(%d)", hits, misses, coalesced, ok200.Load())
 	}
 	if shed := snap[obs.MetricServedQueueFull]; shed != float64(shed429.Load()) {
 		t.Errorf("queue-full counter %v != observed 429s %d", shed, shed429.Load())
+	}
+
+	// The per-shard probe tallies reconcile on their own axis: every
+	// probe is a shard hit or a shard miss, and the sums cover at
+	// least one probe per handler-level hit/miss (leaders may probe
+	// twice — once before and once after winning their flight).
+	var shardHits, shardMisses float64
+	for _, st := range s.Cache().ShardStats() {
+		shardHits += float64(st.Hits)
+		shardMisses += float64(st.Misses)
+	}
+	if shardHits < hits || shardMisses < misses {
+		t.Errorf("shard probe tallies (%v hits, %v misses) below handler tallies (%v, %v)",
+			shardHits, shardMisses, hits, misses)
 	}
 }

@@ -28,7 +28,7 @@ go test -bench=. -benchtime=1x -run '^$' ./...
 # and its output passes the schema gate; then the committed trajectory
 # record must still satisfy the same gate.
 scripts/bench.sh -quick
-go run ./cmd/segbus-bench -bench-validate BENCH_6.json
+go run ./cmd/segbus-bench -bench-validate BENCH_7.json
 
 # The event kernel is the hottest shared state in the tree; give its
 # suite (dispatch-order replay, alloc regression, pending bookkeeping)
@@ -70,5 +70,17 @@ go run ./cmd/segbus-conform -n 200 -seed 1 -corpus testdata/scenarios -json
 
 # Serve stress under the race detector, extra rounds: the suite above
 # already ran it once; repeating it in fresh processes varies the
-# goroutine schedules the shared cache/pool/drain state is exposed to.
-go test -race -count=2 -run 'TestServeStress' ./internal/serve
+# goroutine schedules the shared cache/pool/flight/drain state is
+# exposed to. The single-flight and batch-saturation suites ride along
+# for the same reason.
+go test -race -count=2 -run 'TestServeStress|TestSingleFlight|TestBatchSaturatedPool' ./internal/serve
+
+# Differential load smoke: the traffic generator drives the full
+# in-process HTTP stack with a mixed warm/cold corpus (batches of 4,
+# seeded, scenario-corpus mutations included), diffing every served
+# report against the CLI pipeline and proving that a concurrent
+# identical burst coalesces to a single emulation. Non-zero exit on
+# any byte mismatch, an unproven proof, or a warm run that emulates
+# as often as it serves.
+go run ./cmd/segbus-load -seed 1 -models 12 -requests 300 -concurrency 8 \
+	-hit-ratio 0.6 -batch 4 -corpus testdata/scenarios -diff -prove-coalescing -json
