@@ -19,6 +19,8 @@
 //	segbus-load -addr host:8080       # aim at a running segbus-served
 //	segbus-load -seed 1 -models 12 -requests 300 -concurrency 8 \
 //	            -hit-ratio 0.6 -batch 4 -diff -prove-coalescing -json
+//	segbus-load -slowest 5               # server-side stage breakdown
+//	                                     # of the 5 worst requests
 //
 // Without -addr the harness starts its own server on a real loopback
 // listener (the full HTTP stack, not a stubbed handler) and counts
@@ -46,6 +48,7 @@ import (
 	"segbus/internal/conform"
 	"segbus/internal/dsl"
 	"segbus/internal/obs/profflag"
+	"segbus/internal/obs/reqtrace"
 	"segbus/internal/serve"
 )
 
@@ -65,6 +68,24 @@ type Latency struct {
 	P90Us int64 `json:"p90_us"`
 	P99Us int64 `json:"p99_us"`
 	MaxUs int64 `json:"max_us"`
+}
+
+// SlowStage is one stage of a slow request's server-side breakdown:
+// a top-level span of the request trace.
+type SlowStage struct {
+	Name  string `json:"name"`
+	DurUs int64  `json:"dur_us"`
+}
+
+// SlowRequest is one entry of the -slowest report: the server's own
+// stage decomposition of a worst-latency request, read back from
+// /debug/requests after the run.
+type SlowRequest struct {
+	TraceID  string      `json:"trace_id"`
+	Endpoint string      `json:"endpoint"`
+	Status   int         `json:"status"`
+	DurUs    int64       `json:"dur_us"`
+	Stages   []SlowStage `json:"stages"`
 }
 
 // Report is the machine-readable run summary (-json).
@@ -91,6 +112,7 @@ type Report struct {
 	ReqPerSec   float64          `json:"requests_per_sec"`
 	ItemsPerSec float64          `json:"items_per_sec"`
 	Latency     Latency          `json:"latency"`
+	Slowest     []SlowRequest    `json:"slowest,omitempty"` // -slowest N server-side breakdowns
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -110,6 +132,7 @@ func run(args []string, stdout io.Writer) error {
 	cacheShards := fs.Int("cache-shards", 0, "in-process server: result-cache shards")
 	timeout := fs.Duration("timeout", 30*time.Second, "client request timeout")
 	diff := fs.Bool("diff", false, "compare every served report byte-for-byte against the CLI pipeline")
+	slowest := fs.Int("slowest", 0, "after the run, print the server-side stage breakdown of the N slowest requests (forces tracing via seeded traceparent headers)")
 	prove := fs.Bool("prove-coalescing", false, "after the run, prove a concurrent identical burst coalesces to one emulation")
 	jsonOut := fs.Bool("json", false, "print the report as JSON instead of text")
 	pf := profflag.Register(fs)
@@ -185,6 +208,7 @@ func run(args []string, stdout io.Writer) error {
 			Queue:        *queue,
 			CacheEntries: *cacheEntries,
 			CacheShards:  *cacheShards,
+			TraceSlowest: *slowest,
 			OnEmulate:    func() { emulations.Add(1) },
 		})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -306,7 +330,19 @@ func run(args []string, stdout io.Writer) error {
 					path = "/estimate/batch"
 				}
 				t0 := time.Now()
-				resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if *slowest > 0 {
+					// Force server-side tracing so /debug/requests can
+					// attribute the slowest requests after the run; the
+					// ids are seeded, so a run is reproducible.
+					req.Header.Set("traceparent", forcedTraceparent(rng))
+				}
+				resp, err := client.Do(req)
 				if err != nil {
 					errs <- err
 					return
@@ -414,6 +450,17 @@ func run(args []string, stdout io.Writer) error {
 		rep.Proven = proven
 	}
 
+	// The slowest-request breakdowns come from the server's own flight
+	// recorder, not from client-side timing: the client can only see
+	// total latency, the server knows which stage ate it.
+	if *slowest > 0 {
+		slow, err := fetchSlowest(client, base, *slowest)
+		if err != nil {
+			return fmt.Errorf("-slowest: %w", err)
+		}
+		rep.Slowest = slow
+	}
+
 	if *jsonOut {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -435,6 +482,62 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("no caching benefit: %d emulations for %d served items on a warm corpus", rep.Emulations, rep.Status["200"])
 	}
 	return nil
+}
+
+// forcedTraceparent renders a W3C traceparent with the sampled flag
+// from the worker's seeded rng, so the server is forced to trace the
+// request under a reproducible id.
+func forcedTraceparent(rng *rand.Rand) string {
+	hi, lo := rng.Uint64(), rng.Uint64()
+	if hi|lo == 0 {
+		lo = 1 // the all-zero trace id is invalid per W3C
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-01", hi, lo, rng.Uint64())
+}
+
+// fetchSlowest reads the server's flight recorder and flattens its
+// slowest-trace list into the report shape: one row per request, with
+// the top-level stage spans as the breakdown.
+func fetchSlowest(client *http.Client, base string, n int) ([]SlowRequest, error) {
+	resp, err := client.Get(base + "/debug/requests?n=1")
+	if err != nil {
+		return nil, err
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/requests: status %d (is tracing enabled on the server?)", resp.StatusCode)
+	}
+	var doc reqtrace.Document
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("/debug/requests: %w", err)
+	}
+	if doc.Schema != reqtrace.DocumentSchema {
+		return nil, fmt.Errorf("/debug/requests: schema %q, want %q", doc.Schema, reqtrace.DocumentSchema)
+	}
+	if len(doc.Slowest) > n {
+		doc.Slowest = doc.Slowest[:n]
+	}
+	out := make([]SlowRequest, 0, len(doc.Slowest))
+	for _, s := range doc.Slowest {
+		sr := SlowRequest{
+			TraceID:  s.TraceID,
+			Endpoint: s.Endpoint,
+			Status:   s.Status,
+			DurUs:    s.DurNs / 1000,
+		}
+		for _, sp := range s.Spans {
+			if sp.Parent != 0 {
+				continue // stages are the root's direct children
+			}
+			sr.Stages = append(sr.Stages, SlowStage{Name: sp.Name, DurUs: sp.DurNs / 1000})
+		}
+		out = append(out, sr)
+	}
+	return out, nil
 }
 
 // boundIdx maps a percentile to a valid index of a sorted slice.
@@ -544,6 +647,21 @@ func printText(w io.Writer, r *Report) {
 			verdict = "proven (one emulation for the concurrent identical burst)"
 		}
 		fmt.Fprintf(w, "  coalescing: %s\n", verdict)
+	}
+	if len(r.Slowest) > 0 {
+		fmt.Fprintf(w, "  slowest %d (server-side breakdown):\n", len(r.Slowest))
+		for i, s := range r.Slowest {
+			fmt.Fprintf(w, "    %d. %s %d %s  trace %.8s", i+1, us(s.DurUs), s.Status, s.Endpoint, s.TraceID)
+			sep := "  ["
+			for _, st := range s.Stages {
+				fmt.Fprintf(w, "%s%s %s", sep, st.Name, us(st.DurUs))
+				sep = " | "
+			}
+			if sep == " | " {
+				fmt.Fprint(w, "]")
+			}
+			fmt.Fprintln(w)
+		}
 	}
 }
 

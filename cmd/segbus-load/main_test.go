@@ -79,6 +79,65 @@ func TestLoadRunTextSingles(t *testing.T) {
 	}
 }
 
+// TestLoadRunSlowest covers -slowest: every request is traced via a
+// forced traceparent, and the report ends with server-side stage
+// breakdowns read back from /debug/requests.
+func TestLoadRunSlowest(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-seed", "3", "-models", "4", "-requests", "24", "-concurrency", "3",
+		"-hit-ratio", "0.5", "-batch", "1", "-slowest", "3", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Slowest) == 0 || len(rep.Slowest) > 3 {
+		t.Fatalf("%d slowest entries, want 1..3", len(rep.Slowest))
+	}
+	prev := rep.Slowest[0].DurUs
+	for i, s := range rep.Slowest {
+		if len(s.TraceID) != 32 || s.Endpoint != "/estimate" || s.Status != 200 {
+			t.Errorf("slowest[%d] = %+v", i, s)
+		}
+		if s.DurUs > prev {
+			t.Errorf("slowest not worst-first: %d after %d", s.DurUs, prev)
+		}
+		prev = s.DurUs
+		if len(s.Stages) == 0 {
+			t.Errorf("slowest[%d] has no stage breakdown", i)
+		}
+		var sum int64
+		names := make(map[string]bool)
+		for _, st := range s.Stages {
+			sum += st.DurUs
+			names[st.Name] = true
+		}
+		if sum > s.DurUs+1 { // +1 absorbs per-stage ns→µs truncation
+			t.Errorf("slowest[%d] stages sum to %dµs > total %dµs", i, sum, s.DurUs)
+		}
+		if !names["parse"] || !names["cache_probe"] {
+			t.Errorf("slowest[%d] stages missing parse/cache_probe: %+v", i, s.Stages)
+		}
+	}
+
+	// The text renderer includes the breakdown section.
+	out.Reset()
+	err = run([]string{
+		"-seed", "3", "-models", "4", "-requests", "12", "-concurrency", "2",
+		"-slowest", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("text run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "slowest 2 (server-side breakdown):") {
+		t.Errorf("text report missing slowest section:\n%s", out.String())
+	}
+}
+
 // TestLoadRunFlagValidation pins the argument gates.
 func TestLoadRunFlagValidation(t *testing.T) {
 	for _, args := range [][]string{

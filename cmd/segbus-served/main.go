@@ -12,6 +12,8 @@
 //	segbus-served -addr :8080 [-workers 8] [-queue 16] [-cache 1024]
 //	              [-cache-shards 8] [-max-batch 64]
 //	              [-timeout 30s] [-drain-timeout 10s]
+//	              [-trace-sample 0] [-trace-seed 1]
+//	              [-trace-ring 256] [-trace-slowest 8]
 //
 // Endpoints:
 //
@@ -30,7 +32,21 @@
 //	GET  /healthz   → 200 while serving, 503 while draining.
 //	GET  /metrics   → Prometheus text exposition (requests, latency,
 //	                  cache hits/misses per shard, coalesced and batch
-//	                  counters, queue rejections, ...).
+//	                  counters, queue rejections, ...); latency buckets
+//	                  carry the last traced request's id as an
+//	                  OpenMetrics-style exemplar.
+//	GET  /debug/requests
+//	                → the trace flight recorder (schema
+//	                  segbus/reqtrace/v1): the last ?n=K sampled
+//	                  request breakdowns plus the slowest ones seen;
+//	                  ?trace=<id> returns one breakdown,
+//	                  &format=perfetto renders it for ui.perfetto.dev.
+//
+// Request tracing: a request whose W3C `traceparent` header has the
+// sampled flag is always traced (its stage breakdown lands in
+// /debug/requests and the response carries X-Segbus-Trace and a
+// Traceparent echo); -trace-sample N additionally head-samples every
+// Nth estimate. -trace-sample -1 disables tracing entirely.
 //
 // Like every segbus tool, the shared diagnostics flags -version,
 // -cpuprofile and -memprofile are available.
@@ -74,6 +90,10 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	maxBatch := fs.Int("max-batch", 0, "items accepted per /estimate/batch request (0: default of 64)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included (0: none)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	traceSample := fs.Int("trace-sample", 0, "trace one in N estimate requests (0: only traceparent-forced requests; -1: disable tracing)")
+	traceSeed := fs.Uint64("trace-seed", 1, "seed for deterministic trace ids")
+	traceRing := fs.Int("trace-ring", 0, "sampled traces kept in the /debug/requests ring (0: default of 256)")
+	traceSlowest := fs.Int("trace-slowest", 0, "slowest traces tracked in /debug/requests (0: default of 8)")
 	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +115,10 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		MaxBatchItems:  *maxBatch,
 		RequestTimeout: *timeout,
 		Registry:       reg,
+		TraceSample:    *traceSample,
+		TraceSeed:      *traceSeed,
+		TraceRing:      *traceRing,
+		TraceSlowest:   *traceSlowest,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -34,9 +34,10 @@ import (
 
 // Schema identifies the record layout. Bump on incompatible change —
 // v2 extended the required battery with the serving-cluster
-// benchmarks (batch estimation and single-flight coalescing), so a v1
-// record no longer covers every tracked surface.
-const Schema = "segbus/bench-record/v2"
+// benchmarks (batch estimation and single-flight coalescing); v3 adds
+// the traced request path (span recording, flight-recorder snapshot)
+// so the observability overhead stays on the trajectory.
+const Schema = "segbus/bench-record/v3"
 
 // Result is one benchmark's measurement.
 type Result struct {
@@ -81,6 +82,7 @@ var battery = []struct {
 	{"serve/cache_hit", 200, benchCacheHit},
 	{"serve/batch_estimate", 100, benchBatchEstimate},
 	{"serve/coalesced_hit", 50, benchCoalescedHit},
+	{"serve/traced_estimate", 150, benchTracedEstimate},
 }
 
 // RequiredNames returns the stable benchmark identifiers every record
@@ -282,6 +284,41 @@ func benchCoalescedHit(n int) error {
 		case err := <-errc:
 			return err
 		default:
+		}
+	}
+	return nil
+}
+
+// benchTracedEstimate measures the fully traced cache-hit path: every
+// request carries a sampled W3C traceparent, so each op pays for span
+// recording across the whole stage breakdown (decode, parse,
+// fingerprint, cache probe, serialize), the snapshot assembly at
+// Finish and the flight-recorder publish — the cost the unsampled
+// path avoids and TestTracingOverheadSmoke bounds.
+func benchTracedEstimate(n int) error {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	psdfXML, psmXML, err := core.Transform(m, p)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(serve.EstimateRequest{PSDF: string(psdfXML), PSM: string(psmXML)})
+	if err != nil {
+		return err
+	}
+	s := serve.New(serve.Config{Workers: 2, Queue: 8, CacheEntries: 8, TraceSample: 0})
+	h := s.Handler()
+	const parent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	for i := 0; i <= n; i++ { // iteration 0 warms the cache, uncounted
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/estimate", bytes.NewReader(body))
+		req.Header.Set("traceparent", parent)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("benchrec: traced status %d", rec.Code)
+		}
+		if rec.Header().Get("X-Segbus-Trace") == "" {
+			return fmt.Errorf("benchrec: traced request missing X-Segbus-Trace")
 		}
 	}
 	return nil

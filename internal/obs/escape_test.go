@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEscapeLabelValue pins the exposition-format escaping rules:
+// exactly backslash, double-quote and newline are escaped; every
+// other byte — tabs and full UTF-8 included — passes through raw.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"plain", "fifo", "fifo"},
+		{"empty", "", ""},
+		{"backslash", `a\b`, `a\\b`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"all three", "\\\"\n", `\\\"\n`},
+		{"tab stays raw", "a\tb", "a\tb"},
+		{"carriage return stays raw", "a\rb", "a\rb"},
+		{"unicode stays raw", "héllo→world", "héllo→world"},
+		{"trailing backslash", `trailing\`, `trailing\\`},
+		{"only escapables", "\n\n", `\n\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("%s: EscapeLabelValue(%q) = %q, want %q", c.name, c.in, got, c.want)
+		}
+	}
+	// The fast path must return the input string itself (no copy).
+	in := "untouched"
+	if got := EscapeLabelValue(in); got != in {
+		t.Errorf("clean value copied: %q", got)
+	}
+}
+
+// TestPrometheusHostileLabels drives hostile label values through the
+// full exposition and checks the emitted sample lines are exactly the
+// escaped form the format requires.
+func TestPrometheusHostileLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hostile_total", "path", `C:\temp\"quoted"`).Add(3)
+	r.Counter("hostile_total", "path", "multi\nline").Add(1)
+	r.Gauge("hostile_gauge", "tab", "a\tb").Set(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`hostile_total{path="C:\\temp\\\"quoted\""} 3`,
+		`hostile_total{path="multi\nline"} 1`,
+		"hostile_gauge{tab=\"a\tb\"} 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No raw newline may survive inside a sample line: every line must
+	// be a comment or `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("exposition contains an empty line (unescaped newline?):\n%s", out)
+		}
+		if !strings.HasPrefix(line, "#") && !strings.Contains(line, " ") {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestHistogramExemplars checks exemplar recording and its
+// OpenMetrics-style exposition.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", []int64{10, 100}, "endpoint", "/estimate")
+	h.Observe(5)                      // bucket 0, no exemplar
+	h.ObserveExemplar(50, "aaaa1111") // bucket 1
+	h.ObserveExemplar(60, "bbbb2222") // bucket 1: last writer wins
+	h.ObserveExemplar(5000, "cccc3333")
+	h.ObserveExemplar(7, "") // empty id degrades to a plain Observe
+
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("%d exemplar slots, want 3", len(ex))
+	}
+	if ex[0] != nil {
+		t.Fatalf("bucket 0 grew an exemplar from an untraced observe: %+v", ex[0])
+	}
+	if ex[1] == nil || ex[1].TraceID != "bbbb2222" || ex[1].Value != 60 {
+		t.Fatalf("bucket 1 exemplar %+v, want bbbb2222/60", ex[1])
+	}
+	if ex[2] == nil || ex[2].TraceID != "cccc3333" {
+		t.Fatalf("+Inf exemplar %+v", ex[2])
+	}
+	if h.Count() != 5 || h.Sum() != 5+50+60+5000+7 {
+		t.Fatalf("exemplar observes skewed the tallies: count %d sum %d", h.Count(), h.Sum())
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_us_bucket{endpoint="/estimate",le="10"} 2` + "\n", // no exemplar suffix
+		`lat_us_bucket{endpoint="/estimate",le="100"} 4 # {trace_id="bbbb2222"} 60`,
+		`lat_us_bucket{endpoint="/estimate",le="+Inf"} 5 # {trace_id="cccc3333"} 5000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Nil handle safety.
+	var nh *Histogram
+	nh.ObserveExemplar(1, "x")
+	if nh.Exemplars() != nil {
+		t.Fatal("nil histogram returned exemplars")
+	}
+}
+
+// TestRequestTraced checks the server catalogue's traced variant
+// lands the exemplar on the endpoint's latency histogram.
+func TestRequestTraced(t *testing.T) {
+	r := NewRegistry()
+	m := NewServerMetrics(r)
+	m.RequestTraced("/estimate", "200", 250, "deadbeef")
+	m.Request("/estimate", "200", 90)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# {trace_id="deadbeef"} 250`) {
+		t.Fatalf("traced request produced no exemplar:\n%s", b.String())
+	}
+
+	// Nil-safe end to end.
+	var nm *ServerMetrics
+	nm.RequestTraced("/estimate", "200", 1, "x")
+	NewServerMetrics(nil).RequestTraced("/estimate", "200", 1, "x")
+}

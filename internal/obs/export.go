@@ -75,7 +75,10 @@ func promName(family, labels, extraKey, extraVal string) string {
 		if labels != "" {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(extraVal))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -83,6 +86,18 @@ func promName(family, labels, extraKey, extraVal string) string {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promExemplar renders a bucket's exemplar suffix in the OpenMetrics
+// syntax (` # {trace_id="..."} value`), or "" when the bucket has
+// none. Plain 0.0.4 scrapers that predate exemplars simply never see
+// one unless request tracing is on; scrapers that negotiate
+// OpenMetrics pick up the trace id behind each latency bucket.
+func promExemplar(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return " # {trace_id=\"" + EscapeLabelValue(e.TraceID) + "\"} " + strconv.FormatInt(e.Value, 10)
 }
 
 func writePromMetric(w io.Writer, m *metric) error {
@@ -98,13 +113,16 @@ func writePromMetric(w io.Writer, m *metric) error {
 		var cum int64
 		for i, bound := range h.bounds {
 			cum += h.counts[i].Load()
-			if _, err := fmt.Fprintf(w, "%s %d\n",
-				promName(m.family+"_bucket", m.labels, "le", strconv.FormatInt(bound, 10)), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d%s\n",
+				promName(m.family+"_bucket", m.labels, "le", strconv.FormatInt(bound, 10)),
+				cum, promExemplar(h.exemplars[i].Load())); err != nil {
 				return err
 			}
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		if _, err := fmt.Fprintf(w, "%s %d\n", promName(m.family+"_bucket", m.labels, "le", "+Inf"), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d%s\n",
+			promName(m.family+"_bucket", m.labels, "le", "+Inf"),
+			cum, promExemplar(h.exemplars[len(h.bounds)].Load())); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", promName(m.family+"_sum", m.labels, "", ""), h.Sum()); err != nil {

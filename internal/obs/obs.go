@@ -80,10 +80,21 @@ func (g *Gauge) Value() float64 {
 // fixed upper bounds (plus an implicit +Inf bucket). The nil handle
 // discards observations.
 type Histogram struct {
-	bounds []int64 // ascending upper bounds
-	counts []atomic.Int64
-	sum    atomic.Int64
-	count  atomic.Int64
+	bounds    []int64 // ascending upper bounds
+	counts    []atomic.Int64
+	sum       atomic.Int64
+	count     atomic.Int64
+	exemplars []atomic.Pointer[Exemplar] // last traced observation per bucket
+}
+
+// Exemplar links one histogram bucket to the last traced request that
+// landed in it: the trace id answers "show me a request that cost
+// this much", which is exactly what a latency histogram cannot answer
+// on its own. Exported in the Prometheus exposition using the
+// OpenMetrics exemplar syntax.
+type Exemplar struct {
+	TraceID string
+	Value   int64
 }
 
 // Observe records one value. No-op on a nil receiver.
@@ -91,15 +102,50 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	// Linear scan: bucket lists are short (≤ ~16) and the branch
-	// pattern is friendlier than binary search at this size.
+	h.counts[h.bucket(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveExemplar records one value and remembers the trace id as the
+// bucket's exemplar (last writer wins — the point is a recent example,
+// not a census). No-op on a nil receiver; an empty trace id degrades
+// to a plain Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.bucket(v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// Exemplars returns the current exemplar per bucket (+Inf last); nil
+// entries mark buckets no traced observation has landed in.
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// bucket maps a value to its bucket index. Linear scan: bucket lists
+// are short (≤ ~16) and the branch pattern is friendlier than binary
+// search at this size.
+func (h *Histogram) bucket(v int64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.sum.Add(v)
-	h.count.Add(1)
+	return i
 }
 
 // Count returns the number of observations (zero on a nil receiver).
@@ -172,7 +218,44 @@ func renderLabels(family string, labels []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition: backslash, double-quote and newline become \\, \" and
+// \n — and nothing else, per the exposition format. (Go's %q, used
+// here previously, over-escapes: it turns a tab into the two
+// characters \t, which a Prometheus parser reads back as a literal
+// backslash followed by t.)
+func EscapeLabelValue(v string) string {
+	// Fast path: nothing to escape (the overwhelmingly common case —
+	// label values here are policy names, endpoints and shard ids).
+	i := 0
+	for i < len(v) && v[i] != '\\' && v[i] != '"' && v[i] != '\n' {
+		i++
+	}
+	if i == len(v) {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	b.WriteString(v[:i])
+	for ; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
 	}
 	return b.String()
 }
@@ -258,6 +341,7 @@ func (r *Registry) Histogram(family string, bounds []int64, labels ...string) *H
 	m := r.lookup(family, labels, kindHistogram, func() *metric {
 		h := &Histogram{bounds: append([]int64(nil), bounds...)}
 		h.counts = make([]atomic.Int64, len(bounds)+1)
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(bounds)+1)
 		return &metric{hist: h}
 	})
 	return m.hist

@@ -1,0 +1,24 @@
+package reqtrace
+
+import "context"
+
+// ctxKey is the private context key type for a request's Trace.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tr, so handler internals (and the
+// batch fan-out goroutines inheriting the request context) reach the
+// request's trace without new plumbing through every signature.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the request's Trace, or nil when the request is
+// unsampled — and nil is a fully valid no-op sink, so callers record
+// spans unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,68 @@
+package reqtrace
+
+import (
+	"strconv"
+	"strings"
+
+	"segbus/internal/trace"
+)
+
+// ToTrace converts a request snapshot into an internal/trace.Trace so
+// the existing exporters — Perfetto above all — render a server
+// request with the same tooling as an emulation timeline:
+//
+//   - every span becomes a Stage interval on an element named after
+//     the span (repeated stages, e.g. per-item batch spans, stack on
+//     one row), with the attributes joined into the Detail string;
+//   - the root span's element is "request <trace id prefix>", so two
+//     exported requests stay distinguishable side by side;
+//   - span times are nanoseconds relative to the request start, fed
+//     into the trace's picosecond domain at 1 ns = 1 ps (proportions
+//     and labels exact, absolute units nominal — the same convention
+//     the emulator's Perfetto export documents);
+//   - the request end carries a Mark with the HTTP status.
+//
+// The returned trace round-trips through trace.Perfetto() into
+// ui.perfetto.dev / chrome://tracing.
+func ToTrace(s *Snapshot) *trace.Trace {
+	if s == nil {
+		return nil
+	}
+	t := &trace.Trace{}
+	rootEl := "request " + shortID(s.TraceID)
+	for i, sp := range s.Spans {
+		el := sp.Name
+		if i == 0 {
+			el = rootEl
+		}
+		t.AddInterval(el, trace.Stage, sp.StartNs, sp.StartNs+sp.DurNs, detailOf(s, sp))
+	}
+	t.AddMark(rootEl, "status "+strconv.Itoa(s.Status), s.DurNs)
+	return t
+}
+
+// shortID keeps the first 8 hex digits of a trace id for labels.
+func shortID(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}
+
+// detailOf renders one span's args line: "name k=v k=v", plus the
+// trace id on the root span.
+func detailOf(s *Snapshot, sp SpanSnap) string {
+	var b strings.Builder
+	b.WriteString(sp.Name)
+	if sp.Parent < 0 {
+		b.WriteString(" trace=")
+		b.WriteString(s.TraceID)
+	}
+	for _, a := range sp.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	return b.String()
+}

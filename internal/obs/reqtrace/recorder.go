@@ -1,0 +1,162 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DocumentSchema versions the /debug/requests JSON layout.
+const DocumentSchema = "segbus/reqtrace/v1"
+
+// Recorder is the flight recorder: a lock-free ring buffer of the
+// last N sampled request snapshots, plus a small tracker of the
+// slowest requests seen so far. Writers never block each other — one
+// atomic increment claims a slot and one atomic store publishes the
+// snapshot — so recording stays off the request path's critical
+// section; only the (rare, sampled-only) slowest-list update takes a
+// short mutex.
+type Recorder struct {
+	ring []atomic.Pointer[Snapshot]
+	cur  atomic.Uint64 // total snapshots recorded (next slot = cur % len)
+
+	slowN   int
+	mu      sync.Mutex
+	slowest []*Snapshot // sorted by DurNs descending, ties by TraceID
+}
+
+// NewRecorder returns a recorder holding the last ring sampled traces
+// (0 selects 256) and tracking the slowN slowest (0 selects 8).
+func NewRecorder(ring, slowN int) *Recorder {
+	if ring <= 0 {
+		ring = 256
+	}
+	if slowN <= 0 {
+		slowN = 8
+	}
+	return &Recorder{ring: make([]atomic.Pointer[Snapshot], ring), slowN: slowN}
+}
+
+// Record publishes one snapshot. Safe for concurrent use; nil
+// recorders and nil snapshots are ignored.
+func (r *Recorder) Record(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	i := r.cur.Add(1) - 1
+	r.ring[i%uint64(len(r.ring))].Store(s)
+
+	r.mu.Lock()
+	if len(r.slowest) < r.slowN || s.DurNs > r.slowest[len(r.slowest)-1].DurNs {
+		r.slowest = append(r.slowest, s)
+		sort.Slice(r.slowest, func(i, j int) bool {
+			if r.slowest[i].DurNs != r.slowest[j].DurNs {
+				return r.slowest[i].DurNs > r.slowest[j].DurNs
+			}
+			return r.slowest[i].TraceID < r.slowest[j].TraceID
+		})
+		if len(r.slowest) > r.slowN {
+			r.slowest = r.slowest[:r.slowN]
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Recorded returns the total number of snapshots recorded so far.
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cur.Load()
+}
+
+// Last returns up to n snapshots, newest first. Concurrent recording
+// may skip a slot being overwritten; every returned snapshot is
+// complete.
+func (r *Recorder) Last(n int) []*Snapshot {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	cur := r.cur.Load()
+	size := uint64(len(r.ring))
+	if uint64(n) > size {
+		n = int(size)
+	}
+	out := make([]*Snapshot, 0, n)
+	for k := uint64(0); k < size && len(out) < n && k < cur; k++ {
+		if s := r.ring[(cur-1-k)%size].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Slowest returns the slowest recorded snapshots, worst first.
+func (r *Recorder) Slowest() []*Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*Snapshot, len(r.slowest))
+	copy(out, r.slowest)
+	r.mu.Unlock()
+	return out
+}
+
+// Find returns the recorded snapshot with the given trace id (ring
+// first, then the slowest list), or nil.
+func (r *Recorder) Find(traceID string) *Snapshot {
+	if r == nil {
+		return nil
+	}
+	for i := range r.ring {
+		if s := r.ring[i].Load(); s != nil && s.TraceID == traceID {
+			return s
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.slowest {
+		if s.TraceID == traceID {
+			return s
+		}
+	}
+	return nil
+}
+
+// Document is the /debug/requests response body.
+type Document struct {
+	Schema  string      `json:"schema"`
+	Sampled uint64      `json:"sampled"` // total snapshots recorded
+	Traces  []*Snapshot `json:"traces"`  // last n, newest first
+	Slowest []*Snapshot `json:"slowest"` // worst first
+}
+
+// Document assembles the flight-recorder view: the last n sampled
+// traces plus the current slowest list. A nil recorder yields a valid
+// empty document.
+func (r *Recorder) Document(n int) *Document {
+	d := &Document{Schema: DocumentSchema, Traces: []*Snapshot{}, Slowest: []*Snapshot{}}
+	if r == nil {
+		return d
+	}
+	d.Sampled = r.Recorded()
+	if t := r.Last(n); t != nil {
+		d.Traces = t
+	}
+	if s := r.Slowest(); s != nil {
+		d.Slowest = s
+	}
+	return d
+}
+
+// MarshalIndent renders the document as indented JSON with a trailing
+// newline — the exact /debug/requests body.
+func (d *Document) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

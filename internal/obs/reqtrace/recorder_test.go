@@ -1,0 +1,133 @@
+package reqtrace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func snap(id string, dur int64) *Snapshot {
+	return &Snapshot{TraceID: id, Endpoint: "/estimate", Status: 200, DurNs: dur,
+		Spans: []SpanSnap{{Name: "request", Parent: -1, DurNs: dur}}}
+}
+
+func TestRecorderRingWrapsAndSlowestPersists(t *testing.T) {
+	r := NewRecorder(4, 3)
+	for i := 0; i < 10; i++ {
+		// Durations peak in the middle so the slowest entries are
+		// overwritten in the ring long before the run ends.
+		d := int64(100 - (i-5)*(i-5)*10)
+		r.Record(snap(fmt.Sprintf("%032d", i), d))
+	}
+	if got := r.Recorded(); got != 10 {
+		t.Fatalf("Recorded() = %d, want 10", got)
+	}
+	last := r.Last(4)
+	if len(last) != 4 {
+		t.Fatalf("Last(4) returned %d", len(last))
+	}
+	for i, s := range last {
+		want := fmt.Sprintf("%032d", 9-i)
+		if s.TraceID != want {
+			t.Fatalf("Last[%d] = %s, want %s (newest first)", i, s.TraceID, want)
+		}
+	}
+	// Asking beyond the ring caps at the ring.
+	if got := len(r.Last(100)); got != 4 {
+		t.Fatalf("Last(100) returned %d, want 4", got)
+	}
+	slow := r.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("Slowest() returned %d, want 3", len(slow))
+	}
+	// i=5 (dur 100), then i=4/i=6 (dur 90) — evicted from the ring,
+	// still in the slowest list.
+	if slow[0].TraceID != fmt.Sprintf("%032d", 5) || slow[0].DurNs != 100 {
+		t.Fatalf("slowest[0] = %s/%d", slow[0].TraceID, slow[0].DurNs)
+	}
+	for _, s := range slow[1:] {
+		if s.DurNs != 90 {
+			t.Fatalf("slowest tail %s/%d, want dur 90", s.TraceID, s.DurNs)
+		}
+	}
+	if r.Find(fmt.Sprintf("%032d", 5)) == nil {
+		t.Fatal("Find missed a slowest-only snapshot")
+	}
+	if r.Find(fmt.Sprintf("%032d", 9)) == nil {
+		t.Fatal("Find missed a ring snapshot")
+	}
+	if r.Find("absent") != nil {
+		t.Fatal("Find invented a snapshot")
+	}
+}
+
+func TestRecorderEmptyAndNil(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Record(snap("x", 1))
+	if nilRec.Last(3) != nil || nilRec.Slowest() != nil || nilRec.Recorded() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+	d := nilRec.Document(3)
+	if d.Schema != DocumentSchema || len(d.Traces) != 0 || len(d.Slowest) != 0 {
+		t.Fatalf("nil recorder document %+v", d)
+	}
+	data, err := d.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty lists must marshal as [], not null — the schema promises
+	// arrays.
+	for _, want := range []string{`"traces": []`, `"slowest": []`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("empty document missing %s:\n%s", want, data)
+		}
+	}
+
+	r := NewRecorder(2, 2)
+	if got := r.Last(2); len(got) != 0 {
+		t.Fatalf("empty recorder Last = %v", got)
+	}
+	r.Record(nil) // ignored
+	if r.Recorded() != 0 {
+		t.Fatal("nil snapshot recorded")
+	}
+}
+
+// TestRecorderConcurrent hammers the lock-free ring from many
+// goroutines; the race detector (check.sh gives this package extra
+// -race rounds) is the real assertion, plus basic sanity of what
+// survives.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(8, 4)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(snap(fmt.Sprintf("%024d%04d%04d", 0, w, i), int64(w*per+i)))
+				r.Last(4)
+				r.Slowest()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Recorded(); got != workers*per {
+		t.Fatalf("Recorded() = %d, want %d", got, workers*per)
+	}
+	for _, s := range r.Last(8) {
+		if s == nil || s.TraceID == "" {
+			t.Fatal("ring returned an incomplete snapshot")
+		}
+	}
+	slow := r.Slowest()
+	if len(slow) != 4 {
+		t.Fatalf("slowest %d, want 4", len(slow))
+	}
+	// The global maximum duration always survives in the slowest list.
+	if slow[0].DurNs != int64(workers*per-1) {
+		t.Fatalf("slowest[0] dur %d, want %d", slow[0].DurNs, workers*per-1)
+	}
+}

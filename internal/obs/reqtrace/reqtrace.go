@@ -1,0 +1,396 @@
+// Package reqtrace is the request-scoped tracing layer of the serving
+// stack: a low-overhead, pool-backed span model that decomposes one
+// HTTP request's latency into attributable stages (decode, parse,
+// fingerprint, cache probe, single-flight wait, pool admission,
+// emulation, serialization), the way the paper decomposes end-to-end
+// latency into transfer, arbitration and computation.
+//
+// The design extends the repository's nil-as-no-op idiom one level up:
+// a nil *Tracer and a nil *Trace are both valid sinks whose methods
+// no-op, so the serving hot path records spans unconditionally and the
+// cost of tracing is decided per request, not per call site.
+//
+//   - Sampling is head-based and deterministic: a Tracer created with
+//     sample N traces every Nth request (an atomic counter, so the
+//     decision is reproducible for a deterministic request order), and
+//     a request carrying a W3C `traceparent` header with the sampled
+//     flag set is always traced — that is how segbus-load forces
+//     server-side breakdowns for the requests it cares about.
+//   - Trace and span ids are derived from a seed through splitmix64,
+//     not from crypto/rand, so a seeded run produces the same ids.
+//   - Traces are pooled: the span slice and every span's attribute
+//     slice are reused across requests, so steady-state span recording
+//     allocates nothing (see TestSpanPathZeroAlloc).
+//
+// A finished trace is exported as an immutable Snapshot — the JSON
+// shape served by /debug/requests (schema "segbus/reqtrace/v1") — and
+// can be converted into an internal/trace.Trace (ToTrace) so the
+// existing Perfetto exporter renders a server request exactly like an
+// emulation timeline.
+package reqtrace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID names one span inside its Trace. The root span is always id
+// 0, so the zero value is a valid parent for top-level stages.
+type SpanID int32
+
+// RootSpan is the id of the implicit root span every trace starts
+// with.
+const RootSpan SpanID = 0
+
+// Attr is one key/value annotation on a span. Integer-valued
+// attributes keep the raw value so recording them allocates nothing;
+// they are rendered at snapshot time.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// span is the in-flight (pooled, mutable) form of one span.
+type span struct {
+	name   string
+	parent int32
+	start  int64 // tracer-clock ns
+	end    int64 // 0 while open
+	attrs  []Attr
+}
+
+// Trace is one sampled request's span collection. It is safe for
+// concurrent use (a batch request records item spans from its fan-out
+// goroutines); a nil *Trace discards everything.
+type Trace struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	spans []span
+
+	id       [32]byte // lowercase-hex trace id
+	spanID   [16]byte // lowercase-hex root span id (the traceparent echo)
+	incoming string   // the request's traceparent header, verbatim ("" if none)
+	start    int64    // tracer-clock ns at Start
+}
+
+// Tracer decides sampling and owns the trace pool. A nil *Tracer
+// never samples.
+type Tracer struct {
+	every uint64 // head-sample one in every; 0 disables head sampling
+	seed  uint64
+	ctr   atomic.Uint64 // request counter for the head decision
+	idctr atomic.Uint64 // id-generation counter
+	clock func() int64  // monotonic ns; swappable for deterministic tests
+
+	mu   sync.Mutex
+	free []*Trace // bounded free list (not sync.Pool: GC must not empty it)
+}
+
+// maxFree bounds the tracer's free list; traces beyond it are dropped
+// for the GC.
+const maxFree = 64
+
+// New returns a Tracer that head-samples one in sampleEvery requests
+// (0 disables head sampling — only traceparent-forced requests are
+// traced) and derives trace ids from seed (0 selects 1).
+func New(sampleEvery int, seed uint64) *Tracer {
+	if sampleEvery < 0 {
+		sampleEvery = 0
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	base := time.Now()
+	return &Tracer{
+		every: uint64(sampleEvery),
+		seed:  seed,
+		clock: func() int64 { return int64(time.Since(base)) },
+	}
+}
+
+// SetClock replaces the tracer's monotonic clock — a test seam so
+// goldens over span timings are byte-deterministic. Must be called
+// before the first Start.
+func (t *Tracer) SetClock(clock func() int64) {
+	if t == nil {
+		return
+	}
+	t.clock = clock
+}
+
+// splitmix64 is the id-derivation mix (Vigna's splitmix64 finalizer):
+// cheap, stateless, and full-period over the counter, which is all a
+// reproducible trace id needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// putHex64 writes x as 16 lowercase-hex bytes.
+func putHex64(dst []byte, x uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[x&0xf]
+		x >>= 4
+	}
+}
+
+// Start begins a trace for one request. It returns nil — record
+// nothing, at no cost — unless the request is sampled: either its
+// traceparent header carries the W3C sampled flag, or the head-based
+// 1-in-N counter elects it. A sampled request with a valid traceparent
+// keeps the caller's trace id; otherwise a seeded deterministic id is
+// generated.
+func (t *Tracer) Start(traceparent string) *Trace {
+	if t == nil {
+		return nil
+	}
+	inID, forced := "", false
+	if traceparent != "" {
+		if id, sampled, ok := ParseTraceparent(traceparent); ok {
+			inID, forced = id, sampled
+		}
+	}
+	if !forced {
+		if t.every == 0 || t.ctr.Add(1)%t.every != 0 {
+			return nil
+		}
+	}
+	tr := t.get()
+	tr.start = t.clock()
+	if inID != "" {
+		copy(tr.id[:], inID)
+		tr.incoming = traceparent
+	} else {
+		c := t.idctr.Add(1)
+		hi := splitmix64(t.seed ^ (2 * c))
+		lo := splitmix64(t.seed ^ (2*c + 1))
+		if hi|lo == 0 {
+			lo = 1 // the all-zero trace id is invalid per W3C
+		}
+		putHex64(tr.id[:16], hi)
+		putHex64(tr.id[16:], lo)
+	}
+	putHex64(tr.spanID[:], splitmix64(t.seed^splitmix64(t.idctr.Add(1))))
+	tr.alloc("request", -1, tr.start)
+	return tr
+}
+
+// get pops a pooled trace or allocates a fresh one.
+func (t *Tracer) get() *Trace {
+	t.mu.Lock()
+	if n := len(t.free); n > 0 {
+		tr := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.mu.Unlock()
+		return tr
+	}
+	t.mu.Unlock()
+	return &Trace{tracer: t}
+}
+
+// Release resets tr and returns it to the pool. The caller must not
+// touch tr (or any SpanID minted from it) afterwards. Snapshots taken
+// with Finish are immutable copies and stay valid. No-op on nil.
+func (t *Tracer) Release(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	// Keep the span backing array and each span's attr backing array;
+	// alloc() below re-slices them instead of reallocating.
+	for i := range tr.spans {
+		tr.spans[i].attrs = tr.spans[i].attrs[:0]
+	}
+	tr.spans = tr.spans[:0]
+	tr.incoming = ""
+	tr.mu.Unlock()
+	t.mu.Lock()
+	if len(t.free) < maxFree {
+		t.free = append(t.free, tr)
+	}
+	t.mu.Unlock()
+}
+
+// now returns the tracer-clock time; 0 on an orphan trace.
+func (tr *Trace) now() int64 {
+	if tr.tracer == nil {
+		return 0
+	}
+	return tr.tracer.clock()
+}
+
+// alloc appends a span reusing pooled capacity (the attr slice of a
+// previously used slot survives the reset). Caller holds tr.mu or has
+// exclusive access.
+func (tr *Trace) alloc(name string, parent int32, start int64) int32 {
+	if len(tr.spans) < cap(tr.spans) {
+		tr.spans = tr.spans[:len(tr.spans)+1]
+		s := &tr.spans[len(tr.spans)-1]
+		s.name, s.parent, s.start, s.end = name, parent, start, 0
+		s.attrs = s.attrs[:0]
+	} else {
+		tr.spans = append(tr.spans, span{name: name, parent: parent, start: start})
+	}
+	return int32(len(tr.spans) - 1)
+}
+
+// Child opens a span under parent and returns its id. No-op (returns
+// RootSpan) on a nil trace.
+func (tr *Trace) Child(parent SpanID, name string) SpanID {
+	if tr == nil {
+		return RootSpan
+	}
+	now := tr.now()
+	tr.mu.Lock()
+	id := tr.alloc(name, int32(parent), now)
+	tr.mu.Unlock()
+	return SpanID(id)
+}
+
+// Span opens a top-level stage span (a child of the root). No-op on a
+// nil trace.
+func (tr *Trace) Span(name string) SpanID { return tr.Child(RootSpan, name) }
+
+// End closes the span. Ending an already-ended span or the root is a
+// no-op (the root is closed by Finish).
+func (tr *Trace) End(id SpanID) {
+	if tr == nil || id <= 0 {
+		return
+	}
+	now := tr.now()
+	tr.mu.Lock()
+	if int(id) < len(tr.spans) && tr.spans[id].end == 0 {
+		tr.spans[id].end = now
+	}
+	tr.mu.Unlock()
+}
+
+// SpanPast records an already-finished span of the given duration
+// ending now — the shape the pool's admission-wait hook reports, where
+// the wait is measured by the pool and only its length crosses the
+// boundary. No-op on a nil trace.
+func (tr *Trace) SpanPast(parent SpanID, name string, dur time.Duration) SpanID {
+	if tr == nil {
+		return RootSpan
+	}
+	now := tr.now()
+	start := now - dur.Nanoseconds()
+	tr.mu.Lock()
+	id := tr.alloc(name, int32(parent), start)
+	tr.spans[id].end = now
+	tr.mu.Unlock()
+	return SpanID(id)
+}
+
+// Attr attaches a string attribute to a span.
+func (tr *Trace) Attr(id SpanID, key, val string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if int(id) < len(tr.spans) {
+		tr.spans[id].attrs = append(tr.spans[id].attrs, Attr{Key: key, Str: val})
+	}
+	tr.mu.Unlock()
+}
+
+// AttrInt attaches an integer attribute to a span without formatting
+// it (rendering happens at snapshot time, off the recording path).
+func (tr *Trace) AttrInt(id SpanID, key string, v int64) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if int(id) < len(tr.spans) {
+		tr.spans[id].attrs = append(tr.spans[id].attrs, Attr{Key: key, Int: v, IsInt: true})
+	}
+	tr.mu.Unlock()
+}
+
+// ID returns the 32-character lowercase-hex trace id.
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return string(tr.id[:])
+}
+
+// Traceparent renders the W3C traceparent this server echoes on the
+// response: version 00, the trace id, the root span id, flags 01
+// (sampled — by construction, an existing Trace is sampled).
+func (tr *Trace) Traceparent() string {
+	if tr == nil {
+		return ""
+	}
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	copy(b[3:35], tr.id[:])
+	b[35] = '-'
+	copy(b[36:52], tr.spanID[:])
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// isHexLower reports whether s is entirely lowercase hex.
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent validates a W3C traceparent header
+// (version-traceid-parentid-flags, lowercase hex) and returns the
+// trace id, whether the sampled flag is set, and validity. Version ff
+// and the all-zero trace id are rejected per the spec; versions above
+// 00 are accepted with the 00 field layout, as required for forward
+// compatibility.
+func ParseTraceparent(s string) (traceID string, sampled bool, ok bool) {
+	if len(s) < 55 {
+		return "", false, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return "", false, false
+	}
+	ver, id, parent, flags := s[0:2], s[3:35], s[36:52], s[53:55]
+	if !isHexLower(ver) || !isHexLower(id) || !isHexLower(parent) || !isHexLower(flags) {
+		return "", false, false
+	}
+	if ver == "ff" {
+		return "", false, false
+	}
+	if len(s) > 55 && (ver == "00" || s[55] != '-') {
+		// Version 00 is exactly 55 bytes; future versions may append
+		// "-extra".
+		return "", false, false
+	}
+	allZero := true
+	for i := 0; i < len(id); i++ {
+		if id[i] != '0' {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return "", false, false
+	}
+	lo := flags[1]
+	var bits byte
+	if lo >= '0' && lo <= '9' {
+		bits = lo - '0'
+	} else {
+		bits = lo - 'a' + 10
+	}
+	return id, bits&1 == 1, true
+}

@@ -1,0 +1,347 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic tracer clock advancing a fixed step per
+// reading.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  int64
+	step int64
+}
+
+func (c *fakeClock) read() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += c.step
+	return c.now
+}
+
+func newFakeTracer(every int, step int64) *Tracer {
+	tr := New(every, 42)
+	tr.SetClock((&fakeClock{step: step}).read)
+	return tr
+}
+
+func TestHeadSamplingDeterministic(t *testing.T) {
+	tr := New(4, 1)
+	var sampled []int
+	for i := 1; i <= 16; i++ {
+		if tt := tr.Start(""); tt != nil {
+			sampled = append(sampled, i)
+			tr.Release(tt)
+		}
+	}
+	want := []int{4, 8, 12, 16}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampled, want)
+	}
+	for i := range want {
+		if sampled[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", sampled, want)
+		}
+	}
+
+	// Same seed, same request order → same ids.
+	a, b := New(1, 7), New(1, 7)
+	for i := 0; i < 3; i++ {
+		ta, tb := a.Start(""), b.Start("")
+		if ta.ID() != tb.ID() {
+			t.Fatalf("request %d: id %q != %q for equal seeds", i, ta.ID(), tb.ID())
+		}
+		a.Release(ta)
+		b.Release(tb)
+	}
+
+	// Sampling disabled: nothing traced, even after many requests.
+	off := New(0, 1)
+	for i := 0; i < 100; i++ {
+		if off.Start("") != nil {
+			t.Fatal("sampleEvery=0 must not head-sample")
+		}
+	}
+}
+
+func TestTraceparentForcesSampling(t *testing.T) {
+	tr := New(0, 1) // head sampling off: only forced requests trace
+	const parent = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	tt := tr.Start(parent)
+	if tt == nil {
+		t.Fatal("sampled traceparent did not force a trace")
+	}
+	if got := tt.ID(); got != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("trace id %q: incoming id not adopted", got)
+	}
+	echo := tt.Traceparent()
+	if !strings.HasPrefix(echo, "00-0123456789abcdef0123456789abcdef-") || !strings.HasSuffix(echo, "-01") {
+		t.Fatalf("traceparent echo %q: want same trace id, sampled flag", echo)
+	}
+	if strings.Contains(echo, "00f067aa0ba902b7") {
+		t.Fatalf("traceparent echo %q reuses the caller's span id", echo)
+	}
+	snap := tt.Finish("/estimate", 200)
+	if snap.Parent != parent {
+		t.Fatalf("snapshot parent %q, want the incoming header", snap.Parent)
+	}
+	tr.Release(tt)
+
+	// Unsampled flag: no forcing, but a head-sampled request adopts the id.
+	if tr.Start("00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-00") != nil {
+		t.Fatal("flag 00 must not force sampling when head sampling is off")
+	}
+	every := New(1, 1)
+	tt = every.Start("00-aaaabbbbccccddddaaaabbbbccccdddd-00f067aa0ba902b7-00")
+	if tt == nil || tt.ID() != "aaaabbbbccccddddaaaabbbbccccdddd" {
+		t.Fatalf("head-sampled request did not adopt the incoming trace id (got %v)", tt.ID())
+	}
+	every.Release(tt)
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	cases := []struct {
+		name, in string
+		id       string
+		sampled  bool
+		ok       bool
+	}{
+		{"valid sampled", valid, "0af7651916cd43dd8448eb211c80319c", true, true},
+		{"valid unsampled", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00", "0af7651916cd43dd8448eb211c80319c", false, true},
+		{"flags 03", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-03", "0af7651916cd43dd8448eb211c80319c", true, true},
+		{"too short", valid[:54], "", false, false},
+		{"bad dash", strings.Replace(valid, "-", "_", 1), "", false, false},
+		{"uppercase hex", strings.ToUpper(valid), "", false, false},
+		{"version ff", "ff" + valid[2:], "", false, false},
+		{"zero trace id", "00-00000000000000000000000000000000-b7ad6b7169203331-01", "", false, false},
+		{"v00 with trailer", valid + "-extra", "", false, false},
+		{"future version trailer", "01" + valid[2:] + "-extra", "0af7651916cd43dd8448eb211c80319c", true, true},
+		{"garbage", "hello", "", false, false},
+		{"empty", "", "", false, false},
+	}
+	for _, c := range cases {
+		id, sampled, ok := ParseTraceparent(c.in)
+		if id != c.id || sampled != c.sampled || ok != c.ok {
+			t.Errorf("%s: ParseTraceparent(%q) = (%q,%v,%v), want (%q,%v,%v)",
+				c.name, c.in, id, sampled, ok, c.id, c.sampled, c.ok)
+		}
+	}
+}
+
+func TestSnapshotTree(t *testing.T) {
+	tr := newFakeTracer(1, 10)
+	tt := tr.Start("")
+	a := tt.Span("decode")
+	tt.AttrInt(a, "bytes", 512)
+	tt.End(a)
+	b := tt.Span("item")
+	c := tt.Child(b, "emulate")
+	tt.Attr(c, "cache", "miss")
+	tt.End(c)
+	tt.End(b)
+	tt.SpanPast(b, "pool_wait", 30*time.Nanosecond)
+	snap := tt.Finish("/estimate", 200)
+	tr.Release(tt)
+
+	if snap.Endpoint != "/estimate" || snap.Status != 200 {
+		t.Fatalf("snapshot header %q/%d", snap.Endpoint, snap.Status)
+	}
+	if len(snap.Spans) != 5 {
+		t.Fatalf("got %d spans, want 5 (root, decode, item, emulate, pool_wait)", len(snap.Spans))
+	}
+	root := snap.Spans[0]
+	if root.Name != "request" || root.Parent != -1 {
+		t.Fatalf("root span %+v", root)
+	}
+	if snap.DurNs != root.DurNs || root.DurNs <= 0 {
+		t.Fatalf("trace duration %d, root %d", snap.DurNs, root.DurNs)
+	}
+	byName := map[string]SpanSnap{}
+	for _, s := range snap.Spans {
+		byName[s.Name] = s
+	}
+	if byName["decode"].Parent != 0 || byName["decode"].Attr("bytes") != "512" {
+		t.Fatalf("decode span %+v", byName["decode"])
+	}
+	if p := byName["emulate"].Parent; snap.Spans[p].Name != "item" {
+		t.Fatalf("emulate parented to %q", snap.Spans[p].Name)
+	}
+	if byName["emulate"].Attr("cache") != "miss" {
+		t.Fatalf("emulate attrs %+v", byName["emulate"].Attrs)
+	}
+	if pw := byName["pool_wait"]; pw.DurNs != 30 {
+		t.Fatalf("SpanPast duration %d, want 30", pw.DurNs)
+	}
+	// Every span nests inside the root.
+	for _, s := range snap.Spans {
+		if s.StartNs < 0 || s.StartNs+s.DurNs > root.StartNs+root.DurNs {
+			t.Fatalf("span %q [%d,+%d] escapes the root [%d,+%d]",
+				s.Name, s.StartNs, s.DurNs, root.StartNs, root.DurNs)
+		}
+	}
+}
+
+func TestFinishTerminatesOpenSpans(t *testing.T) {
+	tr := newFakeTracer(1, 5)
+	tt := tr.Start("")
+	open := tt.Span("parse")
+	tt.Attr(open, "code", "SB901")
+	snap := tt.Finish("/estimate", 400)
+	tr.Release(tt)
+	sp := snap.Spans[1]
+	if sp.DurNs <= 0 {
+		t.Fatalf("open span not terminated by Finish: %+v", sp)
+	}
+	if sp.StartNs+sp.DurNs != snap.DurNs {
+		t.Fatalf("terminated span must end at the root end: %+v vs %d", sp, snap.DurNs)
+	}
+	if sp.Attr("code") != "SB901" {
+		t.Fatalf("code attr lost: %+v", sp.Attrs)
+	}
+}
+
+func TestSpanPathZeroAlloc(t *testing.T) {
+	tr := New(1, 1)
+	// Warm the pool and every slice capacity once.
+	warm := func() {
+		tt := tr.Start("")
+		d := tt.Span("decode")
+		tt.AttrInt(d, "bytes", 128)
+		tt.End(d)
+		for i := 0; i < 8; i++ {
+			it := tt.Span("item")
+			tt.AttrInt(it, "index", int64(i))
+			em := tt.Child(it, "emulate")
+			tt.Attr(em, "cache", "hit")
+			tt.End(em)
+			tt.SpanPast(it, "pool_wait", time.Microsecond)
+			tt.End(it)
+		}
+		tr.Release(tt)
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(200, warm); allocs != 0 {
+		t.Fatalf("span path allocates %.1f per request in steady state, want 0", allocs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Start("x") != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	tr.Release(nil)
+	var tt *Trace
+	id := tt.Span("a")
+	tt.End(id)
+	tt.Attr(id, "k", "v")
+	tt.AttrInt(id, "k", 1)
+	tt.SpanPast(id, "w", time.Second)
+	if tt.Finish("e", 200) != nil || tt.ID() != "" || tt.Traceparent() != "" {
+		t.Fatal("nil trace produced output")
+	}
+	if ToTrace(nil) != nil {
+		t.Fatal("ToTrace(nil) != nil")
+	}
+}
+
+func TestDocumentGolden(t *testing.T) {
+	tr := newFakeTracer(1, 100)
+	rec := NewRecorder(4, 2)
+	for i, status := range []int{200, 400} {
+		tt := tr.Start("")
+		sp := tt.Span("parse")
+		tt.AttrInt(sp, "round", int64(i))
+		tt.End(sp)
+		rec.Record(tt.Finish("/estimate", status))
+		tr.Release(tt)
+	}
+	data, err := rec.Document(4).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fake clock makes every timing deterministic, so the whole
+	// document is byte-stable: schema, ordering (newest first; slowest
+	// worst first) and field layout are all pinned here.
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("document does not round-trip: %v", err)
+	}
+	if doc.Schema != DocumentSchema {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	if doc.Sampled != 2 || len(doc.Traces) != 2 || len(doc.Slowest) != 2 {
+		t.Fatalf("document shape: %d sampled, %d traces, %d slowest", doc.Sampled, len(doc.Traces), len(doc.Slowest))
+	}
+	if doc.Traces[0].Status != 400 || doc.Traces[1].Status != 200 {
+		t.Fatalf("traces not newest-first: %d then %d", doc.Traces[0].Status, doc.Traces[1].Status)
+	}
+	if doc.Slowest[0].DurNs < doc.Slowest[1].DurNs {
+		t.Fatal("slowest not sorted worst-first")
+	}
+	for _, want := range []string{
+		`"schema": "segbus/reqtrace/v1"`,
+		`"trace_id"`, `"start_ns"`, `"dur_ns"`, `"spans"`,
+		`"name": "parse"`, `"key": "round"`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("document missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestPerfettoBridge(t *testing.T) {
+	tr := newFakeTracer(1, 50)
+	tt := tr.Start("")
+	sp := tt.Span("emulate")
+	tt.Attr(sp, "cache", "miss")
+	tt.End(sp)
+	snap := tt.Finish("/estimate", 200)
+	tr.Release(tt)
+
+	data, err := ToTrace(snap).Perfetto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("Perfetto export is not valid trace-event JSON: %v", err)
+	}
+	var stages, threads, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.Name != "stage" {
+				t.Fatalf("interval name %q, want stage", ev.Name)
+			}
+			stages++
+		case "M":
+			threads++
+		case "i":
+			instants++
+		}
+	}
+	if stages != 2 {
+		t.Fatalf("%d stage intervals, want 2 (request + emulate)", stages)
+	}
+	if threads == 0 || instants != 1 {
+		t.Fatalf("thread metadata %d, instants %d", threads, instants)
+	}
+	if !strings.Contains(string(data), "emulate cache=miss") {
+		t.Fatalf("span detail missing from export:\n%s", data)
+	}
+	if !strings.Contains(string(data), "request "+snap.TraceID[:8]) {
+		t.Fatalf("root element label missing from export")
+	}
+}

@@ -1,0 +1,97 @@
+package reqtrace
+
+import "strconv"
+
+// SpanSnap is the immutable exported form of one span. Times are
+// nanoseconds relative to the trace start; Parent is the index of the
+// parent span in the enclosing snapshot's Spans (-1 for the root), so
+// the tree reconstructs without ids.
+type SpanSnap struct {
+	Name    string     `json:"name"`
+	Parent  int        `json:"parent"`
+	StartNs int64      `json:"start_ns"`
+	DurNs   int64      `json:"dur_ns"`
+	Attrs   []AttrSnap `json:"attrs,omitempty"`
+}
+
+// AttrSnap is one rendered span attribute.
+type AttrSnap struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Snapshot is one finished request trace: the /debug/requests JSON
+// shape (inside a Document) and the input of the Perfetto bridge.
+// Snapshots are immutable — they share no storage with the pooled
+// Trace they were taken from.
+type Snapshot struct {
+	TraceID  string     `json:"trace_id"`
+	Parent   string     `json:"parent,omitempty"` // the request's traceparent header, verbatim
+	Endpoint string     `json:"endpoint"`
+	Status   int        `json:"status"`
+	StartNs  int64      `json:"start_ns"` // tracer-clock ns at request start
+	DurNs    int64      `json:"dur_ns"`   // root span duration
+	Spans    []SpanSnap `json:"spans"`
+}
+
+// Finish closes the root span (and force-closes any span left open —
+// an error path that returned early still yields a terminated span),
+// stamps the request's endpoint and status, and returns the immutable
+// snapshot. The trace itself stays pooled and reusable; snapshot
+// allocation is the sampled request's export cost, off the span
+// recording path.
+func (tr *Trace) Finish(endpoint string, status int) *Snapshot {
+	if tr == nil {
+		return nil
+	}
+	now := tr.now()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.spans) == 0 {
+		return nil
+	}
+	snap := &Snapshot{
+		TraceID:  string(tr.id[:]),
+		Parent:   tr.incoming,
+		Endpoint: endpoint,
+		Status:   status,
+		StartNs:  tr.start,
+		Spans:    make([]SpanSnap, len(tr.spans)),
+	}
+	tr.spans[0].end = now
+	for i, s := range tr.spans {
+		end := s.end
+		if end == 0 {
+			end = now
+		}
+		ss := SpanSnap{
+			Name:    s.name,
+			Parent:  int(s.parent),
+			StartNs: s.start - tr.start,
+			DurNs:   end - s.start,
+		}
+		if len(s.attrs) > 0 {
+			ss.Attrs = make([]AttrSnap, len(s.attrs))
+			for j, a := range s.attrs {
+				v := a.Str
+				if a.IsInt {
+					v = strconv.FormatInt(a.Int, 10)
+				}
+				ss.Attrs[j] = AttrSnap{Key: a.Key, Value: v}
+			}
+		}
+		snap.Spans[i] = ss
+	}
+	snap.DurNs = snap.Spans[0].DurNs
+	return snap
+}
+
+// Attr returns the value of the named attribute on the span, or "".
+func (s SpanSnap) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}

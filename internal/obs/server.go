@@ -124,6 +124,18 @@ func (m *ServerMetrics) Request(endpoint, status string, latencyUs int64) {
 	m.reg.Histogram(MetricServedLatency, ServedLatencyBoundsUs, "endpoint", endpoint).Observe(latencyUs)
 }
 
+// RequestTraced is Request for a sampled request: the latency
+// observation additionally stamps the request's trace id as the
+// landing bucket's exemplar, so the Prometheus exposition links every
+// latency bucket to a concrete /debug/requests trace.
+func (m *ServerMetrics) RequestTraced(endpoint, status string, latencyUs int64, traceID string) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter(MetricServedRequests, "endpoint", endpoint, "code", status).Inc()
+	m.reg.Histogram(MetricServedLatency, ServedLatencyBoundsUs, "endpoint", endpoint).ObserveExemplar(latencyUs, traceID)
+}
+
 // Handler serves the registry in Prometheus text exposition — the
 // /metrics endpoint of a serving process. A nil registry serves an
 // empty exposition.

@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitObservedExactlyOncePerAdmission hammers a small pool from
+// many goroutines and checks the admission observer fires exactly
+// once per admitted submission: fires == successful Submits, and shed
+// (queue-full) submissions contribute nothing.
+func TestSubmitObservedExactlyOncePerAdmission(t *testing.T) {
+	p := NewPool(2, 2)
+	var admitted, shed, fires, ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			perCall := int32(0)
+			err := p.SubmitObserved(context.Background(), func(wait time.Duration) {
+				if atomic.AddInt32(&perCall, 1) != 1 {
+					t.Error("observer fired twice for one submission")
+				}
+				if wait < 0 {
+					t.Errorf("negative queue wait %v", wait)
+				}
+				fires.Add(1)
+			}, func() {
+				ran.Add(1)
+				time.Sleep(200 * time.Microsecond)
+			})
+			switch err {
+			case nil:
+				admitted.Add(1)
+				if atomic.LoadInt32(&perCall) != 1 {
+					t.Error("admitted submission without an observer fire")
+				}
+			case ErrQueueFull:
+				shed.Add(1)
+				if atomic.LoadInt32(&perCall) != 0 {
+					t.Error("shed submission fired the observer")
+				}
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if fires.Load() != admitted.Load() {
+		t.Fatalf("%d observer fires for %d admitted submissions", fires.Load(), admitted.Load())
+	}
+	if ran.Load() != admitted.Load() {
+		t.Fatalf("%d fn runs for %d admitted submissions", ran.Load(), admitted.Load())
+	}
+	if admitted.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("degenerate schedule: %d admitted, %d shed — the test needs both", admitted.Load(), shed.Load())
+	}
+}
+
+// TestSubmitObservedCancelledNeverFires parks the pool's slots and
+// cancels a queued submission: the observer must not fire, matching
+// the fn-never-ran contract.
+func TestSubmitObservedCancelledNeverFires(t *testing.T) {
+	p := NewPool(1, 4)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(nil, func() { close(started); <-block })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.SubmitObserved(ctx, func(time.Duration) { fired.Add(1) }, func() {
+			t.Error("fn ran for a cancelled submission")
+		})
+	}()
+	time.Sleep(5 * time.Millisecond) // let it park in the slot wait
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled submission reported success")
+	}
+	if fired.Load() != 0 {
+		t.Fatalf("observer fired %d times for a cancelled submission", fired.Load())
+	}
+	close(block)
+
+	// Pre-cancelled: rejected before any stage, observer silent.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if err := p.SubmitObserved(pre, func(time.Duration) { fired.Add(1) }, func() {}); err == nil {
+		t.Fatal("pre-cancelled submission reported success")
+	}
+	if fired.Load() != 0 {
+		t.Fatal("observer fired for a pre-cancelled submission")
+	}
+}
+
+// TestSubmitObservedMeasuresQueueWait holds the only slot for a known
+// time and checks the observed wait covers it.
+func TestSubmitObservedMeasuresQueueWait(t *testing.T) {
+	p := NewPool(1, 2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(nil, func() { close(started); <-block })
+	<-started
+
+	const hold = 20 * time.Millisecond
+	var wait atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.SubmitObserved(nil, func(d time.Duration) { wait.Store(int64(d)) }, func() {})
+	}()
+	time.Sleep(hold)
+	close(block)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Duration(wait.Load()); got < hold/2 {
+		t.Fatalf("observed queue wait %v, want at least ~%v", got, hold)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // poolToken is what occupies admission and worker slots; only the
@@ -76,6 +77,22 @@ func NewPool(workers, queue int) *Pool {
 // winning a slot in the same instant its context expired (the
 // slot-acquire select picks randomly among ready cases).
 func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	return p.SubmitObserved(ctx, nil, fn)
+}
+
+// SubmitObserved is Submit with an admission observer: when the
+// submission is admitted — fn is definitely about to run — observe is
+// called exactly once with the time spent waiting between submission
+// and the worker slot, i.e. the queue wait a served request cannot see
+// from outside the pool. Rejected, shed and cancelled submissions
+// never invoke it, so observers can attribute admission wait without
+// reaching into pool internals. A nil observe makes this identical to
+// Submit (the clock is not even read).
+func (p *Pool) SubmitObserved(ctx context.Context, observe func(queueWait time.Duration), fn func()) error {
+	var submitted time.Time
+	if observe != nil {
+		submitted = time.Now()
+	}
 	select {
 	case <-p.closed:
 		return ErrPoolClosed
@@ -114,6 +131,9 @@ func (p *Pool) Submit(ctx context.Context, fn func()) error {
 	}
 	p.inflight.Add(1)
 	defer p.inflight.Add(-1)
+	if observe != nil {
+		observe(time.Since(submitted))
+	}
 	fn()
 	return nil
 }

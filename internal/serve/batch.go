@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"segbus/internal/analyze"
+	"segbus/internal/obs/reqtrace"
 )
 
 // BatchRequest is the /estimate/batch request body: up to
@@ -59,12 +60,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST required", nil)
 		return
 	}
+	tr := reqtrace.FromContext(r.Context())
+	sp := tr.Span("decode")
 	var req BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
+		tr.Attr(sp, "code", CodeBadRequest)
+		tr.End(sp)
 		fail(w, http.StatusBadRequest, CodeBadRequest, "request body: "+err.Error(), nil)
 		return
 	}
+	tr.End(sp)
 	if len(req.Items) == 0 {
 		fail(w, http.StatusBadRequest, CodeBadRequest, "batch needs at least one item", nil)
 		return
@@ -79,31 +85,49 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Parse and gate every item inline (cheap, and rejects must not
 	// cost worker slots), grouping the survivors by content key so a
 	// batch full of duplicates costs one emulation.
+	//
+	// Tracing: every item opens its own "item" span carrying its index.
+	// A rejected item's span terminates at parse time with the SB9xx
+	// code attached; a duplicate's terminates pointing at the group
+	// leader's index (the emulation spans live under the leader's item
+	// span — the batch-level view of single-flight sharing); a leader's
+	// stays open across the fan-out and closes when its estimate
+	// resolves.
 	outs := make([]outcome, len(req.Items))
 	type group struct {
 		pr   *parsed
+		span reqtrace.SpanID // the leader item's span
 		idxs []int
 	}
 	groups := make(map[string]*group)
 	var order []string
 	for i := range req.Items {
-		pr, out := s.parseRequest(&req.Items[i])
+		item := tr.Span("item")
+		tr.AttrInt(item, "index", int64(i))
+		pr, out := s.parseRequest(tr, item, &req.Items[i])
 		if out.status != 0 {
+			tr.Attr(item, "code", out.code)
+			tr.End(item)
 			outs[i] = out
 			continue
 		}
 		g, ok := groups[pr.key]
 		if !ok {
-			g = &group{pr: pr}
+			g = &group{pr: pr, span: item}
 			groups[pr.key] = g
 			order = append(order, pr.key)
+		} else {
+			tr.AttrInt(item, "deduplicated_into", int64(g.idxs[0]))
+			tr.End(item)
 		}
 		g.idxs = append(g.idxs, i)
 	}
 
 	// Fan out one goroutine per unique key. The pool (not the fan-out)
 	// bounds actual emulations; single-flight coalesces against other
-	// requests in flight, batch or single.
+	// requests in flight, batch or single. The goroutines share the
+	// request's trace — its span table is mutex-guarded for exactly
+	// this fan-out.
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -114,7 +138,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
-			out := s.estimate(ctx, g.pr)
+			out := s.estimate(ctx, tr, g.span, g.pr)
+			tr.End(g.span)
 			for _, i := range g.idxs {
 				outs[i] = out
 			}
@@ -122,6 +147,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 
+	sp = tr.Span("serialize")
 	body, err := marshalBatchResponse(outs, dedup)
 	if err != nil {
 		fail(w, http.StatusInternalServerError, CodeInternal, "batch encoding: "+err.Error(), nil)
@@ -131,6 +157,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+	tr.End(sp)
 }
 
 // marshalBatchResponse renders the batch response by hand so each

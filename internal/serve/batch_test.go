@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"segbus/internal/conform"
 	"segbus/internal/core"
@@ -282,12 +283,19 @@ func TestBatchEnvelopeErrors(t *testing.T) {
 // distinct cold items must come back promptly with per-item 429s —
 // no deadlock, no wholesale 500 — and the pool must be fully usable
 // (no leaked admission token) once capacity returns.
+//
+// The pool runs with Queue: 0 so saturation is a single deterministic
+// fact — the blocker holds the only admission token — instead of a
+// race between a helper goroutine and the batch fan-out for the last
+// queue slot (a race the fan-out can win under load, after which its
+// item waits forever for the blocked worker and the batch deadlocks).
 func TestBatchSaturatedPool(t *testing.T) {
 	psdfXML, psmXML := goldenSchemes(t)
-	s := New(Config{Workers: 1, Queue: 1, CacheEntries: 16})
+	s := New(Config{Workers: 1, Queue: 0, CacheEntries: 16})
 	h := s.Handler()
 
-	// Occupy the worker slot and the single queue token.
+	// Occupy the worker slot — and with it the pool's only admission
+	// token.
 	block := make(chan struct{})
 	started := make(chan struct{})
 	go s.pool.Submit(context.Background(), func() {
@@ -295,8 +303,6 @@ func TestBatchSaturatedPool(t *testing.T) {
 		<-block
 	})
 	<-started
-	queued := make(chan error, 1)
-	go func() { queued <- s.pool.Submit(context.Background(), func() {}) }()
 
 	// Distinct package sizes defeat dedup and the cache: every item
 	// needs its own admission.
@@ -315,16 +321,34 @@ func TestBatchSaturatedPool(t *testing.T) {
 		}
 	}
 
-	// Release the blocker; the queued submission and then the same
-	// batch must all succeed — proving no token was double-released
-	// or leaked by the shed items.
+	// Release the blocker and wait for its token to come all the way
+	// back: Submit only returns nil after its own releases have run,
+	// so one successful no-op submission proves the handoff finished
+	// and nothing was leaked or double-released by the shed items.
 	close(block)
-	if err := <-queued; err != nil {
-		t.Fatalf("queued submission after shed batch: %v", err)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pool.Submit(context.Background(), func() {}) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never recovered after the blocker released")
+		}
+		time.Sleep(time.Millisecond)
 	}
-	resp = decodeBatch(t, postBatch(h, batchBody(t, BatchRequest{Items: items})))
-	if resp.Served != len(items) || resp.Failed != 0 {
+
+	// Identical items dedup into one group — exactly one admission on
+	// the single-token pool — so the recovery batch is deterministic
+	// where re-sending three distinct items would shed its own
+	// siblings.
+	same := []EstimateRequest{
+		{PSDF: psdfXML, PSM: psmXML, PackageSize: 6},
+		{PSDF: psdfXML, PSM: psmXML, PackageSize: 6},
+		{PSDF: psdfXML, PSM: psmXML, PackageSize: 6},
+	}
+	resp = decodeBatch(t, postBatch(h, batchBody(t, BatchRequest{Items: same})))
+	if resp.Served != len(same) || resp.Failed != 0 {
 		t.Fatalf("post-release batch served=%d failed=%d: %+v", resp.Served, resp.Failed, resp.Items)
+	}
+	if resp.Deduplicated != len(same)-1 {
+		t.Errorf("post-release batch deduplicated=%d, want %d", resp.Deduplicated, len(same)-1)
 	}
 }
 

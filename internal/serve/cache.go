@@ -154,6 +154,16 @@ func (c *Cache) shardFor(key string) uint32 {
 	return h & c.mask
 }
 
+// ShardFor returns the shard index a key routes to, or -1 when
+// caching is disabled — the value request traces attach to their
+// cache-probe spans.
+func (c *Cache) ShardFor(key string) int {
+	if c == nil || c.max <= 0 {
+		return -1
+	}
+	return int(c.shardFor(key))
+}
+
 // Get returns the cached value for key and promotes it to most
 // recently used within its shard.
 func (c *Cache) Get(key string) ([]byte, bool) {

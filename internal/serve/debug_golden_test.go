@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"segbus/internal/obs/reqtrace"
+)
+
+// TestDebugRequestsGolden pins the /debug/requests document against a
+// reviewed golden: the schema string, the field names, the span tree
+// (names, parent links, recording order) and every attribute key and
+// value. Timings are the only nondeterministic part and are zeroed
+// before the diff; everything else — trace ids included — is fixed by
+// the forced traceparent headers and the request order (one cold miss
+// with the full emulation breakdown, one warm hit). Regenerate after a
+// deliberate schema change with
+//
+//	UPDATE_GOLDEN=1 go test -run TestDebugRequestsGolden ./internal/serve
+func TestDebugRequestsGolden(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: 2, CacheEntries: 8, TraceSample: 0, TraceSeed: 42})
+	h := s.Handler()
+	psdfXML, psmXML := goldenSchemes(t)
+	b := body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})
+
+	const (
+		tpCold = "00-000102030405060708090a0b0c0d0e0f-0102030405060708-01"
+		tpWarm = "00-0f0e0d0c0b0a09080706050403020100-0807060504030201-01"
+	)
+	if rec := postTraced(h, b, tpCold); rec.Code != http.StatusOK {
+		t.Fatalf("cold status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := postTraced(h, b, tpWarm); rec.Code != http.StatusOK {
+		t.Fatalf("warm status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests?n=8", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/requests status %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc reqtrace.Document
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("document is not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	for _, list := range [][]*reqtrace.Snapshot{doc.Traces, doc.Slowest} {
+		for _, snap := range list {
+			snap.StartNs, snap.DurNs = 0, 0
+			for i := range snap.Spans {
+				snap.Spans[i].StartNs, snap.Spans[i].DurNs = 0, 0
+			}
+		}
+	}
+	// The slowest list is ordered by the measured durations just
+	// zeroed; canonicalise it so the golden does not depend on which
+	// of the two requests happened to run longer.
+	sort.Slice(doc.Slowest, func(i, j int) bool { return doc.Slowest[i].TraceID < doc.Slowest[j].TraceID })
+	got, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("..", "..", "testdata", "golden", "debug-requests.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/debug/requests document drifted from golden %s\n-- got --\n%s-- want --\n%s", golden, got, want)
+	}
+}

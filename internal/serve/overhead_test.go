@@ -1,0 +1,60 @@
+//go:build !race
+
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestTracingOverheadSmoke is the overhead gate of the acceptance
+// list, run as an in-process A/B so it measures this machine against
+// itself instead of against numbers committed from another one: the
+// unsampled hot path (tracing enabled, head sampling off — the
+// production default) must serve cache hits within 5% of a server
+// with tracing compiled out of the request path entirely, plus a
+// small absolute floor for scheduler noise. Min-of-N isolates the
+// fixed cost from interference; the race detector's instrumentation
+// would drown the 5% signal, so the test only builds without -race.
+func TestTracingOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing smoke skipped in -short mode")
+	}
+	psdfXML, psmXML := goldenSchemes(t)
+	b := body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})
+
+	run := func(sample int) time.Duration {
+		s := New(Config{Workers: 2, Queue: 4, CacheEntries: 8, TraceSample: sample})
+		h := s.Handler()
+		if rec := post(h, b); rec.Code != http.StatusOK {
+			t.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+		}
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 400; i++ {
+			start := time.Now()
+			if rec := post(h, b); rec.Code != http.StatusOK {
+				t.Fatalf("status %d", rec.Code)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Interleave the arms so a load spike hits both; keep each arm's
+	// best.
+	off, on := run(-1), run(0)
+	if off2 := run(-1); off2 < off {
+		off = off2
+	}
+	if on2 := run(0); on2 < on {
+		on = on2
+	}
+	limit := off + off/20 + 25*time.Microsecond
+	if on > limit {
+		t.Errorf("unsampled traced path min %v exceeds disabled-tracing min %v + 5%% + 25µs (%v)", on, off, limit)
+	}
+	t.Logf("cache-hit min: tracing disabled %v, unsampled %v", off, on)
+}

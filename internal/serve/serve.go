@@ -44,6 +44,7 @@ import (
 	"segbus/internal/core"
 	"segbus/internal/emulator"
 	"segbus/internal/obs"
+	"segbus/internal/obs/reqtrace"
 	"segbus/internal/parallel"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
@@ -154,6 +155,26 @@ type Config struct {
 	// exposition).
 	Registry *obs.Registry
 
+	// TraceSample head-samples one in N estimate requests for
+	// request-scoped tracing (internal/obs/reqtrace): 0 — the default —
+	// samples nothing by itself but still honours requests whose W3C
+	// traceparent header carries the sampled flag; < 0 disables
+	// tracing entirely (no tracer, no recorder, no /debug/requests
+	// content).
+	TraceSample int
+
+	// TraceSeed seeds the deterministic trace-id generator; 0 selects
+	// 1. Same seed + same request order = same ids.
+	TraceSeed uint64
+
+	// TraceRing bounds the flight recorder's ring of recent sampled
+	// traces; 0 selects 256.
+	TraceRing int
+
+	// TraceSlowest bounds the flight recorder's slowest-trace list;
+	// 0 selects 8.
+	TraceSlowest int
+
 	// OnEmulate, when non-nil, is called once per emulation actually
 	// executed — after pool admission, immediately before the runner.
 	// The coalescing tests and the segbus-load harness use it to
@@ -169,6 +190,8 @@ type Server struct {
 	flights  *flightGroup
 	pool     *parallel.Pool
 	metrics  *obs.ServerMetrics
+	tracer   *reqtrace.Tracer   // nil when TraceSample < 0
+	recorder *reqtrace.Recorder // nil when TraceSample < 0
 	draining atomic.Bool
 }
 
@@ -180,27 +203,43 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchItems <= 0 {
 		cfg.MaxBatchItems = 64
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   NewShardedCache(cfg.CacheEntries, cfg.CacheShards, cfg.Registry),
 		flights: newFlightGroup(),
 		pool:    parallel.NewPool(cfg.Workers, cfg.Queue),
 		metrics: obs.NewServerMetrics(cfg.Registry),
 	}
+	if cfg.TraceSample >= 0 {
+		s.tracer = reqtrace.New(cfg.TraceSample, cfg.TraceSeed)
+		s.recorder = reqtrace.NewRecorder(cfg.TraceRing, cfg.TraceSlowest)
+	}
+	return s
 }
 
 // Cache returns the server's result cache (for tests and stats).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// Recorder returns the server's trace flight recorder (nil when
+// tracing is disabled) — the backing store of /debug/requests,
+// exposed for tests and the load harness.
+func (s *Server) Recorder() *reqtrace.Recorder { return s.recorder }
+
+// Tracer returns the server's request tracer (nil when tracing is
+// disabled); tests use it to pin the clock.
+func (s *Server) Tracer() *reqtrace.Tracer { return s.tracer }
+
 // Handler returns the service mux: POST /estimate, POST
-// /estimate/batch, GET /healthz, GET /metrics. Every endpoint is
-// instrumented with the obs server catalogue.
+// /estimate/batch, GET /healthz, GET /metrics, GET /debug/requests.
+// Every endpoint is instrumented with the obs server catalogue; the
+// two estimate endpoints additionally participate in request tracing.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/estimate", s.instrument("/estimate", http.HandlerFunc(s.handleEstimate)))
-	mux.Handle("/estimate/batch", s.instrument("/estimate/batch", http.HandlerFunc(s.handleBatch)))
-	mux.Handle("/healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
-	mux.Handle("/metrics", s.instrument("/metrics", obs.Handler(s.cfg.Registry)))
+	mux.Handle("/estimate", s.instrument("/estimate", true, http.HandlerFunc(s.handleEstimate)))
+	mux.Handle("/estimate/batch", s.instrument("/estimate/batch", true, http.HandlerFunc(s.handleBatch)))
+	mux.Handle("/healthz", s.instrument("/healthz", false, http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/metrics", s.instrument("/metrics", false, obs.Handler(s.cfg.Registry)))
+	mux.Handle("/debug/requests", s.instrument("/debug/requests", false, http.HandlerFunc(s.handleDebugRequests)))
 	return mux
 }
 
@@ -227,16 +266,97 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // instrument wraps an endpoint with the in-flight gauge, the request
-// counter and the latency histogram.
-func (s *Server) instrument(endpoint string, next http.Handler) http.Handler {
+// counter and the latency histogram. On traced endpoints it also runs
+// the trace lifecycle: sample the request (head-based, or forced by a
+// W3C traceparent header with the sampled flag), announce the trace id
+// up front in the X-Segbus-Trace and Traceparent response headers —
+// before the handler writes — and, once the handler returns, snapshot
+// the spans into the flight recorder, pin the trace id to the latency
+// histogram bucket as an exemplar, and return the trace to its pool.
+// An unsampled request pays one nil check and nothing else.
+func (s *Server) instrument(endpoint string, traced bool, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var tr *reqtrace.Trace
+		if traced {
+			if tr = s.tracer.Start(r.Header.Get("traceparent")); tr != nil {
+				w.Header().Set("X-Segbus-Trace", tr.ID())
+				w.Header().Set("Traceparent", tr.Traceparent())
+				r = r.WithContext(reqtrace.NewContext(r.Context(), tr))
+			}
+		}
 		s.metrics.InFlight.Set(float64(s.pool.InFlight() + 1))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
 		s.metrics.InFlight.Set(float64(s.pool.InFlight()))
-		s.metrics.Request(endpoint, strconv.Itoa(sw.status), time.Since(start).Microseconds())
+		status := strconv.Itoa(sw.status)
+		lat := time.Since(start).Microseconds()
+		if tr == nil {
+			s.metrics.Request(endpoint, status, lat)
+			return
+		}
+		snap := tr.Finish(endpoint, sw.status)
+		s.recorder.Record(snap)
+		s.tracer.Release(tr)
+		s.metrics.RequestTraced(endpoint, status, lat, snap.TraceID)
 	})
+}
+
+// handleDebugRequests serves the trace flight recorder. With no
+// parameters it returns the segbus/reqtrace/v1 document: the last 16
+// sampled traces (override with ?n=K) plus the current slowest list.
+// ?trace=<id> returns that one snapshot — add &format=perfetto for the
+// Chrome trace-event rendering of the same request, ready for
+// ui.perfetto.dev.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "GET required", nil)
+		return
+	}
+	if s.recorder == nil {
+		fail(w, http.StatusNotFound, CodeBadRequest, "request tracing is disabled on this server", nil)
+		return
+	}
+	q := r.URL.Query()
+	if id := q.Get("trace"); id != "" {
+		snap := s.recorder.Find(id)
+		if snap == nil {
+			fail(w, http.StatusNotFound, CodeBadRequest, "trace "+id+" is not in the flight recorder", nil)
+			return
+		}
+		var body []byte
+		var err error
+		if q.Get("format") == "perfetto" {
+			body, err = reqtrace.ToTrace(snap).Perfetto()
+		} else {
+			if body, err = json.MarshalIndent(snap, "", "  "); err == nil {
+				body = append(body, '\n')
+			}
+		}
+		if err != nil {
+			fail(w, http.StatusInternalServerError, CodeInternal, "trace encoding: "+err.Error(), nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	n := 16
+	if v := q.Get("n"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 0 {
+			fail(w, http.StatusBadRequest, CodeBadRequest, "n must be a non-negative integer", nil)
+			return
+		}
+		n = k
+	}
+	body, err := s.recorder.Document(n).MarshalIndent()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, CodeInternal, "document encoding: "+err.Error(), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 // fail writes an ErrorResponse.
@@ -297,8 +417,34 @@ type parsed struct {
 // scheme parsing, option resolution, the preflight gate and key
 // derivation, all on the request goroutine — rejecting a broken pair
 // must not cost a worker slot. A non-zero outcome status reports the
-// rejection.
-func (s *Server) parseRequest(req *EstimateRequest) (*parsed, outcome) {
+// rejection. The work lands in two spans under parent: "parse"
+// (schemes, options, preflight; a rejection terminates it with the
+// SB9xx code attached) and "fingerprint" (canonical key derivation).
+func (s *Server) parseRequest(tr *reqtrace.Trace, parent reqtrace.SpanID, req *EstimateRequest) (*parsed, outcome) {
+	sp := tr.Child(parent, "parse")
+	pr, out := s.decodeRequest(req)
+	if out.status != 0 {
+		tr.Attr(sp, "code", out.code)
+		tr.End(sp)
+		return nil, out
+	}
+	tr.End(sp)
+
+	sp = tr.Child(parent, "fingerprint")
+	key, err := pr.runner.Key(pr.m, pr.plat)
+	if err != nil {
+		tr.Attr(sp, "code", CodeInternal)
+		tr.End(sp)
+		return nil, errOutcome(http.StatusInternalServerError, CodeInternal, "canonicalize: "+err.Error(), nil)
+	}
+	tr.End(sp)
+	pr.key = key
+	return pr, outcome{}
+}
+
+// decodeRequest is parseRequest's untraced core: schemes, options and
+// the preflight gate, everything except key derivation.
+func (s *Server) decodeRequest(req *EstimateRequest) (*parsed, outcome) {
 	if req.PSDF == "" || req.PSM == "" {
 		return nil, errOutcome(http.StatusBadRequest, CodeBadRequest, "psdf and psm schemes are required", nil)
 	}
@@ -334,12 +480,7 @@ func (s *Server) parseRequest(req *EstimateRequest) (*parsed, outcome) {
 			fmt.Sprintf("preflight found %d error(s), %d warning(s)", e, warns),
 			pre.Diagnostics)
 	}
-	runner := core.NewRunner(opts)
-	key, err := runner.Key(m, plat)
-	if err != nil {
-		return nil, errOutcome(http.StatusInternalServerError, CodeInternal, "canonicalize: "+err.Error(), nil)
-	}
-	return &parsed{m: m, plat: plat, runner: runner, key: key}, outcome{}
+	return &parsed{m: m, plat: plat, runner: core.NewRunner(opts)}, outcome{}
 }
 
 // estimate serves one parsed request through the shared pipeline:
@@ -348,13 +489,30 @@ func (s *Server) parseRequest(req *EstimateRequest) (*parsed, outcome) {
 // and any mix of the two — resolve to one emulation: the first becomes
 // the flight's leader, the rest wait and share its pre-serialized
 // bytes.
-func (s *Server) estimate(ctx context.Context, pr *parsed) outcome {
+//
+// Tracing: "cache_probe" records the probed shard and its result; a
+// flight join opens "flight" with a role attribute — a waiter's span
+// covers the whole wait on the leader, a leader's closes immediately
+// (its real work shows up as pool_wait/emulate spans instead).
+func (s *Server) estimate(ctx context.Context, tr *reqtrace.Trace, parent reqtrace.SpanID, pr *parsed) outcome {
+	sp := tr.Child(parent, "cache_probe")
+	if tr != nil {
+		tr.AttrInt(sp, "shard", int64(s.cache.ShardFor(pr.key)))
+	}
 	if body, ok := s.cache.Get(pr.key); ok {
+		tr.Attr(sp, "result", "hit")
+		tr.End(sp)
 		s.metrics.CacheHits.Inc()
 		return outcome{status: http.StatusOK, cache: "hit", body: body}
 	}
+	tr.Attr(sp, "result", "miss")
+	tr.End(sp)
+
+	fl := tr.Child(parent, "flight")
 	f, leader := s.flights.join(pr.key)
 	if !leader {
+		tr.Attr(fl, "role", "waiter")
+		defer tr.End(fl)
 		var done <-chan struct{}
 		if ctx != nil {
 			done = ctx.Done()
@@ -375,6 +533,8 @@ func (s *Server) estimate(ctx context.Context, pr *parsed) outcome {
 		}
 		return out
 	}
+	tr.Attr(fl, "role", "leader")
+	tr.End(fl)
 
 	// Leader. Publish on every exit path — an unfinished flight would
 	// hang its waiters until their own deadlines (or forever without
@@ -391,20 +551,31 @@ func (s *Server) estimate(ctx context.Context, pr *parsed) outcome {
 		out = outcome{status: http.StatusOK, cache: "hit", body: body}
 		return out
 	}
-	out = s.emulate(ctx, pr)
+	out = s.emulate(ctx, tr, parent, pr)
 	return out
 }
 
 // emulate runs the leader's pooled emulation and classifies every
-// admission and run failure into its service code.
-func (s *Server) emulate(ctx context.Context, pr *parsed) outcome {
+// admission and run failure into its service code. A traced request
+// gets a "pool_wait" span for the admission wait (reported by the
+// pool's observer hook, so it covers exactly the invisible queue time)
+// and an "emulate" span around the runner; the observer closure is
+// only built when the request is sampled, so the untraced path calls
+// plain Submit semantics with a nil hook.
+func (s *Server) emulate(ctx context.Context, tr *reqtrace.Trace, parent reqtrace.SpanID, pr *parsed) outcome {
 	var body []byte
 	var runErr error
-	err := s.pool.Submit(ctx, func() {
+	var observe func(time.Duration)
+	if tr != nil {
+		observe = func(wait time.Duration) { tr.SpanPast(parent, "pool_wait", wait) }
+	}
+	err := s.pool.SubmitObserved(ctx, observe, func() {
+		sp := tr.Child(parent, "emulate")
 		if s.cfg.OnEmulate != nil {
 			s.cfg.OnEmulate()
 		}
 		body, runErr = pr.runner.ReportJSON(pr.m, pr.plat)
+		tr.End(sp)
 	})
 	switch {
 	case errors.Is(err, parallel.ErrQueueFull):
@@ -451,25 +622,32 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST required", nil)
 		return
 	}
+	tr := reqtrace.FromContext(r.Context())
+	sp := tr.Span("decode")
 	var req EstimateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
+		tr.Attr(sp, "code", CodeBadRequest)
+		tr.End(sp)
 		fail(w, http.StatusBadRequest, CodeBadRequest, "request body: "+err.Error(), nil)
 		return
 	}
-	pr, out := s.parseRequest(&req)
+	tr.End(sp)
+	pr, out := s.parseRequest(tr, reqtrace.RootSpan, &req)
 	if out.status != 0 {
 		fail(w, out.status, out.code, out.msg, out.diags)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	out = s.estimate(ctx, pr)
+	out = s.estimate(ctx, tr, reqtrace.RootSpan, pr)
 	if out.status != http.StatusOK {
 		fail(w, out.status, out.code, out.msg, out.diags)
 		return
 	}
+	sp = tr.Span("serialize")
 	writeReport(w, out.body, out.cache)
+	tr.End(sp)
 }
 
 // writeReport writes a 200 report-JSON response. The body bytes are

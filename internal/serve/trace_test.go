@@ -1,0 +1,465 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"segbus/internal/obs"
+	"segbus/internal/obs/reqtrace"
+)
+
+// forcedParent is a valid W3C traceparent with the sampled flag set:
+// sending it forces tracing regardless of the head-sampling rate.
+const forcedParent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+// tracedServer returns a server with head sampling at every (plus its
+// handler), tracing enabled.
+func tracedServer(every int) (*Server, http.Handler) {
+	s := New(Config{Workers: 2, Queue: 4, CacheEntries: 8, TraceSample: every, TraceSeed: 7})
+	return s, s.Handler()
+}
+
+// postTraced posts one /estimate with a traceparent header.
+func postTraced(h http.Handler, b []byte, traceparent string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/estimate", bytes.NewReader(b))
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// spanNames collects the span names of a snapshot in recording order.
+func spanNames(s *reqtrace.Snapshot) []string {
+	names := make([]string, len(s.Spans))
+	for i, sp := range s.Spans {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// findSpan returns the index of the first span with the given name, or
+// -1.
+func findSpan(s *reqtrace.Snapshot, name string) int {
+	for i, sp := range s.Spans {
+		if sp.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestTraceparentForcesServerTrace pins the whole forced-tracing path:
+// the sampled-flag traceparent makes an otherwise-unsampled server
+// trace the request, adopt the caller's trace id, announce it in
+// X-Segbus-Trace, echo a well-formed traceparent, and record the full
+// stage breakdown in the flight recorder.
+func TestTraceparentForcesServerTrace(t *testing.T) {
+	psdfXML, psmXML := goldenSchemes(t)
+	s, h := tracedServer(0) // head sampling off: only the header forces
+	b := body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})
+
+	// Untraced request first: no trace headers, nothing recorded.
+	rec := post(h, b)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Segbus-Trace"); got != "" {
+		t.Errorf("unsampled request grew a trace header %q", got)
+	}
+	if n := s.Recorder().Recorded(); n != 0 {
+		t.Fatalf("unsampled request recorded %d snapshots", n)
+	}
+
+	// Forced request: cache is warm now, so the breakdown is the hit
+	// path.
+	rec = postTraced(h, b, forcedParent)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	wantID := "0af7651916cd43dd8448eb211c80319c"
+	if got := rec.Header().Get("X-Segbus-Trace"); got != wantID {
+		t.Errorf("X-Segbus-Trace = %q, want %q", got, wantID)
+	}
+	echo := rec.Header().Get("Traceparent")
+	id, sampled, ok := reqtrace.ParseTraceparent(echo)
+	if !ok || !sampled || id != wantID {
+		t.Errorf("echoed traceparent %q: id=%q sampled=%v ok=%v", echo, id, sampled, ok)
+	}
+	if echo == forcedParent {
+		t.Error("echo reused the caller's span id instead of minting its own")
+	}
+
+	snap := s.Recorder().Find(wantID)
+	if snap == nil {
+		t.Fatal("forced trace not in the flight recorder")
+	}
+	if snap.Parent != forcedParent {
+		t.Errorf("snapshot parent %q, want the verbatim request header", snap.Parent)
+	}
+	if snap.Endpoint != "/estimate" || snap.Status != http.StatusOK {
+		t.Errorf("snapshot endpoint/status = %s/%d", snap.Endpoint, snap.Status)
+	}
+	for _, name := range []string{"request", "decode", "parse", "fingerprint", "cache_probe", "serialize"} {
+		if findSpan(snap, name) < 0 {
+			t.Errorf("missing span %q in %v", name, spanNames(snap))
+		}
+	}
+	probe := snap.Spans[findSpan(snap, "cache_probe")]
+	if probe.Attr("result") != "hit" {
+		t.Errorf("warm cache probe result = %q, want hit", probe.Attr("result"))
+	}
+	shard, err := strconv.Atoi(probe.Attr("shard"))
+	if err != nil || shard < 0 || shard >= s.Cache().Shards() {
+		t.Errorf("cache probe shard attr %q out of range [0,%d)", probe.Attr("shard"), s.Cache().Shards())
+	}
+	if i := findSpan(snap, "emulate"); i >= 0 {
+		t.Errorf("cache hit grew an emulate span: %v", spanNames(snap))
+	}
+}
+
+// TestColdTraceBreakdown checks a cold traced estimate decomposes into
+// the full pipeline — flight leadership, pool admission wait and the
+// emulation itself — and that the span tree nests inside the request's
+// wall time (the differential check of the acceptance list: stage
+// durations must be attributable to the measured handler latency, not
+// invented).
+func TestColdTraceBreakdown(t *testing.T) {
+	psdfXML, psmXML := goldenSchemes(t)
+	s, h := tracedServer(0)
+	b := body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})
+
+	start := time.Now()
+	rec := postTraced(h, b, forcedParent)
+	wall := time.Since(start)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	snap := s.Recorder().Find("0af7651916cd43dd8448eb211c80319c")
+	if snap == nil {
+		t.Fatal("trace not recorded")
+	}
+	for _, name := range []string{"cache_probe", "flight", "pool_wait", "emulate"} {
+		if findSpan(snap, name) < 0 {
+			t.Fatalf("missing span %q in %v", name, spanNames(snap))
+		}
+	}
+	if role := snap.Spans[findSpan(snap, "flight")].Attr("role"); role != "leader" {
+		t.Errorf("cold estimate flight role = %q, want leader", role)
+	}
+	if res := snap.Spans[findSpan(snap, "cache_probe")].Attr("result"); res != "miss" {
+		t.Errorf("cold cache probe result = %q, want miss", res)
+	}
+
+	// Differential containment: the trace and the test share no clock,
+	// but both are monotonic — the root span lives strictly inside the
+	// ServeHTTP call, every span lives inside the root, and the
+	// sequential top-level stages cannot sum past the root.
+	root := snap.Spans[0]
+	if root.DurNs <= 0 || root.DurNs > wall.Nanoseconds() {
+		t.Errorf("root span %dns outside handler wall time %dns", root.DurNs, wall.Nanoseconds())
+	}
+	var stageSum int64
+	for i, sp := range snap.Spans {
+		if i == 0 {
+			continue
+		}
+		if sp.DurNs < 0 || sp.StartNs < 0 || sp.StartNs+sp.DurNs > root.DurNs {
+			t.Errorf("span %s [%d,+%d] escapes the root span [0,%d]", sp.Name, sp.StartNs, sp.DurNs, root.DurNs)
+		}
+		if sp.Parent == 0 {
+			stageSum += sp.DurNs
+		}
+	}
+	if stageSum > root.DurNs {
+		t.Errorf("sequential stage durations sum to %dns > root %dns", stageSum, root.DurNs)
+	}
+	if em := snap.Spans[findSpan(snap, "emulate")]; em.DurNs <= 0 {
+		t.Errorf("emulate span has no duration: %+v", em)
+	}
+}
+
+// TestHeadSampledEstimate checks head sampling without any traceparent
+// header: every Nth request is traced with a deterministic seeded id.
+func TestHeadSampledEstimate(t *testing.T) {
+	psdfXML, psmXML := goldenSchemes(t)
+	s, h := tracedServer(2) // every second request
+	b := body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})
+
+	ids := make([]string, 0, 2)
+	for i := 0; i < 4; i++ {
+		rec := post(h, b)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+		if id := rec.Header().Get("X-Segbus-Trace"); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != 2 {
+		t.Fatalf("sampled %d of 4 requests at 1-in-2: %v", len(ids), ids)
+	}
+	if s.Recorder().Recorded() != 2 {
+		t.Fatalf("recorded %d snapshots, want 2", s.Recorder().Recorded())
+	}
+
+	// Same seed, same order ⇒ same ids on a fresh server.
+	s2, h2 := tracedServer(2)
+	ids2 := make([]string, 0, 2)
+	for i := 0; i < 4; i++ {
+		if id := post(h2, b).Header().Get("X-Segbus-Trace"); id != "" {
+			ids2 = append(ids2, id)
+		}
+	}
+	if len(ids2) != 2 || ids2[0] != ids[0] || ids2[1] != ids[1] {
+		t.Errorf("seeded ids not reproducible: %v vs %v", ids, ids2)
+	}
+	_ = s2
+}
+
+// TestBatchItemSpans pins the batch span contract: every item gets its
+// own child span carrying its index; a duplicate terminates pointing
+// at its group leader and shares the leader's single emulation span;
+// an invalid item terminates with its SB9xx code attached; and exactly
+// one emulation span exists per unique valid key.
+func TestBatchItemSpans(t *testing.T) {
+	psdfXML, psmXML := goldenSchemes(t)
+	s, h := tracedServer(0)
+	items := []EstimateRequest{
+		{PSDF: psdfXML, PSM: psmXML, PackageSize: 6}, // 0: leader of key A
+		{PSDF: psdfXML, PSM: psmXML, PackageSize: 6}, // 1: duplicate of A
+		{PSDF: psdfXML, PSM: "<broken"},              // 2: invalid scheme
+		{PSDF: psdfXML, PSM: psmXML, PackageSize: 9}, // 3: leader of key B
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/estimate/batch", bytes.NewReader(batchBody(t, BatchRequest{Items: items})))
+	req.Header.Set("traceparent", forcedParent)
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	snap := s.Recorder().Find("0af7651916cd43dd8448eb211c80319c")
+	if snap == nil {
+		t.Fatal("batch trace not recorded")
+	}
+	if snap.Endpoint != "/estimate/batch" {
+		t.Errorf("endpoint %q", snap.Endpoint)
+	}
+
+	// One item span per input index, in order.
+	itemIdx := map[int]int{} // input index -> span index
+	for i, sp := range snap.Spans {
+		if sp.Name != "item" {
+			continue
+		}
+		n, err := strconv.Atoi(sp.Attr("index"))
+		if err != nil {
+			t.Fatalf("item span without an index attr: %+v", sp)
+		}
+		if _, dup := itemIdx[n]; dup {
+			t.Fatalf("two item spans for index %d", n)
+		}
+		itemIdx[n] = i
+	}
+	if len(itemIdx) != len(items) {
+		t.Fatalf("%d item spans for %d items: %v", len(itemIdx), len(items), spanNames(snap))
+	}
+
+	// descendants[i] = true when span i is under the item span idx.
+	under := func(idx int, i int) bool {
+		for i > 0 {
+			if i == idx {
+				return true
+			}
+			i = snap.Spans[i].Parent
+		}
+		return false
+	}
+	countUnder := func(idx int, name string) int {
+		n := 0
+		for i, sp := range snap.Spans {
+			if sp.Name == name && under(idx, i) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Leaders 0 and 3 each own exactly one emulation; the duplicate and
+	// the invalid item own none — and those are all the emulate spans.
+	for _, lead := range []int{0, 3} {
+		if n := countUnder(itemIdx[lead], "emulate"); n != 1 {
+			t.Errorf("item %d owns %d emulate spans, want 1", lead, n)
+		}
+	}
+	for _, non := range []int{1, 2} {
+		if n := countUnder(itemIdx[non], "emulate"); n != 0 {
+			t.Errorf("item %d owns %d emulate spans, want 0", non, n)
+		}
+	}
+	total := 0
+	for _, sp := range snap.Spans {
+		if sp.Name == "emulate" {
+			total++
+		}
+	}
+	if total != 2 {
+		t.Errorf("%d emulate spans in the batch trace, want 2", total)
+	}
+
+	// The duplicate names its leader; the invalid item carries a code.
+	if got := snap.Spans[itemIdx[1]].Attr("deduplicated_into"); got != "0" {
+		t.Errorf("duplicate item deduplicated_into = %q, want 0", got)
+	}
+	code := snap.Spans[itemIdx[2]].Attr("code")
+	if !strings.HasPrefix(code, "SB9") {
+		t.Errorf("invalid item code attr %q, want an SB9xx code", code)
+	}
+	if sp := snap.Spans[itemIdx[2]]; sp.DurNs < 0 || sp.StartNs+sp.DurNs > snap.DurNs {
+		t.Errorf("invalid item span not terminated inside the request: %+v", sp)
+	}
+}
+
+// fakeTracerClock is a deterministic tracer clock for golden output:
+// every reading advances by one step.
+type fakeTracerClock struct {
+	mu   sync.Mutex
+	now  int64
+	step int64
+}
+
+func (c *fakeTracerClock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += c.step
+	return c.now
+}
+
+// TestDebugRequestsEndpoint drives the flight-recorder endpoint end to
+// end: the schema document, the n override, the single-trace view, the
+// Perfetto rendering and the error paths.
+func TestDebugRequestsEndpoint(t *testing.T) {
+	psdfXML, psmXML := goldenSchemes(t)
+	s, h := tracedServer(0)
+	s.Tracer().SetClock((&fakeTracerClock{step: 1000}).Now)
+	b := body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})
+
+	// Two forced traces with distinct ids.
+	second := "00-00000000000000000000000000000002-b7ad6b7169203331-01"
+	for _, tp := range []string{forcedParent, second} {
+		if rec := postTraced(h, b, tp); rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec
+	}
+
+	rec := get("/debug/requests")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc reqtrace.Document
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("document: %v", err)
+	}
+	if doc.Schema != reqtrace.DocumentSchema {
+		t.Errorf("schema %q, want %q", doc.Schema, reqtrace.DocumentSchema)
+	}
+	if doc.Sampled != 2 || len(doc.Traces) != 2 {
+		t.Fatalf("sampled=%d traces=%d, want 2/2", doc.Sampled, len(doc.Traces))
+	}
+	if doc.Traces[0].TraceID != "00000000000000000000000000000002" {
+		t.Errorf("traces not newest-first: %s", doc.Traces[0].TraceID)
+	}
+	if len(doc.Slowest) == 0 {
+		t.Error("slowest list empty after two traced requests")
+	}
+
+	// n=1 limits the ring view, not the slowest list.
+	rec = get("/debug/requests?n=1")
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil || len(doc.Traces) != 1 {
+		t.Fatalf("n=1: err=%v traces=%d", err, len(doc.Traces))
+	}
+
+	// Single-trace view.
+	rec = get("/debug/requests?trace=0af7651916cd43dd8448eb211c80319c")
+	var snap reqtrace.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if snap.TraceID != "0af7651916cd43dd8448eb211c80319c" || len(snap.Spans) == 0 {
+		t.Fatalf("snapshot %q with %d spans", snap.TraceID, len(snap.Spans))
+	}
+
+	// Perfetto rendering: chrome trace-event JSON with one complete
+	// event per span.
+	rec = get("/debug/requests?trace=0af7651916cd43dd8448eb211c80319c&format=perfetto")
+	var events struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("perfetto: %v\n%s", err, rec.Body.String())
+	}
+	complete := 0
+	for _, e := range events.TraceEvents {
+		if e.Ph == "X" {
+			complete++
+		}
+	}
+	if complete != len(snap.Spans) {
+		t.Errorf("%d complete events for %d spans", complete, len(snap.Spans))
+	}
+
+	// Error paths.
+	if rec = get("/debug/requests?trace=ffffffffffffffffffffffffffffffff"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown trace: status %d", rec.Code)
+	}
+	if rec = get("/debug/requests?n=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad n: status %d", rec.Code)
+	}
+
+	// Tracing disabled: the endpoint exists but reports 404.
+	off := New(Config{Workers: 1, Queue: 1, TraceSample: -1})
+	rec = httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("disabled tracing: status %d", rec.Code)
+	}
+	if rec := postTraced(off.Handler(), b, forcedParent); rec.Header().Get("X-Segbus-Trace") != "" {
+		t.Error("disabled tracing still traced a forced request")
+	}
+}
+
+// TestTracedRequestExemplar checks a traced request pins its trace id
+// to the endpoint latency histogram in the Prometheus exposition.
+func TestTracedRequestExemplar(t *testing.T) {
+	psdfXML, psmXML := goldenSchemes(t)
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 1, Queue: 1, CacheEntries: 4, TraceSample: 0, Registry: reg})
+	h := s.Handler()
+	b := body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})
+	if rec := postTraced(h, b, forcedParent); rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), `# {trace_id="0af7651916cd43dd8448eb211c80319c"}`) {
+		t.Errorf("exposition has no exemplar for the traced request:\n%s", rec.Body.String())
+	}
+}

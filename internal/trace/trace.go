@@ -26,6 +26,7 @@ const (
 	BUUnload             // package streaming out of a border unit
 	BUWait               // loaded package waiting for the next segment's grant
 	Overhead             // refined-model overhead (sync, grant, CA set/reset)
+	Stage                // serving-stack request stage (internal/obs/reqtrace)
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +44,8 @@ func (k Kind) String() string {
 		return "bu-wait"
 	case Overhead:
 		return "overhead"
+	case Stage:
+		return "stage"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

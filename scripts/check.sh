@@ -28,7 +28,7 @@ go test -bench=. -benchtime=1x -run '^$' ./...
 # and its output passes the schema gate; then the committed trajectory
 # record must still satisfy the same gate.
 scripts/bench.sh -quick
-go run ./cmd/segbus-bench -bench-validate BENCH_7.json
+go run ./cmd/segbus-bench -bench-validate BENCH_8.json
 
 # The event kernel is the hottest shared state in the tree; give its
 # suite (dispatch-order replay, alloc regression, pending bookkeeping)
@@ -68,6 +68,18 @@ diff -u testdata/scenarios/vet-exact.golden "$vet_exact_tmp"
 # testdata/conform/repros/.
 go run ./cmd/segbus-conform -n 200 -seed 1 -corpus testdata/scenarios -json
 
+# Request-tracing gates. The span pool and the flight-recorder ring
+# are lock-free/pool-backed shared state on the request path: give
+# their suite extra race-enabled rounds in fresh processes. The
+# /debug/requests document must stay byte-identical to the reviewed
+# golden (timings zeroed; regenerate a deliberate change with
+# UPDATE_GOLDEN=1), and the unsampled hot path must stay within 5% of
+# a server with tracing disabled (in-process A/B, built out under
+# -race, so run it separately here).
+go test -race -count=2 ./internal/obs/reqtrace
+go test -count=1 -run TestDebugRequestsGolden ./internal/serve
+go test -count=1 -run TestTracingOverheadSmoke ./internal/serve
+
 # Serve stress under the race detector, extra rounds: the suite above
 # already ran it once; repeating it in fresh processes varies the
 # goroutine schedules the shared cache/pool/flight/drain state is
@@ -81,6 +93,9 @@ go test -race -count=2 -run 'TestServeStress|TestSingleFlight|TestBatchSaturated
 # report against the CLI pipeline and proving that a concurrent
 # identical burst coalesces to a single emulation. Non-zero exit on
 # any byte mismatch, an unproven proof, or a warm run that emulates
-# as often as it serves.
+# as often as it serves. -slowest exercises the tracing round trip:
+# every request carries a forced traceparent and the report ends with
+# server-side stage breakdowns read back from /debug/requests.
 go run ./cmd/segbus-load -seed 1 -models 12 -requests 300 -concurrency 8 \
-	-hit-ratio 0.6 -batch 4 -corpus testdata/scenarios -diff -prove-coalescing -json
+	-hit-ratio 0.6 -batch 4 -corpus testdata/scenarios -diff -prove-coalescing \
+	-slowest 5 -json
