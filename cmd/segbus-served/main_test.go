@@ -107,8 +107,10 @@ func TestServeEstimateAndGracefulShutdown(t *testing.T) {
 	}
 	metrics, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(metrics), "segbus_served_cache_hits_total 1") {
-		t.Errorf("metrics missing the cache hit:\n%s", metrics)
+	// The repeat was byte-identical, so it hit the raw-request index
+	// in front of the canonical cache.
+	if !strings.Contains(string(metrics), "segbus_served_raw_index_hits_total 1") {
+		t.Errorf("metrics missing the raw-index hit:\n%s", metrics)
 	}
 
 	// The operator's shutdown path: SIGTERM → drain → clean exit.

@@ -36,8 +36,35 @@ import (
 // v2 extended the required battery with the serving-cluster
 // benchmarks (batch estimation and single-flight coalescing); v3 adds
 // the traced request path (span recording, flight-recorder snapshot)
-// so the observability overhead stays on the trajectory.
-const Schema = "segbus/bench-record/v3"
+// so the observability overhead stays on the trajectory; v4 adds the
+// machine-pool serving benchmarks — the raw-index byte fast path
+// (cache_hit_bytes) and the pooled cold estimate.
+const Schema = "segbus/bench-record/v4"
+
+// requiredBySchema is the minimum benchmark set of every record
+// layout ever committed, so Validate can check the whole trajectory
+// (BENCH_5 onward), not just records of the current schema. A record
+// may carry more than its schema's minimum — BENCH_6 is a v1 record
+// with an extra benchmark — but never less.
+var requiredBySchema = map[string][]string{
+	"segbus/bench-record/v1": {
+		"kernel/event_throughput", "kernel/queue_churn", "kernel/cancel_heavy",
+		"emulator/mp3_estimate", "serve/cold_estimate", "serve/cache_hit",
+	},
+	"segbus/bench-record/v2": {
+		"kernel/event_throughput", "kernel/queue_churn", "kernel/cancel_heavy",
+		"emulator/mp3_estimate", "analyze/exact_reachability",
+		"serve/cold_estimate", "serve/cache_hit",
+		"serve/batch_estimate", "serve/coalesced_hit",
+	},
+	"segbus/bench-record/v3": {
+		"kernel/event_throughput", "kernel/queue_churn", "kernel/cancel_heavy",
+		"emulator/mp3_estimate", "analyze/exact_reachability",
+		"serve/cold_estimate", "serve/cache_hit",
+		"serve/batch_estimate", "serve/coalesced_hit", "serve/traced_estimate",
+	},
+	// v4 (the current schema) requires the live battery; see Validate.
+}
 
 // Result is one benchmark's measurement.
 type Result struct {
@@ -83,6 +110,8 @@ var battery = []struct {
 	{"serve/batch_estimate", 100, benchBatchEstimate},
 	{"serve/coalesced_hit", 50, benchCoalescedHit},
 	{"serve/traced_estimate", 150, benchTracedEstimate},
+	{"serve/cache_hit_bytes", 20_000, benchCacheHitBytes},
+	{"serve/pooled_cold_estimate", 20, benchPooledColdEstimate},
 }
 
 // RequiredNames returns the stable benchmark identifiers every record
@@ -324,6 +353,62 @@ func benchTracedEstimate(n int) error {
 	return nil
 }
 
+// benchCacheHitBytes measures the raw-index fast path in isolation:
+// one warm server, one repeated request struct, and per op exactly
+// what a verbatim repeat pays before the response write — hash the
+// raw request fields and copy out the pre-serialized bytes. This is
+// the "cache hit copies one []byte" number; the HTTP envelope around
+// it is measured by serve/traced_estimate and the load harness.
+func benchCacheHitBytes(n int) error {
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	psdfXML, psmXML, err := core.Transform(m, p)
+	if err != nil {
+		return err
+	}
+	req := serve.EstimateRequest{PSDF: string(psdfXML), PSM: string(psmXML)}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	s := serve.New(serve.Config{Workers: 1, Queue: 2, CacheEntries: 8})
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/estimate", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("benchrec: warmup status %d", rec.Code)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := s.RawProbe(&req); !ok {
+			return fmt.Errorf("benchrec: raw index miss on a warm server")
+		}
+	}
+	return nil
+}
+
+// benchPooledColdEstimate measures the pooled leader path after the
+// fingerprint: a cache-missing request's emulation on a reused warm
+// machine (ReportJSONOn), which is the whole per-request cost the
+// machine pool leaves standing — validation, schedule extraction,
+// in-place reconfiguration and the run itself, with no arena
+// construction. Compare against emulator/mp3_estimate (the raw fresh
+// run) for the construction overhead the pool removes.
+func benchPooledColdEstimate(n int) error {
+	r := core.NewRunner(core.Options{})
+	m := apps.MP3Model()
+	p := apps.MP3Platform3(36)
+	mc := emulator.NewMachine()
+	if _, err := r.ReportJSONOn(mc, m, p); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := r.ReportJSONOn(mc, m, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // minFullDuration is the per-benchmark wall-time target of a full
 // (non-quick) run; iteration counts double until it is reached.
 const minFullDuration = 300 * time.Millisecond
@@ -415,16 +500,23 @@ func (r *Record) Marshal() ([]byte, error) {
 }
 
 // Validate checks that data is a structurally sound trajectory
-// record: current schema, every battery benchmark present exactly
-// once with positive timings, and non-negative rates. It is the CI
-// gate over a committed BENCH_<n>.json.
+// record: a known schema, that schema's minimum benchmark set present
+// (each at most once, with positive timings), and non-negative rates.
+// Records of the current schema must carry the full live battery;
+// records of older schemas are validated against the battery of their
+// day, so the CI gate can cover every committed BENCH_<n>.json, not
+// just the newest.
 func Validate(data []byte) error {
 	var rec Record
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return fmt.Errorf("benchrec: not a record: %w", err)
 	}
-	if rec.Schema != Schema {
-		return fmt.Errorf("benchrec: schema %q, want %q", rec.Schema, Schema)
+	required, ok := requiredBySchema[rec.Schema]
+	if rec.Schema == Schema {
+		required, ok = RequiredNames(), true
+	}
+	if !ok {
+		return fmt.Errorf("benchrec: unknown schema %q (current is %q)", rec.Schema, Schema)
 	}
 	if rec.Go == "" || rec.GOOS == "" || rec.GOARCH == "" {
 		return fmt.Errorf("benchrec: missing environment fields")
@@ -445,7 +537,7 @@ func Validate(data []byte) error {
 			return fmt.Errorf("benchrec: %s: negative allocation figure", res.Name)
 		}
 	}
-	for _, name := range RequiredNames() {
+	for _, name := range required {
 		if !seen[name] {
 			return fmt.Errorf("benchrec: missing benchmark %q", name)
 		}

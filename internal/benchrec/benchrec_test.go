@@ -2,6 +2,8 @@ package benchrec
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -82,7 +84,16 @@ func TestValidateRejects(t *testing.T) {
 	}{
 		{"garbage", []byte("{"), "not a record"},
 		{"wrong schema", mutate(func(m map[string]any) { m["schema"] = "other/v9" }), "schema"},
-		{"stale v1 schema", mutate(func(m map[string]any) { m["schema"] = "segbus/bench-record/v1" }), "schema"},
+		{"v1 record missing its own battery", mutate(func(m map[string]any) {
+			m["schema"] = "segbus/bench-record/v1"
+			var kept []any
+			for _, r := range m["results"].([]any) {
+				if r.(map[string]any)["name"].(string) != "serve/cache_hit" {
+					kept = append(kept, r)
+				}
+			}
+			m["results"] = kept
+		}), "missing benchmark"},
 		{"missing serve benchmarks", mutate(func(m map[string]any) {
 			var kept []any
 			for _, r := range m["results"].([]any) {
@@ -121,5 +132,34 @@ func TestValidateRejects(t *testing.T) {
 	}
 	if err := Validate(good); err != nil {
 		t.Errorf("unmutated record rejected: %v", err)
+	}
+
+	// Older schemas validate against the battery of their day; a
+	// record carrying more than its schema's minimum is fine (BENCH_6
+	// is a v1 record with an extra benchmark).
+	if err := Validate(mutate(func(m map[string]any) { m["schema"] = "segbus/bench-record/v1" })); err != nil {
+		t.Errorf("v1 record with a superset battery rejected: %v", err)
+	}
+}
+
+// TestValidateHistoricalRecords runs the gate over every committed
+// BENCH_<n>.json at the repository root: the whole trajectory must
+// stay valid as schemas evolve, not just the newest point.
+func TestValidateHistoricalRecords(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("found %d BENCH_*.json records, expected the committed trajectory (4+)", len(files))
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(data); err != nil {
+			t.Errorf("%s: %v", filepath.Base(f), err)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"segbus/internal/automata"
 	"segbus/internal/core"
@@ -45,6 +46,11 @@ var oracleList = []*Oracle{
 		Name:  "determinism",
 		Doc:   "identical inputs yield byte-identical reports and traces",
 		Check: checkDeterminism,
+	},
+	{
+		Name:  "pooled",
+		Doc:   "a reused (pooled) emulator machine reproduces the fresh-machine report byte for byte",
+		Check: checkPooled,
 	},
 	{
 		Name:  "grow-segment",
@@ -103,6 +109,51 @@ func checkReachability(c *Case) error {
 		if !stuck {
 			return fmt.Errorf("counterexample replays to a live state")
 		}
+	}
+	return nil
+}
+
+// pooledShared is the one machine the pooled oracle reuses across
+// every case of a battery run — deliberately shared, so each check
+// runs on a machine dirtied by arbitrary earlier cases (including
+// ones whose runs failed), exactly the state a serving pool recycles.
+var pooledShared = struct {
+	mu sync.Mutex
+	mc *emulator.Machine
+}{mc: emulator.NewMachine()}
+
+// checkPooled runs the case on the shared reused machine and on a
+// fresh machine and requires indistinguishable outcomes: equal error
+// strings, byte-identical report JSON. This is the conformance-level
+// half of the machine-reuse battery (the emulator reuse tests own the
+// op-sequence fuzzing; the serve pool stress owns the HTTP layer).
+func checkPooled(c *Case) error {
+	if c.Doc.Platform == nil {
+		return errSkip
+	}
+	fresh, freshErr := emulator.Run(c.Doc.Model, c.Doc.Platform, emulator.Config{})
+	pooledShared.mu.Lock()
+	warm, warmErr := pooledShared.mc.Run(c.Doc.Model, c.Doc.Platform, emulator.Config{})
+	pooledShared.mu.Unlock()
+	if (freshErr == nil) != (warmErr == nil) {
+		return fmt.Errorf("pooled machine error %v, fresh machine error %v", warmErr, freshErr)
+	}
+	if freshErr != nil {
+		if freshErr.Error() != warmErr.Error() {
+			return fmt.Errorf("pooled machine error %q, fresh machine error %q", warmErr, freshErr)
+		}
+		return nil
+	}
+	fb, err := fresh.JSON()
+	if err != nil {
+		return err
+	}
+	wb, err := warm.JSON()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(fb, wb) {
+		return fmt.Errorf("pooled machine report differs from fresh machine report")
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package conform
+
+// The pooled-reuse differential battery: hundreds of generated cases
+// flow twice through ONE reused machine, and every single run must be
+// byte-identical to a fresh-machine run of the same case. The second
+// pass additionally pins the pass-1 bytes, so a case whose earlier
+// neighbours differ between passes cannot leak state across the
+// battery unnoticed.
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"segbus/internal/emulator"
+)
+
+func TestPooledReuseBattery(t *testing.T) {
+	corpus, err := LoadCorpusDir(filepath.Join("..", "..", "testdata", "scenarios"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(11, corpus)
+	const nCases = 160 // ×2 passes ≥ 300 differential runs
+	cases := make([]*Case, nCases)
+	for i := range cases {
+		cases[i] = g.Next()
+	}
+
+	run := func(c *Case, mc *emulator.Machine) ([]byte, string) {
+		var r *emulator.Report
+		var err error
+		if mc != nil {
+			r, err = mc.Run(c.Doc.Model, c.Doc.Platform, emulator.Config{})
+		} else {
+			r, err = emulator.Run(c.Doc.Model, c.Doc.Platform, emulator.Config{})
+		}
+		if err != nil {
+			return nil, err.Error()
+		}
+		b, jerr := r.JSON()
+		if jerr != nil {
+			t.Fatalf("marshal: %v", jerr)
+		}
+		return b, ""
+	}
+
+	mc := emulator.NewMachine()
+	firstPass := make([][]byte, nCases)
+	firstErr := make([]string, nCases)
+	checked := 0
+	for pass := 0; pass < 2; pass++ {
+		for i, c := range cases {
+			if c.Doc.Platform == nil {
+				continue
+			}
+			fresh, freshErr := run(c, nil)
+			warm, warmErr := run(c, mc)
+			if warmErr != freshErr {
+				t.Fatalf("pass %d case %d (%s): warm err %q, fresh err %q",
+					pass, i, c.Doc.Model.Name(), warmErr, freshErr)
+			}
+			if !bytes.Equal(warm, fresh) {
+				t.Fatalf("pass %d case %d (%s): warm report differs from fresh",
+					pass, i, c.Doc.Model.Name())
+			}
+			if pass == 0 {
+				firstPass[i], firstErr[i] = warm, warmErr
+			} else {
+				if warmErr != firstErr[i] || !bytes.Equal(warm, firstPass[i]) {
+					t.Fatalf("case %d (%s): pass 2 output differs from pass 1 on the same machine",
+						i, c.Doc.Model.Name())
+				}
+			}
+			checked++
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("battery performed %d differential runs, want >= 300", checked)
+	}
+}

@@ -102,8 +102,37 @@ type Estimation struct {
 // picoseconds.
 func (e *Estimation) ExecutionTimePs() int64 { return int64(e.Report.ExecutionTimePs) }
 
+// emulatorConfig translates the estimation options into the emulator
+// configuration, attaching the given trace sink.
+func (o Options) emulatorConfig(tr *trace.Trace) emulator.Config {
+	return emulator.Config{
+		Overheads:   o.Overheads,
+		DetectTicks: o.DetectTicks,
+		Policy:      o.Policy,
+		Observer:    o.Observer,
+		Trace:       tr,
+		Metrics:     o.Metrics,
+	}
+}
+
 // Estimate runs the estimation technique on in-memory models.
 func Estimate(m *psdf.Model, plat *platform.Platform, opts Options) (*Estimation, error) {
+	return estimate(nil, m, plat, opts)
+}
+
+// EstimateOn runs the estimation technique on a caller-provided
+// reusable emulator machine — the pooling seam a long-lived service
+// uses to skip per-request machine construction. Results are
+// byte-identical to Estimate for the same inputs; only the arena
+// storage is reused. The machine must not be in use by another
+// goroutine.
+func EstimateOn(mc *emulator.Machine, m *psdf.Model, plat *platform.Platform, opts Options) (*Estimation, error) {
+	return estimate(mc, m, plat, opts)
+}
+
+// estimate is the shared body of Estimate and EstimateOn: mc == nil
+// runs on a fresh machine.
+func estimate(mc *emulator.Machine, m *psdf.Model, plat *platform.Platform, opts Options) (*Estimation, error) {
 	if opts.Preflight {
 		if res := Preflight(m, plat); res.HasErrors() {
 			return nil, &PreflightError{Result: res}
@@ -113,14 +142,14 @@ func Estimate(m *psdf.Model, plat *platform.Platform, opts Options) (*Estimation
 	if opts.Trace {
 		tr = &trace.Trace{}
 	}
-	r, err := emulator.Run(m, plat, emulator.Config{
-		Overheads:   opts.Overheads,
-		DetectTicks: opts.DetectTicks,
-		Policy:      opts.Policy,
-		Observer:    opts.Observer,
-		Trace:       tr,
-		Metrics:     opts.Metrics,
-	})
+	cfg := opts.emulatorConfig(tr)
+	var r *emulator.Report
+	var err error
+	if mc != nil {
+		r, err = mc.Run(m, plat, cfg)
+	} else {
+		r, err = emulator.Run(m, plat, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

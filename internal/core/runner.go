@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"segbus/internal/emulator"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
 )
@@ -67,10 +68,27 @@ func (r *Runner) Estimate(m *psdf.Model, plat *platform.Platform) (*Estimation, 
 	return Estimate(m, plat, r.Opts)
 }
 
+// EstimateOn runs one estimation under the runner's options on a
+// caller-provided reusable machine (see EstimateOn).
+func (r *Runner) EstimateOn(mc *emulator.Machine, m *psdf.Model, plat *platform.Platform) (*Estimation, error) {
+	return EstimateOn(mc, m, plat, r.Opts)
+}
+
 // ReportJSON runs one estimation and renders the versioned report
 // JSON — the serving payload, byte-identical for equal Keys.
 func (r *Runner) ReportJSON(m *psdf.Model, plat *platform.Platform) ([]byte, error) {
 	est, err := r.Estimate(m, plat)
+	if err != nil {
+		return nil, err
+	}
+	return est.Report.JSON()
+}
+
+// ReportJSONOn is ReportJSON on a caller-provided reusable machine:
+// the serving pool's leader path, producing bytes identical to
+// ReportJSON for the same inputs.
+func (r *Runner) ReportJSONOn(mc *emulator.Machine, m *psdf.Model, plat *platform.Platform) ([]byte, error) {
+	est, err := r.EstimateOn(mc, m, plat)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,7 @@ package emulator
 
 import (
 	"fmt"
-	"sort"
+
 	"time"
 
 	"segbus/internal/engine"
@@ -14,7 +14,42 @@ import (
 // Run emulates application model m on platform plat and returns the
 // monitoring report. The model, the platform and their mapping are
 // validated first; any violation aborts the run.
+//
+// Run constructs a fresh machine per call. Callers that emulate
+// repeatedly should hold a reusable Machine instead — same code path,
+// but the arena storage survives between runs.
 func Run(m *psdf.Model, plat *platform.Platform, cfg Config) (*Report, error) {
+	return NewMachine().Run(m, plat, cfg)
+}
+
+// Machine is a reusable emulation arena. A Machine owns the flat
+// element-state arrays, the event kernel and the bound handlers of one
+// emulation instance; running a model primes those arrays in place, so
+// a warm Machine emulates without rebuilding per-element storage or
+// closures. The zero value is not usable; construct with NewMachine.
+//
+// A Machine is not safe for concurrent use: one emulation at a time.
+// Reuse across runs is exact — a report produced by a warm Machine is
+// byte-identical to one produced by a fresh machine for the same
+// inputs (pinned by the conform `pooled` oracle and the reuse
+// differential battery).
+type Machine struct {
+	mc machine
+}
+
+// NewMachine returns an empty machine arena. The first Run sizes the
+// arrays to the model and platform; later runs reuse that storage,
+// growing only when a larger shape arrives.
+func NewMachine() *Machine {
+	return &Machine{mc: machine{sim: engine.NewSim()}}
+}
+
+// Run emulates application model m on platform plat on this machine's
+// arena and returns the monitoring report. Semantics are identical to
+// the package-level Run; only the storage is reused. Run re-primes the
+// machine from scratch, so it is total even after a previous run
+// failed or was abandoned mid-flight.
+func (x *Machine) Run(m *psdf.Model, plat *platform.Platform, cfg Config) (*Report, error) {
 	if err := validateConfig(cfg); err != nil {
 		return nil, err
 	}
@@ -34,12 +69,24 @@ func Run(m *psdf.Model, plat *platform.Platform, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc, err := newMachine(plat, sch, m.NominalPackageSize(), cfg)
-	if err != nil {
+	if err := x.mc.prime(plat, sch, m.NominalPackageSize(), cfg); err != nil {
 		return nil, err
 	}
-	return mc.run()
+	return x.mc.run()
 }
+
+// Reset returns the machine to its post-prime state — queues empty,
+// counters zero, the event kernel at time zero — without touching the
+// arena storage: once warm it performs no allocations (pinned by
+// TestMachineResetAllocs). Reset is total: it restores a machine whose
+// last run failed, deadlocked or was abandoned mid-flight just as well
+// as one that completed. Resetting a machine that never ran is a
+// no-op.
+//
+// Reset is not required before Run — priming subsumes it — but pools
+// reset machines on check-in so a dirty run can never leak state into
+// the next checkout.
+func (x *Machine) Reset() { x.mc.reset() }
 
 // validateConfig rejects configurations the machine cannot honour.
 func validateConfig(cfg Config) error {
@@ -65,32 +112,51 @@ type emitEntry struct {
 	need int // input packages the process must have received first
 }
 
-// fuState is the runtime state of one functional unit (one hosted
-// process).
-type fuState struct {
-	proc     psdf.ProcessID
-	seg      int // hosting segment, 1-based
-	program  []emitEntry
+// Element state lives in parallel flat slices — static configuration,
+// dynamic run state and bound handlers — rather than one heap node per
+// element. The split keeps the per-run mutable state contiguous and
+// trivially zeroable (reset is a memclr sweep, not a pointer chase),
+// and the handlers capture (machine, index) pairs instead of element
+// pointers, so the arrays may be reallocated on growth without
+// invalidating a single closure.
+
+// fuStatic is the per-prime configuration of one functional unit (one
+// hosted process). program keeps its capacity across primes.
+type fuStatic struct {
+	proc    psdf.ProcessID
+	seg     int // hosting segment, 1-based
+	program []emitEntry
+}
+
+// fuDyn is the per-run mutable state of one functional unit. The zero
+// value is the post-prime state.
+type fuDyn struct {
 	next     int // next program entry (claimed when compute starts)
 	received int
 	sent     int
 	busy     bool
 	started  bool
+	gotRecv  bool
 	startPs  engine.Time
 	endPs    engine.Time
 	lastRecv engine.Time
-	gotRecv  bool
 
 	// In-flight emission context. An FU has at most one emission in
 	// flight (busy gates advanceFU until deliver), so the bound
-	// handlers below read these fields at fire time instead of
-	// capturing them — one closure per FU for the whole run rather
-	// than one per scheduled event.
+	// handlers read these fields at fire time instead of capturing
+	// them — one closure set per FU slot for the machine's lifetime
+	// rather than one per scheduled event. All three are only read
+	// between requestTransfer setting them and the transfer
+	// completing, so stale values after a reset are never observed.
 	pending  emitEntry
-	xferBuf  *buBuffer // reserved first-hop buffer (inter-segment only)
-	xferDst  int       // destination segment of the in-flight emission
-	xferHops int       // CA chain hops of the in-flight emission
+	xferBuf  int // reserved first-hop buffer index (inter-segment only)
+	xferDst  int // destination segment of the in-flight emission
+	xferHops int // CA chain hops of the in-flight emission
+}
 
+// fuHooks are the bound event handlers of one FU slot, built once when
+// the arena first grows to cover the slot.
+type fuHooks struct {
 	computeDone engine.Handler    // compute finished: raise the bus request
 	attempt     func(engine.Time) // first-hop buffer free: reserve it and request the fill
 	intraRun    func(engine.Time) // intra-segment transfer granted
@@ -99,7 +165,9 @@ type fuState struct {
 	fillEnd     engine.Handler    // first-hop fill completed
 }
 
-// busReq is one pending request for a segment bus.
+// busReq is one pending request for a segment bus. Requests are queued
+// by value — the per-segment queues keep their backing arrays across
+// runs, so steady-state arbitration allocates nothing.
 type busReq struct {
 	at   engine.Time // earliest time the request may be granted
 	prio int         // 0: border-unit unload, 1: master
@@ -142,19 +210,21 @@ func reqLess(policy Policy, a, b *busReq) bool {
 	return a.seq < b.seq
 }
 
-// segState is the runtime state of one segment: its bus, its arbiter's
-// counters and its clock domain.
-type segState struct {
-	index     int
-	clock     engine.Clock
+// segStatic is the per-prime configuration of one segment.
+type segStatic struct {
+	index int // 1-based segment id, as in the paper
+	clock engine.Clock
+}
+
+// segDyn is the per-run state of one segment: its bus occupancy and
+// its arbiter's counters. The zero value is the post-prime state.
+type segDyn struct {
 	busyUntil engine.Time
-	queue     []*busReq
 	intraReq  int
 	interReq  int
 	toLeft    int
 	toRight   int
 	lastBusy  engine.Time
-	pump      engine.Handler // bound once: the SA's arbitration step
 }
 
 // transitPkg is a package sitting in a border-unit buffer.
@@ -167,38 +237,41 @@ type transitPkg struct {
 	fullAt engine.Time // loaded (incl. sync overhead); waiting starts here
 }
 
-// buBuffer is one direction of a border unit: a depth-one FIFO.
-type buBuffer struct {
+// bufStatic is the per-prime route configuration of one border-unit
+// buffer direction: the segment it unloads onto, the next buffer of
+// the chain in its direction (-1 at the chain's end) and the
+// deterministic requester identity.
+type bufStatic struct {
 	bu        platform.BU
 	rightward bool
-	occupied  bool
-	reserved  bool
-	pkg       transitPkg
-	waiters   []func(now engine.Time)
+	nextSeg   int
+	next      int
+	id        int
+}
 
-	// Route constants, resolved once at machine construction: the
-	// segment the buffer unloads onto, the next buffer of the chain in
-	// its direction (nil at the chain's end) and the deterministic
-	// requester identity.
-	nextSeg int
-	next    *buBuffer
-	id      int
-
-	// In-flight package context for the bound handlers: the forward
-	// buffer chosen for the current package (nil: deliver onto
-	// nextSeg) and the unload data-phase start, recorded at grant time
-	// for the forward-load trace interval. Depth-one buffering makes
-	// both stable from load to unload completion.
-	forward     *buBuffer
+// bufDyn is the per-run state of one border-unit buffer direction: a
+// depth-one FIFO. The zero value is the post-prime state. forward and
+// dataStartPs are in-flight package context for the bound handlers —
+// the forward buffer chosen for the current package (-1: deliver onto
+// nextSeg) and the unload data-phase start, recorded at grant time for
+// the forward-load trace interval; depth-one buffering makes both
+// stable from load to unload completion, and both are set before they
+// are read.
+type bufDyn struct {
+	occupied    bool
+	reserved    bool
+	pkg         transitPkg
+	forward     int
 	dataStartPs engine.Time
+}
 
+// bufHooks are the bound event handlers of one buffer slot.
+type bufHooks struct {
 	startFn    engine.Handler    // buffer full: arrange the next hop
 	fwdAttempt func(engine.Time) // forward buffer free: reserve it and queue the unload
 	unloadRun  func(engine.Time) // unload granted on the next segment
 	unloadEnd  engine.Handler    // unload completed
 }
-
-func (b *buBuffer) free() bool { return !b.occupied && !b.reserved }
 
 // buStats collects the monitoring counters of one border unit (both
 // directions).
@@ -214,12 +287,11 @@ type buStats struct {
 	waitTicks     int64
 }
 
-type buKey struct {
-	left      int
-	rightward bool
-}
-
-// machine is one emulation instance.
+// machine is one emulation arena. Every slice below is either per-prime
+// configuration sized by prime, per-run state zeroed by reset, or a
+// bound-handler array that only ever grows (handlers capture slot
+// indices, never element pointers, so they survive both growth and
+// re-priming with a different model).
 type machine struct {
 	cfg     Config
 	plat    *platform.Platform
@@ -231,11 +303,24 @@ type machine struct {
 
 	caClock engine.Clock
 
-	fus     []*fuState
-	fuOf    map[psdf.ProcessID]*fuState
-	segs    []*segState // index 0 = segment 1
-	buffers map[buKey]*buBuffer
-	bus     map[int]*buStats // keyed by BU.Left
+	fuStat []fuStatic
+	fuDyn  []fuDyn
+	fuHook []fuHooks // len only grows; active prefix is len(fuStat)
+	fuOf   map[psdf.ProcessID]int
+
+	segStat []segStatic // index 0 = segment 1
+	segDyn  []segDyn
+	segReq  [][]busReq       // per-segment pending requests
+	segPump []engine.Handler // len only grows; the SA's arbitration step
+
+	// Border-unit buffers, two directions per unit, indexed
+	// (BU.Left-1)*2 for rightward and (BU.Left-1)*2+1 for leftward.
+	bufStat []bufStatic
+	bufDyn  []bufDyn
+	bufWait [][]func(engine.Time)
+	bufHook []bufHooks // len only grows
+
+	busSt []buStats // index 0 = BU.Left 1
 
 	stage      int
 	stageLeft  []int
@@ -247,97 +332,222 @@ type machine struct {
 	reqSeq      uint64
 	endPs       engine.Time
 
-	met *machineMetrics
+	// Emission-program derivation scratch, reused across primes:
+	// per-(source, order) package tallies keyed by the packed pair.
+	outSame map[uint64]int
+	kSame   map[uint64]int
+
+	met machineMetrics
 }
 
-func newMachine(plat *platform.Platform, sch *sched.Schedule, nominal int, cfg Config) (*machine, error) {
+// procOrderKey packs a (process, order) pair into one map key for the
+// emission-program scratch tables.
+func procOrderKey(p psdf.ProcessID, order int) uint64 {
+	return uint64(uint32(p))<<32 | uint64(uint32(order))
+}
+
+// inBefore and inSame are the per-process input package totals the
+// firing gates are derived from: packages a process receives on
+// earlier orders, respectively on the same order.
+func inBefore(sch *sched.Schedule, p psdf.ProcessID, order int) int {
+	n := 0
+	for i, f := range sch.Flows() {
+		if f.Target == p && f.Order < order {
+			n += sch.Packages(sched.FlowID(i))
+		}
+	}
+	return n
+}
+
+func inSame(sch *sched.Schedule, p psdf.ProcessID, order int) int {
+	n := 0
+	for i, f := range sch.Flows() {
+		if f.Target == p && f.Order == order {
+			n += sch.Packages(sched.FlowID(i))
+		}
+	}
+	return n
+}
+
+// sortFUs orders the FU slots by process id (insertion sort: FU counts
+// are small, process ids unique, and unlike sort.Slice it does not
+// allocate on the prime path).
+func sortFUs(s []fuStatic) {
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		j := i - 1
+		for j >= 0 && s[j].proc > e.proc {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = e
+	}
+}
+
+// grown extends s to length n, reusing its backing array and
+// allocating only when the capacity is exceeded. Elements carried over
+// from a previous prime are NOT cleared — callers overwrite or zero
+// the active prefix themselves.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]T, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+// bufIndex returns the arena slot of the given border-unit buffer
+// direction.
+func bufIndex(left int, rightward bool) int {
+	i := (left - 1) * 2
+	if !rightward {
+		i++
+	}
+	return i
+}
+
+// buRequesterID gives border-unit buffers a deterministic requester
+// identity disjoint from process ids (which are non-negative).
+func buRequesterID(left int, rightward bool) int {
+	id := -(left*2 + 1)
+	if rightward {
+		id--
+	}
+	return id
+}
+
+// prime configures the machine for one (model, platform, config)
+// triple: the event kernel is reset, the element arrays are sized and
+// their static configuration rebuilt, the per-run state zeroed and the
+// emission programs derived. A warm machine re-primes without
+// allocating except where the new shape outgrows the arena. prime is
+// total over dirty machines — it never reads run state left by a
+// previous (possibly failed) run.
+func (mc *machine) prime(plat *platform.Platform, sch *sched.Schedule, nominal int, cfg Config) error {
 	if cfg.DetectTicks == 0 {
 		cfg.DetectTicks = DefaultDetectTicks
 	}
-	mc := &machine{
-		cfg:     cfg,
-		plat:    plat,
-		sch:     sch,
-		sim:     engine.NewSim(),
-		s:       plat.PackageSize,
-		nominal: nominal,
-		header:  int64(plat.HeaderTicks),
-		caClock: engine.NewClock(plat.CAClock.PeriodPs()),
-		fuOf:    make(map[psdf.ProcessID]*fuState),
-		buffers: make(map[buKey]*buBuffer),
-		bus:     make(map[int]*buStats),
-	}
+	mc.cfg = cfg
+	mc.plat = plat
+	mc.sch = sch
+	mc.s = plat.PackageSize
+	mc.nominal = nominal
+	mc.header = int64(plat.HeaderTicks)
+	mc.caClock = engine.NewClock(plat.CAClock.PeriodPs())
+
+	mc.sim.Reset()
 	limit := cfg.StepLimit
 	if limit == 0 {
 		limit = 1000 + 64*uint64(sch.TotalPackages()+sch.NumFlows())*uint64(plat.NumSegments()+1)
 	}
 	mc.sim.SetStepLimit(limit)
-	mc.met = newMachineMetrics(cfg.Metrics, plat, cfg.Policy)
+	mc.met.init(cfg.Metrics, plat, cfg.Policy)
 	mc.sim.SetEventCounter(mc.met.events)
 
+	// Segments.
+	nSeg := plat.NumSegments()
+	mc.segStat = grown(mc.segStat, nSeg)
+	mc.segDyn = grown(mc.segDyn, nSeg)
+	mc.segReq = grown(mc.segReq, nSeg)
+	for i, seg := range plat.Segments {
+		mc.segStat[i] = segStatic{index: seg.Index, clock: engine.NewClock(seg.Clock.PeriodPs())}
+		mc.segDyn[i] = segDyn{}
+		mc.segReq[i] = mc.segReq[i][:0]
+	}
+	for len(mc.segPump) < nSeg {
+		i := len(mc.segPump)
+		mc.segPump = append(mc.segPump, func(now engine.Time) { mc.pumpSegment(i, now) })
+	}
+
+	// Border units: stats per unit, one buffer slot per direction.
+	bus := plat.BUs()
+	nBuf := 2 * len(bus)
+	mc.busSt = grown(mc.busSt, len(bus))
+	mc.bufStat = grown(mc.bufStat, nBuf)
+	mc.bufDyn = grown(mc.bufDyn, nBuf)
+	mc.bufWait = grown(mc.bufWait, nBuf)
+	for i, bu := range bus {
+		mc.busSt[i] = buStats{bu: bu}
+		for _, rightward := range [2]bool{true, false} {
+			b := bufIndex(bu.Left, rightward)
+			next := -1
+			nextSeg := bu.Left
+			if rightward {
+				nextSeg = bu.Right
+				if bu.Left+1 <= len(bus) {
+					next = bufIndex(bu.Left+1, true)
+				}
+			} else if bu.Left-1 >= 1 {
+				next = bufIndex(bu.Left-1, false)
+			}
+			mc.bufStat[b] = bufStatic{
+				bu: bu, rightward: rightward,
+				nextSeg: nextSeg, next: next,
+				id: buRequesterID(bu.Left, rightward),
+			}
+			mc.bufDyn[b] = bufDyn{forward: -1}
+			mc.bufWait[b] = mc.bufWait[b][:0]
+		}
+	}
+	for len(mc.bufHook) < nBuf {
+		mc.bindBuffer(len(mc.bufHook))
+	}
+
+	// One FU per hosted process, sorted by process id.
+	nFU := 0
 	for _, seg := range plat.Segments {
-		mc.segs = append(mc.segs, &segState{index: seg.Index, clock: engine.NewClock(seg.Clock.PeriodPs())})
+		nFU += len(seg.FUs)
 	}
-	for _, bu := range plat.BUs() {
-		mc.bus[bu.Left] = &buStats{bu: bu}
-		mc.buffers[buKey{bu.Left, true}] = &buBuffer{bu: bu, rightward: true}
-		mc.buffers[buKey{bu.Left, false}] = &buBuffer{bu: bu, rightward: false}
-	}
-
-	// Per-process, per-order input package totals for the firing gates.
-	inBefore := func(p psdf.ProcessID, order int) int {
-		n := 0
-		for i, f := range sch.Flows() {
-			if f.Target == p && f.Order < order {
-				n += sch.Packages(sched.FlowID(i))
-			}
-		}
-		return n
-	}
-	inSame := func(p psdf.ProcessID, order int) int {
-		n := 0
-		for i, f := range sch.Flows() {
-			if f.Target == p && f.Order == order {
-				n += sch.Packages(sched.FlowID(i))
-			}
-		}
-		return n
-	}
-
-	// Build one FU per hosted process with its emission program.
+	mc.fuStat = grown(mc.fuStat, nFU)
+	mc.fuDyn = grown(mc.fuDyn, nFU)
+	i := 0
 	for _, seg := range plat.Segments {
 		for _, pfu := range seg.FUs {
-			fu := &fuState{proc: pfu.Process, seg: seg.Index}
-			mc.fus = append(mc.fus, fu)
-			mc.fuOf[pfu.Process] = fu
+			st := &mc.fuStat[i]
+			st.proc = pfu.Process
+			st.seg = seg.Index
+			st.program = st.program[:0]
+			mc.fuDyn[i] = fuDyn{}
+			i++
 		}
 	}
-	sort.Slice(mc.fus, func(i, j int) bool { return mc.fus[i].proc < mc.fus[j].proc })
+	sortFUs(mc.fuStat)
+	if mc.fuOf == nil {
+		mc.fuOf = make(map[psdf.ProcessID]int, nFU)
+	} else {
+		clear(mc.fuOf)
+	}
+	for i := range mc.fuStat {
+		mc.fuOf[mc.fuStat[i].proc] = i
+	}
+	for len(mc.fuHook) < nFU {
+		mc.bindFU(len(mc.fuHook))
+	}
 
 	// Emission programs follow the canonical flow order; the per-order
 	// proportional gate interleaves same-order pipelines.
-	outSame := make(map[psdf.ProcessID]map[int]int)
-	for i, f := range sch.Flows() {
-		if outSame[f.Source] == nil {
-			outSame[f.Source] = make(map[int]int)
-		}
-		outSame[f.Source][f.Order] += sch.Packages(sched.FlowID(i))
+	if mc.outSame == nil {
+		mc.outSame = make(map[uint64]int)
+		mc.kSame = make(map[uint64]int)
+	} else {
+		clear(mc.outSame)
+		clear(mc.kSame)
 	}
-	kSame := make(map[psdf.ProcessID]map[int]int)
 	for i, f := range sch.Flows() {
-		fu := mc.fuOf[f.Source]
-		if fu == nil {
-			return nil, fmt.Errorf("emulator: flow %v source not hosted", f)
+		mc.outSame[procOrderKey(f.Source, f.Order)] += sch.Packages(sched.FlowID(i))
+	}
+	for i, f := range sch.Flows() {
+		fi, ok := mc.fuOf[f.Source]
+		if !ok {
+			return fmt.Errorf("emulator: flow %v source not hosted", f)
 		}
-		if kSame[f.Source] == nil {
-			kSame[f.Source] = make(map[int]int)
-		}
-		ib := inBefore(f.Source, f.Order)
-		is := inSame(f.Source, f.Order)
-		os := outSame[f.Source][f.Order]
+		fu := &mc.fuStat[fi]
+		key := procOrderKey(f.Source, f.Order)
+		ib := inBefore(sch, f.Source, f.Order)
+		is := inSame(sch, f.Source, f.Order)
+		os := mc.outSame[key]
 		for pkg := 1; pkg <= sch.Packages(sched.FlowID(i)); pkg++ {
-			kSame[f.Source][f.Order]++
-			k := kSame[f.Source][f.Order]
+			mc.kSame[key]++
+			k := mc.kSame[key]
 			need := ib
 			if is > 0 && os > 0 {
 				need = ib + (k*is+os-1)/os
@@ -346,99 +556,143 @@ func newMachine(plat *platform.Platform, sch *sched.Schedule, nominal int, cfg C
 		}
 	}
 
-	mc.bindHandlers()
-
-	mc.stageLeft = make([]int, sch.NumStages())
-	mc.stageStart = make([]engine.Time, sch.NumStages())
-	mc.stageEnd = make([]engine.Time, sch.NumStages())
+	// Stage accounting.
+	ns := sch.NumStages()
+	mc.stageLeft = grown(mc.stageLeft, ns)
+	mc.stageStart = grown(mc.stageStart, ns)
+	mc.stageEnd = grown(mc.stageEnd, ns)
+	for i := 0; i < ns; i++ {
+		mc.stageLeft[i] = 0
+		mc.stageStart[i] = 0
+		mc.stageEnd[i] = 0
+	}
 	for si, st := range sch.Stages() {
 		for _, id := range st.Flows {
 			mc.stageLeft[si] += sch.Packages(id)
 		}
 	}
-	return mc, nil
+
+	mc.stage = 0
+	mc.caBusyUntil = 0
+	mc.caRequests = 0
+	mc.reqSeq = 0
+	mc.endPs = 0
+	return nil
 }
 
-// bindHandlers builds the per-element event handlers once. The
-// simulation loop then schedules these bound closures instead of
-// allocating a fresh closure per event — the dominant allocation
-// source of the dispatch path before the pooled kernel (the handlers
-// read the owning element's in-flight state at fire time).
-func (mc *machine) bindHandlers() {
-	for _, g := range mc.segs {
-		g := g
-		g.pump = func(now engine.Time) { mc.pumpSegment(g, now) }
+// reset returns a primed machine to its post-prime state without
+// touching the arena's static configuration: per-run state is zeroed,
+// queues and waiter lists truncated, the kernel rewound to time zero.
+// Zero allocations once warm. A machine that was never primed has
+// nothing to reset.
+func (mc *machine) reset() {
+	if mc.sch == nil {
+		return
 	}
-	for _, fu := range mc.fus {
-		fu := fu
-		fu.computeDone = func(t engine.Time) { mc.requestTransfer(fu, fu.pending, t) }
-		fu.intraRun = func(grantAt engine.Time) {
-			mc.runIntra(fu, fu.pending, mc.segment(fu.seg), grantAt)
+	mc.sim.Reset()
+	for i := range mc.fuDyn {
+		mc.fuDyn[i] = fuDyn{}
+	}
+	for i := range mc.segDyn {
+		mc.segDyn[i] = segDyn{}
+		mc.segReq[i] = mc.segReq[i][:0]
+	}
+	for i := range mc.bufDyn {
+		mc.bufDyn[i] = bufDyn{forward: -1}
+		mc.bufWait[i] = mc.bufWait[i][:0]
+	}
+	for i := range mc.busSt {
+		mc.busSt[i] = buStats{bu: mc.busSt[i].bu}
+	}
+	for i := range mc.stageLeft {
+		mc.stageLeft[i] = 0
+		mc.stageStart[i] = 0
+		mc.stageEnd[i] = 0
+	}
+	for si, st := range mc.sch.Stages() {
+		for _, id := range st.Flows {
+			mc.stageLeft[si] += mc.sch.Packages(id)
 		}
-		fu.fillRun = func(grantAt engine.Time) {
-			mc.runFill(fu, fu.pending, mc.segment(fu.seg), fu.xferBuf, fu.xferDst, grantAt)
-		}
-		fu.attempt = func(t engine.Time) {
-			buf := fu.xferBuf
-			buf.reserved = true
+	}
+	mc.stage = 0
+	mc.caBusyUntil = 0
+	mc.caRequests = 0
+	mc.reqSeq = 0
+	mc.endPs = 0
+}
+
+// bindFU builds the bound event handlers of FU slot i and appends them
+// to the hook array. The closures capture only (mc, i): they read the
+// slot's state at fire time, so they survive arena growth and
+// re-priming with a different model.
+func (mc *machine) bindFU(i int) {
+	mc.fuHook = append(mc.fuHook, fuHooks{
+		computeDone: func(t engine.Time) { mc.requestTransfer(i, t) },
+		intraRun: func(grantAt engine.Time) {
+			mc.runIntra(i, grantAt)
+		},
+		fillRun: func(grantAt engine.Time) {
+			mc.runFill(i, grantAt)
+		},
+		attempt: func(t engine.Time) {
+			st, d := &mc.fuStat[i], &mc.fuDyn[i]
+			mc.bufDyn[d.xferBuf].reserved = true
 			grantT := mc.caGrant(t)
 			if mc.plat.CAHopTicks > 0 {
-				setup := mc.caClock.NextEdge(grantT) + mc.caClock.Ticks(int64(fu.xferHops*mc.plat.CAHopTicks))
+				setup := mc.caClock.NextEdge(grantT) + mc.caClock.Ticks(int64(d.xferHops*mc.plat.CAHopTicks))
 				if mc.cfg.Trace.Enabled() {
 					mc.cfg.Trace.AddInterval("CA", traceOverhead, int64(grantT), int64(setup),
-						fmt.Sprintf("chain setup %d->%d", fu.seg, fu.xferDst))
+						fmt.Sprintf("chain setup %d->%d", st.seg, d.xferDst))
 				}
 				grantT = setup
 			}
-			g := mc.segment(fu.seg)
-			mc.pushRequest(g, &busReq{at: grantT, prio: 1, id: int(fu.proc)}, fu.fillRun)
-		}
-		fu.intraEnd = func(now engine.Time) {
-			e := fu.pending
-			g := mc.segment(fu.seg)
-			fu.sent++
+			mc.pushRequest(st.seg-1, busReq{at: grantT, prio: 1, id: int(st.proc)}, mc.fuHook[i].fillRun)
+		},
+		intraEnd: func(now engine.Time) {
+			st, d := &mc.fuStat[i], &mc.fuDyn[i]
+			e := d.pending
+			d.sent++
 			mc.deliver(e.flow, e.pkg, now)
-			mc.pumpSegment(g, now)
-		}
-		fu.fillEnd = func(now engine.Time) { mc.finishFill(fu, now) }
-	}
-	for _, buf := range mc.buffers {
-		buf := buf
-		buf.nextSeg = buf.bu.Left
-		if buf.rightward {
-			buf.nextSeg = buf.bu.Right
-		}
-		if buf.rightward {
-			buf.next = mc.buffers[buKey{buf.nextSeg, true}]
-		} else {
-			buf.next = mc.buffers[buKey{buf.nextSeg - 1, false}]
-		}
-		buf.id = buID(buf)
-		buf.startFn = func(now engine.Time) {
-			if buf.nextSeg == buf.pkg.dstSeg {
-				buf.forward = nil
-				mc.queueUnload(buf, now)
-				return
-			}
-			if buf.next.free() {
-				buf.fwdAttempt(now)
-			} else {
-				buf.next.waiters = append(buf.next.waiters, buf.fwdAttempt)
-			}
-		}
-		buf.fwdAttempt = func(now engine.Time) {
-			buf.next.reserved = true
-			buf.forward = buf.next
-			mc.queueUnload(buf, now)
-		}
-		buf.unloadRun = func(grantAt engine.Time) {
-			mc.runUnload(buf, buf.forward, mc.segment(buf.nextSeg), grantAt)
-		}
-		buf.unloadEnd = func(now engine.Time) { mc.finishUnload(buf, now) }
-	}
+			mc.pumpSegment(st.seg-1, now)
+		},
+		fillEnd: func(now engine.Time) { mc.finishFill(i, now) },
+	})
 }
 
-func (mc *machine) segment(index int) *segState { return mc.segs[index-1] }
+// bindBuffer builds the bound event handlers of buffer slot b and
+// appends them to the hook array.
+func (mc *machine) bindBuffer(b int) {
+	mc.bufHook = append(mc.bufHook, bufHooks{
+		startFn: func(now engine.Time) {
+			st, d := &mc.bufStat[b], &mc.bufDyn[b]
+			if st.nextSeg == d.pkg.dstSeg {
+				d.forward = -1
+				mc.queueUnload(b, now)
+				return
+			}
+			if mc.bufFree(st.next) {
+				mc.bufHook[b].fwdAttempt(now)
+			} else {
+				mc.bufWait[st.next] = append(mc.bufWait[st.next], mc.bufHook[b].fwdAttempt)
+			}
+		},
+		fwdAttempt: func(now engine.Time) {
+			st, d := &mc.bufStat[b], &mc.bufDyn[b]
+			mc.bufDyn[st.next].reserved = true
+			d.forward = st.next
+			mc.queueUnload(b, now)
+		},
+		unloadRun: func(grantAt engine.Time) {
+			mc.runUnload(b, grantAt)
+		},
+		unloadEnd: func(now engine.Time) { mc.finishUnload(b, now) },
+	})
+}
+
+func (mc *machine) bufFree(b int) bool {
+	d := &mc.bufDyn[b]
+	return !d.occupied && !d.reserved
+}
 
 func (mc *machine) grantTicks() int64 { return int64(mc.cfg.Overheads.GrantTicks) }
 func (mc *machine) syncTicks() int64  { return int64(mc.cfg.Overheads.SyncTicks) }
@@ -477,8 +731,8 @@ func (mc *machine) run() (*Report, error) {
 	if mc.cfg.Observer != nil && mc.sch.NumStages() > 0 {
 		mc.cfg.Observer.StageStarted(mc.sch.Stages()[0].Order, 0)
 	}
-	for _, fu := range mc.fus {
-		mc.advanceFU(fu, 0)
+	for i := range mc.fuStat {
+		mc.advanceFU(i, 0)
 	}
 	var wallStart time.Time
 	if mc.met.enabled {
@@ -508,48 +762,50 @@ func (mc *machine) deadlockError() error {
 		Order:       mc.sch.Stages()[mc.stage].Order,
 		Undelivered: mc.stageLeft[mc.stage],
 	}
-	for _, fu := range mc.fus {
-		if fu.next >= len(fu.program) || fu.busy {
+	for i := range mc.fuStat {
+		st, d := &mc.fuStat[i], &mc.fuDyn[i]
+		if d.next >= len(st.program) || d.busy {
 			continue
 		}
-		e := fu.program[fu.next]
+		e := st.program[d.next]
 		if mc.sch.StageOf(e.flow) != mc.stage {
 			continue
 		}
-		de.Blocked = append(de.Blocked, BlockedProc{Proc: fu.proc, Need: e.need, Have: fu.received})
+		de.Blocked = append(de.Blocked, BlockedProc{Proc: st.proc, Need: e.need, Have: d.received})
 	}
 	return de
 }
 
 // advanceFU starts the FU's next emission if it is eligible: the flow's
 // stage is active and the firing gate is satisfied.
-func (mc *machine) advanceFU(fu *fuState, now engine.Time) {
-	if fu.busy || fu.next >= len(fu.program) || mc.stage >= len(mc.stageLeft) {
+func (mc *machine) advanceFU(i int, now engine.Time) {
+	st, d := &mc.fuStat[i], &mc.fuDyn[i]
+	if d.busy || d.next >= len(st.program) || mc.stage >= len(mc.stageLeft) {
 		return
 	}
-	e := fu.program[fu.next]
+	e := st.program[d.next]
 	if mc.sch.StageOf(e.flow) != mc.stage {
 		return
 	}
-	if fu.received < e.need {
+	if d.received < e.need {
 		return
 	}
-	fu.busy = true
-	fu.next++
-	clock := mc.segment(fu.seg).clock
+	d.busy = true
+	d.next++
+	clock := mc.segStat[st.seg-1].clock
 	start := clock.NextEdge(now)
-	if !fu.started {
-		fu.started = true
-		fu.startPs = start
+	if !d.started {
+		d.started = true
+		d.startPs = start
 	}
 	compEnd := start + clock.Ticks(mc.computeTicks(e.flow, e.pkg))
 	if mc.cfg.Trace.Enabled() {
 		f := mc.sch.Flow(e.flow)
-		mc.cfg.Trace.AddInterval(fu.proc.String(), traceCompute, int64(start), int64(compEnd),
+		mc.cfg.Trace.AddInterval(st.proc.String(), traceCompute, int64(start), int64(compEnd),
 			fmt.Sprintf("%s pkg %d/%d", flowLabel(f), e.pkg, mc.sch.Packages(e.flow)))
 	}
-	fu.pending = e
-	mc.sim.At(compEnd, prioCompute, fu.computeDone)
+	d.pending = e
+	mc.sim.At(compEnd, prioCompute, mc.fuHook[i].computeDone)
 }
 
 func flowLabel(f psdf.Flow) string {
@@ -559,40 +815,41 @@ func flowLabel(f psdf.Flow) string {
 // requestTransfer raises the bus request for a computed package:
 // directly at the local SA for intra-segment targets, via the CA and
 // the border-unit chain otherwise.
-func (mc *machine) requestTransfer(fu *fuState, e emitEntry, now engine.Time) {
+func (mc *machine) requestTransfer(i int, now engine.Time) {
+	st, d := &mc.fuStat[i], &mc.fuDyn[i]
+	e := d.pending
 	f := mc.sch.Flow(e.flow)
-	src := fu.seg
+	src := st.seg
 	dst := src
 	if f.Target != psdf.SystemOutput {
 		dst = mc.plat.SegmentOf(f.Target)
 	}
-	g := mc.segment(src)
 	if src == dst {
-		g.intraReq++
-		mc.pushRequest(g, &busReq{at: now, prio: 1, id: int(fu.proc)}, fu.intraRun)
+		mc.segDyn[src-1].intraReq++
+		mc.pushRequest(src-1, busReq{at: now, prio: 1, id: int(st.proc)}, mc.fuHook[i].intraRun)
 		return
 	}
 
-	g.interReq++
+	mc.segDyn[src-1].interReq++
 	rightward := dst > src
-	fu.xferDst = dst
-	fu.xferHops = mc.plat.Hops(src, dst)
+	d.xferDst = dst
+	d.xferHops = mc.plat.Hops(src, dst)
 	buf := mc.firstBuffer(src, rightward)
-	fu.xferBuf = buf
-	if buf.free() {
-		fu.attempt(now)
+	d.xferBuf = buf
+	if mc.bufFree(buf) {
+		mc.fuHook[i].attempt(now)
 	} else {
-		buf.waiters = append(buf.waiters, fu.attempt)
+		mc.bufWait[buf] = append(mc.bufWait[buf], mc.fuHook[i].attempt)
 	}
 }
 
-// firstBuffer returns the border-unit buffer a master on segment src
-// streams into for the given direction.
-func (mc *machine) firstBuffer(src int, rightward bool) *buBuffer {
+// firstBuffer returns the border-unit buffer slot a master on segment
+// src streams into for the given direction.
+func (mc *machine) firstBuffer(src int, rightward bool) int {
 	if rightward {
-		return mc.buffers[buKey{src, true}]
+		return bufIndex(src, true)
 	}
-	return mc.buffers[buKey{src - 1, false}]
+	return bufIndex(src-1, false)
 }
 
 // caGrant records an inter-segment request at the CA and returns the
@@ -624,57 +881,58 @@ func (mc *machine) caRelease(end engine.Time) {
 	mc.cfg.Trace.AddInterval("CA", traceOverhead, int64(t), int64(mc.caBusyUntil), "grant reset")
 }
 
-// pushRequest queues a bus request on segment g and schedules a grant
-// decision.
-func (mc *machine) pushRequest(g *segState, r *busReq, run func(engine.Time)) {
+// pushRequest queues a bus request on segment si (0-based) and
+// schedules a grant decision.
+func (mc *machine) pushRequest(si int, r busReq, run func(engine.Time)) {
 	r.seq = mc.reqSeq
 	mc.reqSeq++
 	r.run = run
-	g.queue = append(g.queue, r)
-	mc.scheduleGrant(g, maxTime(r.at, mc.sim.Now()))
+	mc.segReq[si] = append(mc.segReq[si], r)
+	mc.scheduleGrant(si, maxTime(r.at, mc.sim.Now()))
 }
 
-func (mc *machine) scheduleGrant(g *segState, at engine.Time) {
-	mc.sim.At(maxTime(at, mc.sim.Now()), prioGrant, g.pump)
+func (mc *machine) scheduleGrant(si int, at engine.Time) {
+	mc.sim.At(maxTime(at, mc.sim.Now()), prioGrant, mc.segPump[si])
 }
 
 // pumpSegment is the SA's arbitration step: when the bus is free it
 // grants the best eligible pending request (border-unit unloads before
 // masters, then request time, then requester id).
-func (mc *machine) pumpSegment(g *segState, now engine.Time) {
-	if len(g.queue) == 0 {
+func (mc *machine) pumpSegment(si int, now engine.Time) {
+	q := mc.segReq[si]
+	if len(q) == 0 {
 		return
 	}
-	if now < g.busyUntil {
-		mc.met.denials[g.index-1].Inc()
-		mc.scheduleGrant(g, g.busyUntil)
+	if now < mc.segDyn[si].busyUntil {
+		mc.met.denials[si].Inc()
+		mc.scheduleGrant(si, mc.segDyn[si].busyUntil)
 		return
 	}
 	best := -1
-	for i, r := range g.queue {
-		if r.at > now {
+	for i := range q {
+		if q[i].at > now {
 			continue
 		}
-		if best < 0 || reqLess(mc.cfg.Policy, r, g.queue[best]) {
+		if best < 0 || reqLess(mc.cfg.Policy, &q[i], &q[best]) {
 			best = i
 		}
 	}
 	if best < 0 {
 		earliest := engine.MaxTime
-		for _, r := range g.queue {
-			if r.at < earliest {
-				earliest = r.at
+		for i := range q {
+			if q[i].at < earliest {
+				earliest = q[i].at
 			}
 		}
-		mc.scheduleGrant(g, earliest)
+		mc.scheduleGrant(si, earliest)
 		return
 	}
-	r := g.queue[best]
-	g.queue = append(g.queue[:best], g.queue[best+1:]...)
-	mc.met.grants[g.index-1].Inc()
-	mc.met.contention[g.index-1].Observe(int64(now - r.at))
+	r := q[best] // copy before the splice overwrites the slot
+	mc.segReq[si] = append(q[:best], q[best+1:]...)
+	mc.met.grants[si].Inc()
+	mc.met.contention[si].Observe(int64(now - r.at))
 	if mc.cfg.Observer != nil {
-		mc.cfg.Observer.TransferGranted(g.index, int64(now))
+		mc.cfg.Observer.TransferGranted(mc.segStat[si].index, int64(now))
 	}
 	r.run(now)
 }
@@ -682,184 +940,205 @@ func (mc *machine) pumpSegment(g *segState, now engine.Time) {
 // runIntra performs an intra-segment package transfer: the bus is
 // occupied for GrantTicks + s ticks of the segment clock, and the
 // package is delivered to the local slave at the end.
-func (mc *machine) runIntra(fu *fuState, e emitEntry, g *segState, grantAt engine.Time) {
-	start := g.clock.NextEdge(grantAt)
-	dataStart := start + g.clock.Ticks(mc.grantTicks()+mc.header)
-	end := dataStart + g.clock.Ticks(int64(mc.itemsInPackage(e.flow, e.pkg)))
+func (mc *machine) runIntra(i int, grantAt engine.Time) {
+	st, d := &mc.fuStat[i], &mc.fuDyn[i]
+	e := d.pending
+	si := st.seg - 1
+	g := &mc.segDyn[si]
+	clock := mc.segStat[si].clock
+	start := clock.NextEdge(grantAt)
+	dataStart := start + clock.Ticks(mc.grantTicks()+mc.header)
+	end := dataStart + clock.Ticks(int64(mc.itemsInPackage(e.flow, e.pkg)))
 	g.busyUntil = end
 	g.lastBusy = end
 	if mc.cfg.Trace.Enabled() {
 		f := mc.sch.Flow(e.flow)
-		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", g.index), traceTransfer, int64(start), int64(end),
+		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", st.seg), traceTransfer, int64(start), int64(end),
 			fmt.Sprintf("%s pkg %d", flowLabel(f), e.pkg))
 	}
-	mc.sim.At(end, prioEffect, fu.intraEnd)
+	mc.sim.At(end, prioEffect, mc.fuHook[i].intraEnd)
 }
 
 // runFill performs the first hop of an inter-segment transfer: the
 // master streams the package into the reserved border-unit buffer over
 // its own segment bus.
-func (mc *machine) runFill(fu *fuState, e emitEntry, g *segState, buf *buBuffer, dstSeg int, grantAt engine.Time) {
+func (mc *machine) runFill(i int, grantAt engine.Time) {
+	st, d := &mc.fuStat[i], &mc.fuDyn[i]
+	e := d.pending
+	si := st.seg - 1
+	g := &mc.segDyn[si]
+	clock := mc.segStat[si].clock
+	buf := &mc.bufStat[d.xferBuf]
 	items := mc.itemsInPackage(e.flow, e.pkg)
-	start := g.clock.NextEdge(grantAt)
-	dataStart := start + g.clock.Ticks(mc.grantTicks()+mc.header)
-	end := dataStart + g.clock.Ticks(int64(items))
+	start := clock.NextEdge(grantAt)
+	dataStart := start + clock.Ticks(mc.grantTicks()+mc.header)
+	end := dataStart + clock.Ticks(int64(items))
 	g.busyUntil = end
 	g.lastBusy = end
 	if mc.cfg.Trace.Enabled() {
 		f := mc.sch.Flow(e.flow)
-		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", g.index), traceTransfer, int64(start), int64(end),
+		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", st.seg), traceTransfer, int64(start), int64(end),
 			fmt.Sprintf("%s pkg %d fill %s", flowLabel(f), e.pkg, buf.bu.Name()))
 		mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBULoad, int64(dataStart), int64(end),
 			fmt.Sprintf("%s pkg %d", flowLabel(f), e.pkg))
 	}
-	mc.sim.At(end, prioEffect, fu.fillEnd)
+	mc.sim.At(end, prioEffect, mc.fuHook[i].fillEnd)
 }
 
 // finishFill is the bound fill-completed handler body: the package is
 // now sitting in the reserved border-unit buffer, the source segment
 // is released and the next hop is arranged.
-func (mc *machine) finishFill(fu *fuState, now engine.Time) {
-	e := fu.pending
-	buf := fu.xferBuf
-	g := mc.segment(fu.seg)
+func (mc *machine) finishFill(i int, now engine.Time) {
+	st, d := &mc.fuStat[i], &mc.fuDyn[i]
+	e := d.pending
+	b := d.xferBuf
+	buf := &mc.bufStat[b]
+	bd := &mc.bufDyn[b]
+	si := st.seg - 1
+	g := &mc.segDyn[si]
 	items := mc.itemsInPackage(e.flow, e.pkg)
-	st := mc.bus[buf.bu.Left]
+	bst := &mc.busSt[buf.bu.Left-1]
 	mc.caRelease(now)
-	fullAt := now + g.clock.Ticks(mc.syncTicks())
-	buf.reserved = false
-	buf.occupied = true
-	buf.pkg = transitPkg{flow: e.flow, pkg: e.pkg, items: items, srcSeg: fu.seg, dstSeg: fu.xferDst, fullAt: fullAt}
-	st.in++
-	st.loadTicks += int64(items)
-	mc.met.buLoad[buf.bu.Left].Add(int64(items))
+	fullAt := now + mc.segStat[si].clock.Ticks(mc.syncTicks())
+	bd.reserved = false
+	bd.occupied = true
+	bd.pkg = transitPkg{flow: e.flow, pkg: e.pkg, items: items, srcSeg: st.seg, dstSeg: d.xferDst, fullAt: fullAt}
+	bst.in++
+	bst.loadTicks += int64(items)
+	mc.met.buLoad[buf.bu.Left-1].Add(int64(items))
 	if buf.rightward {
-		st.recvFromLeft++
+		bst.recvFromLeft++
 		g.toRight++
 	} else {
-		st.recvFromRight++
+		bst.recvFromRight++
 		g.toLeft++
 	}
 	// The master holds its circuit until the package reaches its
 	// destination: it is released by the delivery, not here
 	// (end-to-end, circuit-switched transfer semantics).
-	fu.sent++
-	mc.pumpSegment(g, now)
-	mc.startUnload(buf, fullAt)
+	d.sent++
+	mc.pumpSegment(si, now)
+	mc.startUnload(b, fullAt)
 }
 
 // startUnload arranges the next hop for a loaded buffer: either a
 // delivery onto the destination segment, or a forward into the next
 // border unit of the route (which must first be free).
-func (mc *machine) startUnload(buf *buBuffer, t engine.Time) {
-	mc.sim.At(maxTime(t, mc.sim.Now()), prioCompute, buf.startFn)
+func (mc *machine) startUnload(b int, t engine.Time) {
+	mc.sim.At(maxTime(t, mc.sim.Now()), prioCompute, mc.bufHook[b].startFn)
 }
 
 // queueUnload raises the unload request on the buffer's next segment.
-// buf.forward has been set by the caller: nil for a delivery onto the
-// destination segment, the next buffer of the chain otherwise.
-func (mc *machine) queueUnload(buf *buBuffer, now engine.Time) {
-	ns := mc.segment(buf.nextSeg)
-	ns.intraReq++
-	mc.pushRequest(ns, &busReq{at: now, prio: 0, id: buf.id}, buf.unloadRun)
-}
-
-// buID gives border-unit buffers a deterministic requester identity
-// disjoint from process ids (which are non-negative).
-func buID(buf *buBuffer) int {
-	id := -(buf.bu.Left*2 + 1)
-	if buf.rightward {
-		id--
-	}
-	return id
+// The buffer's forward slot has been set by the caller: -1 for a
+// delivery onto the destination segment, the next buffer of the chain
+// otherwise.
+func (mc *machine) queueUnload(b int, now engine.Time) {
+	st := &mc.bufStat[b]
+	ni := st.nextSeg - 1
+	mc.segDyn[ni].intraReq++
+	mc.pushRequest(ni, busReq{at: now, prio: 0, id: st.id}, mc.bufHook[b].unloadRun)
 }
 
 // runUnload performs one forwarding hop: the buffer's package crosses
-// onto segment ns, either delivered to the target FU (forward == nil)
-// or loaded into the next border unit.
-func (mc *machine) runUnload(buf *buBuffer, forward *buBuffer, ns *segState, grantAt engine.Time) {
-	pkg := buf.pkg
-	start := ns.clock.NextEdge(grantAt)
-	dataStart := start + ns.clock.Ticks(mc.grantTicks()+mc.syncTicks()+mc.header)
-	end := dataStart + ns.clock.Ticks(int64(pkg.items))
+// onto its next segment, either delivered to the target FU (forward
+// == -1) or loaded into the next border unit.
+func (mc *machine) runUnload(b int, grantAt engine.Time) {
+	buf := &mc.bufStat[b]
+	bd := &mc.bufDyn[b]
+	pkg := bd.pkg
+	ni := buf.nextSeg - 1
+	ns := &mc.segDyn[ni]
+	clock := mc.segStat[ni].clock
+	start := clock.NextEdge(grantAt)
+	dataStart := start + clock.Ticks(mc.grantTicks()+mc.syncTicks()+mc.header)
+	end := dataStart + clock.Ticks(int64(pkg.items))
 	ns.busyUntil = end
 	ns.lastBusy = end
-	st := mc.bus[buf.bu.Left]
+	bst := &mc.busSt[buf.bu.Left-1]
 	// The waiting period (WP) of section 4: from the package being
 	// loaded until the next segment's arbiter grants the unload,
 	// rounded up to whole ticks of the receiving clock domain.
 	if wait := int64(start - pkg.fullAt); wait > 0 {
-		ticks := (wait + ns.clock.PeriodPs() - 1) / ns.clock.PeriodPs()
-		st.waitTicks += ticks
-		mc.met.buWait[buf.bu.Left].Add(ticks)
+		ticks := (wait + clock.PeriodPs() - 1) / clock.PeriodPs()
+		bst.waitTicks += ticks
+		mc.met.buWait[buf.bu.Left-1].Add(ticks)
 		if mc.cfg.Trace.Enabled() {
 			mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUWait, int64(pkg.fullAt), int64(start),
 				fmt.Sprintf("%s pkg %d", flowLabel(mc.sch.Flow(pkg.flow)), pkg.pkg))
 		}
 	}
-	st.unloadTicks += int64(pkg.items)
-	mc.met.buUnload[buf.bu.Left].Add(int64(pkg.items))
+	bst.unloadTicks += int64(pkg.items)
+	mc.met.buUnload[buf.bu.Left-1].Add(int64(pkg.items))
 	if mc.cfg.Trace.Enabled() {
 		f := mc.sch.Flow(pkg.flow)
-		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", ns.index), traceTransfer, int64(start), int64(end),
+		mc.cfg.Trace.AddInterval(fmt.Sprintf("Segment %d", buf.nextSeg), traceTransfer, int64(start), int64(end),
 			fmt.Sprintf("%s pkg %d unload %s", flowLabel(f), pkg.pkg, buf.bu.Name()))
 		mc.cfg.Trace.AddInterval(buf.bu.Name(), traceBUUnload, int64(dataStart), int64(end),
 			fmt.Sprintf("%s pkg %d", flowLabel(f), pkg.pkg))
 	}
-	buf.dataStartPs = dataStart
-	mc.sim.At(end, prioEffect, buf.unloadEnd)
+	bd.dataStartPs = dataStart
+	mc.sim.At(end, prioEffect, mc.bufHook[b].unloadEnd)
 }
 
 // finishUnload is the bound unload-completed handler body: the
 // package has crossed onto the next segment — deliver it or load it
 // into the forward buffer, then hand the freed buffer to any waiter
 // and pump the segment.
-func (mc *machine) finishUnload(buf *buBuffer, now engine.Time) {
-	pkg := buf.pkg
-	forward := buf.forward
-	ns := mc.segment(buf.nextSeg)
-	st := mc.bus[buf.bu.Left]
-	st.out++
+func (mc *machine) finishUnload(b int, now engine.Time) {
+	buf := &mc.bufStat[b]
+	bd := &mc.bufDyn[b]
+	pkg := bd.pkg
+	forward := bd.forward
+	ni := buf.nextSeg - 1
+	bst := &mc.busSt[buf.bu.Left-1]
+	bst.out++
 	if buf.rightward {
-		st.sentToRight++
+		bst.sentToRight++
 	} else {
-		st.sentToLeft++
+		bst.sentToLeft++
 	}
-	buf.occupied = false
-	buf.pkg = transitPkg{}
-	mc.serveWaiters(buf, now)
-	if forward == nil {
+	bd.occupied = false
+	bd.pkg = transitPkg{}
+	mc.serveWaiters(b, now)
+	if forward < 0 {
 		mc.deliver(pkg.flow, pkg.pkg, now)
 	} else {
-		fst := mc.bus[forward.bu.Left]
-		fullAt := now + ns.clock.Ticks(mc.syncTicks())
-		forward.reserved = false
-		forward.occupied = true
-		forward.pkg = transitPkg{flow: pkg.flow, pkg: pkg.pkg, items: pkg.items, srcSeg: pkg.srcSeg, dstSeg: pkg.dstSeg, fullAt: fullAt}
+		fwd := &mc.bufStat[forward]
+		fd := &mc.bufDyn[forward]
+		fst := &mc.busSt[fwd.bu.Left-1]
+		fullAt := now + mc.segStat[ni].clock.Ticks(mc.syncTicks())
+		fd.reserved = false
+		fd.occupied = true
+		fd.pkg = transitPkg{flow: pkg.flow, pkg: pkg.pkg, items: pkg.items, srcSeg: pkg.srcSeg, dstSeg: pkg.dstSeg, fullAt: fullAt}
 		fst.in++
 		fst.loadTicks += int64(pkg.items)
-		mc.met.buLoad[forward.bu.Left].Add(int64(pkg.items))
-		if forward.rightward {
+		mc.met.buLoad[fwd.bu.Left-1].Add(int64(pkg.items))
+		if fwd.rightward {
 			fst.recvFromLeft++
 		} else {
 			fst.recvFromRight++
 		}
 		if mc.cfg.Trace.Enabled() {
-			mc.cfg.Trace.AddInterval(forward.bu.Name(), traceBULoad, int64(buf.dataStartPs), int64(now),
+			mc.cfg.Trace.AddInterval(fwd.bu.Name(), traceBULoad, int64(bd.dataStartPs), int64(now),
 				fmt.Sprintf("%s pkg %d", flowLabel(mc.sch.Flow(pkg.flow)), pkg.pkg))
 		}
 		mc.startUnload(forward, fullAt)
 	}
-	mc.pumpSegment(ns, now)
+	mc.pumpSegment(ni, now)
 }
 
 // serveWaiters hands a freed buffer to the first registered waiter.
-func (mc *machine) serveWaiters(buf *buBuffer, now engine.Time) {
-	if !buf.free() || len(buf.waiters) == 0 {
+// The waiter list is drained front-first with a copy-down so its
+// backing array is reused across the whole run.
+func (mc *machine) serveWaiters(b int, now engine.Time) {
+	ws := mc.bufWait[b]
+	if !mc.bufFree(b) || len(ws) == 0 {
 		return
 	}
-	w := buf.waiters[0]
-	buf.waiters = buf.waiters[1:]
+	w := ws[0]
+	copy(ws, ws[1:])
+	ws[len(ws)-1] = nil
+	mc.bufWait[b] = ws[:len(ws)-1]
 	w(now)
 }
 
@@ -875,17 +1154,19 @@ func (mc *machine) deliver(id sched.FlowID, pkg int, now engine.Time) {
 	if mc.cfg.Observer != nil {
 		mc.cfg.Observer.PackageDelivered(int(f.Source), int(f.Target), pkg, int64(now))
 	}
-	if sfu := mc.fuOf[f.Source]; sfu != nil {
-		sfu.endPs = now
-		sfu.busy = false
-		mc.advanceFU(sfu, now)
+	if si, ok := mc.fuOf[f.Source]; ok {
+		sd := &mc.fuDyn[si]
+		sd.endPs = now
+		sd.busy = false
+		mc.advanceFU(si, now)
 	}
 	if f.Target != psdf.SystemOutput {
-		tfu := mc.fuOf[f.Target]
-		tfu.received++
-		tfu.lastRecv = now
-		tfu.gotRecv = true
-		mc.advanceFU(tfu, now)
+		ti := mc.fuOf[f.Target]
+		td := &mc.fuDyn[ti]
+		td.received++
+		td.lastRecv = now
+		td.gotRecv = true
+		mc.advanceFU(ti, now)
 	}
 	si := mc.sch.StageOf(id)
 	mc.stageLeft[si]--
@@ -903,8 +1184,8 @@ func (mc *machine) deliver(id sched.FlowID, pkg int, now engine.Time) {
 				mc.cfg.Observer.StageStarted(mc.sch.Stages()[mc.stage].Order, int64(now))
 			}
 		}
-		for _, fu := range mc.fus {
-			mc.advanceFU(fu, now)
+		for i := range mc.fuStat {
+			mc.advanceFU(i, now)
 		}
 	}
 }
@@ -922,19 +1203,20 @@ func (mc *machine) report() *Report {
 		EndPs:       mc.endPs,
 		Steps:       mc.sim.Steps(),
 	}
-	for _, g := range mc.segs {
-		seg := mc.plat.Segment(g.index)
-		tct := g.clock.TicksElapsed(g.lastBusy)
+	for i := range mc.segStat {
+		st, g := &mc.segStat[i], &mc.segDyn[i]
+		seg := mc.plat.Segment(st.index)
+		tct := st.clock.TicksElapsed(g.lastBusy)
 		sa := SAStats{
-			Segment:       g.index,
+			Segment:       st.index,
 			Clock:         seg.Clock,
 			TCT:           tct,
 			IntraRequests: g.intraReq,
 			InterRequests: g.interReq,
-			ExecTimePs:    engine.Time(tct * g.clock.PeriodPs()),
+			ExecTimePs:    engine.Time(tct * st.clock.PeriodPs()),
 		}
 		r.SAs = append(r.SAs, sa)
-		r.Segments = append(r.Segments, SegmentStats{Segment: g.index, ToLeft: g.toLeft, ToRight: g.toRight, LastBusy: g.lastBusy})
+		r.Segments = append(r.Segments, SegmentStats{Segment: st.index, ToLeft: g.toLeft, ToRight: g.toRight, LastBusy: g.lastBusy})
 	}
 	caTCT := mc.caClock.TicksElapsed(mc.endPs) + mc.cfg.DetectTicks
 	r.CA = CAStats{
@@ -949,12 +1231,12 @@ func (mc *machine) report() *Report {
 			r.ExecutionTimePs = sa.ExecTimePs
 		}
 	}
-	for _, bu := range mc.plat.BUs() {
-		st := mc.bus[bu.Left]
+	for i := range mc.busSt {
+		st := &mc.busSt[i]
 		r.BUs = append(r.BUs, BUStats{
-			Name:          bu.Name(),
-			Left:          bu.Left,
-			Right:         bu.Right,
+			Name:          st.bu.Name(),
+			Left:          st.bu.Left,
+			Right:         st.bu.Right,
 			InPackages:    st.in,
 			OutPackages:   st.out,
 			RecvFromLeft:  st.recvFromLeft,
@@ -979,20 +1261,21 @@ func (mc *machine) report() *Report {
 			EndPs:    mc.stageEnd[si],
 		})
 	}
-	for _, fu := range mc.fus {
+	for i := range mc.fuStat {
+		st, d := &mc.fuStat[i], &mc.fuDyn[i]
 		ps := ProcessStats{
-			Process:       fu.proc,
-			Segment:       fu.seg,
-			StartPs:       fu.startPs,
-			EndPs:         fu.endPs,
-			SentPackages:  fu.sent,
-			RecvPackages:  fu.received,
-			LastReceivePs: fu.lastRecv,
+			Process:       st.proc,
+			Segment:       st.seg,
+			StartPs:       d.startPs,
+			EndPs:         d.endPs,
+			SentPackages:  d.sent,
+			RecvPackages:  d.received,
+			LastReceivePs: d.lastRecv,
 		}
-		if fu.sent == 0 && fu.gotRecv {
-			ps.StartPs = fu.lastRecv
-			ps.EndPs = fu.lastRecv
-			mc.cfg.Trace.AddMark(fu.proc.String(), "received last package", int64(fu.lastRecv))
+		if d.sent == 0 && d.gotRecv {
+			ps.StartPs = d.lastRecv
+			ps.EndPs = d.lastRecv
+			mc.cfg.Trace.AddMark(st.proc.String(), "received last package", int64(d.lastRecv))
 		}
 		r.Processes = append(r.Processes, ps)
 	}

@@ -33,10 +33,13 @@ var contentionBoundsPs = []int64{
 	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000,
 }
 
-// machineMetrics holds the per-run metric handles, resolved once at
-// machine construction so the simulation loop never touches the
-// registry. With a nil registry every handle is nil and each update
-// is a single predictable branch (the *Trace no-op idiom).
+// machineMetrics holds the per-run metric handles, resolved at prime
+// so the simulation loop never touches the registry. With a nil
+// registry every handle is nil and each update is a single predictable
+// branch (the *Trace no-op idiom). The handle slices are reused across
+// primes — a pooled machine running without a registry re-primes its
+// metrics with zero allocations once the slices reached the platform's
+// size.
 type machineMetrics struct {
 	enabled bool
 
@@ -51,26 +54,21 @@ type machineMetrics struct {
 	denials    []*obs.Counter
 	contention []*obs.Histogram
 
-	buLoad   map[int]*obs.Counter // keyed by BU.Left
-	buUnload map[int]*obs.Counter
-	buWait   map[int]*obs.Counter
+	buLoad   []*obs.Counter // index 0 = BU.Left 1
+	buUnload []*obs.Counter
+	buWait   []*obs.Counter
 }
 
-// newMachineMetrics resolves every handle the machine updates. reg
-// may be nil (metrics disabled).
-func newMachineMetrics(reg *obs.Registry, plat *platform.Platform, policy Policy) *machineMetrics {
-	mm := &machineMetrics{
-		enabled:    reg != nil,
-		runs:       reg.Counter(metricRuns),
-		events:     reg.Counter(metricEvents),
-		caRequests: reg.Counter(metricCARequests),
-		delivered:  reg.Counter(metricDelivered),
-		simRate:    reg.VolatileGauge(metricSimPsPerSec),
-		evRate:     reg.VolatileGauge(metricEvPerSec),
-		buLoad:     make(map[int]*obs.Counter),
-		buUnload:   make(map[int]*obs.Counter),
-		buWait:     make(map[int]*obs.Counter),
-	}
+// init resolves every handle the machine updates. reg may be nil
+// (metrics disabled).
+func (mm *machineMetrics) init(reg *obs.Registry, plat *platform.Platform, policy Policy) {
+	mm.enabled = reg != nil
+	mm.runs = reg.Counter(metricRuns)
+	mm.events = reg.Counter(metricEvents)
+	mm.caRequests = reg.Counter(metricCARequests)
+	mm.delivered = reg.Counter(metricDelivered)
+	mm.simRate = reg.VolatileGauge(metricSimPsPerSec)
+	mm.evRate = reg.VolatileGauge(metricEvPerSec)
 	if reg != nil {
 		reg.Describe(metricRuns, "emulation runs recorded into this registry")
 		reg.Describe(metricEvents, "discrete events processed by the simulation kernel")
@@ -86,16 +84,31 @@ func newMachineMetrics(reg *obs.Registry, plat *platform.Platform, policy Policy
 		reg.Describe(metricEvPerSec, "kernel events dispatched per wall-clock second (volatile)")
 	}
 	pol := policy.String()
-	for _, seg := range plat.Segments {
+	nSeg := plat.NumSegments()
+	mm.grants = grown(mm.grants, nSeg)
+	mm.denials = grown(mm.denials, nSeg)
+	mm.contention = grown(mm.contention, nSeg)
+	for i, seg := range plat.Segments {
+		if reg == nil {
+			mm.grants[i], mm.denials[i], mm.contention[i] = nil, nil, nil
+			continue
+		}
 		segLabel := strconv.Itoa(seg.Index)
-		mm.grants = append(mm.grants, reg.Counter(metricGrants, "policy", pol, "segment", segLabel))
-		mm.denials = append(mm.denials, reg.Counter(metricDenials, "policy", pol, "segment", segLabel))
-		mm.contention = append(mm.contention, reg.Histogram(metricContention, contentionBoundsPs, "segment", segLabel))
+		mm.grants[i] = reg.Counter(metricGrants, "policy", pol, "segment", segLabel)
+		mm.denials[i] = reg.Counter(metricDenials, "policy", pol, "segment", segLabel)
+		mm.contention[i] = reg.Histogram(metricContention, contentionBoundsPs, "segment", segLabel)
 	}
-	for _, bu := range plat.BUs() {
-		mm.buLoad[bu.Left] = reg.Counter(metricBULoad, "bu", bu.Name())
-		mm.buUnload[bu.Left] = reg.Counter(metricBUUnload, "bu", bu.Name())
-		mm.buWait[bu.Left] = reg.Counter(metricBUWait, "bu", bu.Name())
+	bus := plat.BUs()
+	mm.buLoad = grown(mm.buLoad, len(bus))
+	mm.buUnload = grown(mm.buUnload, len(bus))
+	mm.buWait = grown(mm.buWait, len(bus))
+	for i, bu := range bus {
+		if reg == nil {
+			mm.buLoad[i], mm.buUnload[i], mm.buWait[i] = nil, nil, nil
+			continue
+		}
+		mm.buLoad[i] = reg.Counter(metricBULoad, "bu", bu.Name())
+		mm.buUnload[i] = reg.Counter(metricBUUnload, "bu", bu.Name())
+		mm.buWait[i] = reg.Counter(metricBUWait, "bu", bu.Name())
 	}
-	return mm
 }

@@ -300,6 +300,39 @@ func (s *Sim) Cancel(id EventID) {
 // condition ahead of queue exhaustion.
 func (s *Sim) Stop() { s.stopped = true }
 
+// Reset returns the simulation to time zero with an empty queue while
+// keeping the heap and slot arrays for reuse: a Reset-then-reschedule
+// cycle performs no allocations once the arrays have grown to their
+// working size. Every pooled slot is relinked into the free list with
+// its generation bumped, so EventIDs issued before the Reset can never
+// cancel an event scheduled after it. The step limit and event counter
+// are deliberately kept — callers that reconfigure per run overwrite
+// them anyway, and callers that don't expect them to persist.
+//
+// The sequence counter restarts at zero, so two identical schedules —
+// one on a fresh Sim, one after Reset — dispatch in byte-identical
+// order: the order key is (time, priority, sequence) and slot indices
+// never influence it.
+func (s *Sim) Reset() {
+	s.heap = s.heap[:0]
+	s.freeHead = -1
+	for i := range s.pool {
+		sl := &s.pool[i]
+		sl.fn = nil
+		sl.gen++
+		if sl.gen == 0 {
+			sl.gen = 1
+		}
+		sl.next = s.freeHead
+		s.freeHead = int32(i)
+	}
+	s.now = 0
+	s.live = 0
+	s.seq = 0
+	s.steps = 0
+	s.stopped = false
+}
+
 // Pending returns the number of live (non-canceled) events in the
 // queue. The count is maintained incrementally on schedule, fire and
 // cancel — O(1), not a queue scan.

@@ -1,0 +1,136 @@
+package engine
+
+import "testing"
+
+// record drives a deterministic little workload — staggered schedules
+// across three priorities, a couple of cancellations, one in-handler
+// reschedule — and returns the dispatch trace as (time, tag) pairs.
+func record(s *Sim) ([]Time, []int, error) {
+	var times []Time
+	var tags []int
+	note := func(tag int) Handler {
+		return func(now Time) {
+			times = append(times, now)
+			tags = append(tags, tag)
+		}
+	}
+	s.At(5, 1, note(1))
+	s.At(5, 0, note(2))
+	dead := s.At(7, 0, note(3))
+	s.At(9, 2, func(now Time) {
+		note(4)(now)
+		s.After(3, 0, note(5))
+	})
+	s.Cancel(dead)
+	_, err := s.Run()
+	return times, tags, err
+}
+
+// TestResetReplaysFresh: the same schedule dispatched on a fresh Sim
+// and on a Reset one produces the identical trace — Reset restores
+// time zero and restarts the sequence counter, so the (time, priority,
+// sequence) order key replays exactly.
+func TestResetReplaysFresh(t *testing.T) {
+	fresh := NewSim()
+	wantTimes, wantTags, err := record(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSim()
+	if _, _, err := record(s); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		s.Reset()
+		if s.Now() != 0 || s.Pending() != 0 || s.Steps() != 0 {
+			t.Fatalf("round %d: Reset left now=%v pending=%d steps=%d",
+				round, s.Now(), s.Pending(), s.Steps())
+		}
+		times, tags, err := record(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(times) != len(wantTimes) {
+			t.Fatalf("round %d: %d events, want %d", round, len(times), len(wantTimes))
+		}
+		for i := range times {
+			if times[i] != wantTimes[i] || tags[i] != wantTags[i] {
+				t.Fatalf("round %d event %d: (%v,%d), want (%v,%d)",
+					round, i, times[i], tags[i], wantTimes[i], wantTags[i])
+			}
+		}
+	}
+}
+
+// TestResetInvalidatesStaleIDs: an EventID issued before a Reset must
+// not cancel the event that lands on the same slot afterwards.
+func TestResetInvalidatesStaleIDs(t *testing.T) {
+	s := NewSim()
+	var stale []EventID
+	for i := 0; i < 8; i++ {
+		stale = append(stale, s.At(Time(10+i), 0, func(Time) {}))
+	}
+	s.Reset()
+	fired := 0
+	for i := 0; i < 8; i++ {
+		s.At(Time(10+i), 0, func(Time) { fired++ })
+	}
+	for _, id := range stale {
+		s.Cancel(id)
+	}
+	if s.Pending() != 8 {
+		t.Fatalf("stale cancels removed live events (pending = %d)", s.Pending())
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 8 {
+		t.Errorf("fired %d of 8 events scheduled after Reset", fired)
+	}
+}
+
+// TestResetMidQueue: Reset while events are still queued drops them —
+// the queue empties without firing anything.
+func TestResetMidQueue(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.At(100, 0, func(Time) { fired = true })
+	s.Reset()
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("event scheduled before Reset fired after it")
+	}
+	if s.Now() != 0 {
+		t.Errorf("now = %v after draining an emptied queue", s.Now())
+	}
+}
+
+// TestResetAllocs pins the arena-reuse guarantee: once the heap and the
+// slot pool have grown to the workload's high-water mark, a
+// Reset-schedule-drain cycle performs zero heap allocations.
+func TestResetAllocs(t *testing.T) {
+	s := NewSim()
+	noop := Handler(func(Time) {})
+	var err error
+	cycle := func() {
+		s.Reset()
+		for i := 0; i < 64; i++ {
+			s.At(Time(1+i%17), i%3, noop)
+		}
+		_, err = s.Run()
+	}
+	cycle() // warm the heap and the pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("Reset cycle allocates %v per round, want 0", allocs)
+	}
+}

@@ -41,6 +41,21 @@ const (
 	MetricServedCacheShardMisses    = "segbus_served_cache_shard_misses_total"
 	MetricServedCacheShardEvictions = "segbus_served_cache_shard_evictions_total"
 
+	// MetricServedPoolHits / Misses / Discards count machine-pool
+	// checkouts: a hit reuses a warm emulator machine, a miss
+	// constructs a fresh one, a discard drops a returned machine
+	// because its shape's free list (or the pool's shape budget) was
+	// full. hits+misses = emulations executed.
+	MetricServedPoolHits     = "segbus_served_machine_pool_hits_total"
+	MetricServedPoolMisses   = "segbus_served_machine_pool_misses_total"
+	MetricServedPoolDiscards = "segbus_served_machine_pool_discards_total"
+
+	// MetricServedRawHits counts estimate requests answered from the
+	// raw-request index: the byte-level fast path that recognises a
+	// verbatim repeat of an already-served request body before any XML
+	// parsing or canonicalisation happens.
+	MetricServedRawHits = "segbus_served_raw_index_hits_total"
+
 	// MetricServedQueueFull counts requests shed with 429 because the
 	// worker pool had no admission capacity.
 	MetricServedQueueFull = "segbus_served_queue_rejections_total"
@@ -76,6 +91,10 @@ type ServerMetrics struct {
 	CacheEvictions *Counter
 	Coalesced      *Counter
 	BatchItems     *Counter
+	PoolHits       *Counter
+	PoolMisses     *Counter
+	PoolDiscards   *Counter
+	RawHits        *Counter
 	QueueFull      *Counter
 	Deadline       *Counter
 }
@@ -92,6 +111,10 @@ func NewServerMetrics(reg *Registry) *ServerMetrics {
 		CacheEvictions: reg.Counter(MetricServedCacheEvictions),
 		Coalesced:      reg.Counter(MetricServedCoalesced),
 		BatchItems:     reg.Counter(MetricServedBatchItems),
+		PoolHits:       reg.Counter(MetricServedPoolHits),
+		PoolMisses:     reg.Counter(MetricServedPoolMisses),
+		PoolDiscards:   reg.Counter(MetricServedPoolDiscards),
+		RawHits:        reg.Counter(MetricServedRawHits),
 		QueueFull:      reg.Counter(MetricServedQueueFull),
 		Deadline:       reg.Counter(MetricServedDeadline),
 	}
@@ -107,6 +130,10 @@ func NewServerMetrics(reg *Registry) *ServerMetrics {
 	reg.Describe(MetricServedCacheShardHits, "result-cache probe hits by shard")
 	reg.Describe(MetricServedCacheShardMisses, "result-cache probe misses by shard")
 	reg.Describe(MetricServedCacheShardEvictions, "result-cache entries evicted by shard")
+	reg.Describe(MetricServedPoolHits, "emulations that reused a pooled machine")
+	reg.Describe(MetricServedPoolMisses, "emulations that constructed a fresh machine")
+	reg.Describe(MetricServedPoolDiscards, "returned machines dropped because the pool was full")
+	reg.Describe(MetricServedRawHits, "estimate requests answered from the raw-request index")
 	reg.Describe(MetricServedQueueFull, "requests shed with 429 (worker pool saturated)")
 	reg.Describe(MetricServedDeadline, "requests that exceeded their deadline (504)")
 	return m

@@ -12,6 +12,8 @@ package platform
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"segbus/internal/psdf"
 )
@@ -92,11 +94,11 @@ type Segment struct {
 }
 
 // Name returns the conventional segment name, e.g. "Segment 2".
-func (s *Segment) Name() string { return fmt.Sprintf("Segment %d", s.Index) }
+func (s *Segment) Name() string { return "Segment " + strconv.Itoa(s.Index) }
 
 // SAName returns the conventional name of the segment's arbiter,
 // e.g. "SA2".
-func (s *Segment) SAName() string { return fmt.Sprintf("SA%d", s.Index) }
+func (s *Segment) SAName() string { return "SA" + strconv.Itoa(s.Index) }
 
 // Hosts reports whether the segment hosts the given process.
 func (s *Segment) Hosts(p psdf.ProcessID) bool {
@@ -284,17 +286,22 @@ func (p *Platform) MoveProcess(proc psdf.ProcessID, toSegment int) error {
 // String renders the allocation in the paper's Figure 9 style, with
 // segment borders marked as "||": "0 1 2 3 8 9 10 || 5 6 7 ... || 4".
 func (p *Platform) String() string {
-	s := ""
+	nfu := 0
+	for _, seg := range p.Segments {
+		nfu += len(seg.FUs)
+	}
+	var b strings.Builder
+	b.Grow(4*nfu + 4*len(p.Segments))
 	for i, seg := range p.Segments {
 		if i > 0 {
-			s += " || "
+			b.WriteString(" || ")
 		}
 		for j, fu := range seg.FUs {
 			if j > 0 {
-				s += " "
+				b.WriteByte(' ')
 			}
-			s += fmt.Sprintf("%d", int(fu.Process))
+			b.WriteString(strconv.Itoa(int(fu.Process)))
 		}
 	}
-	return s
+	return b.String()
 }

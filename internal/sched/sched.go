@@ -57,14 +57,14 @@ func Extract(m *psdf.Model, packageSize int) (*Schedule, error) {
 	if packageSize <= 0 {
 		return nil, fmt.Errorf("sched: non-positive package size %d", packageSize)
 	}
+	n := m.NumProcesses()
 	s := &Schedule{
 		PackageSize: packageSize,
 		flows:       m.Flows(),
-		inPkgs:      make(map[psdf.ProcessID]int),
-		outPkgs:     make(map[psdf.ProcessID]int),
+		inPkgs:      make(map[psdf.ProcessID]int, n),
+		outPkgs:     make(map[psdf.ProcessID]int, n),
 	}
 	s.packages = make([]int, len(s.flows))
-	byOrder := make(map[int][]FlowID)
 	for i, f := range s.flows {
 		pk := f.Packages(packageSize)
 		s.packages[i] = pk
@@ -72,15 +72,32 @@ func Extract(m *psdf.Model, packageSize int) (*Schedule, error) {
 		if f.Target != psdf.SystemOutput {
 			s.inPkgs[f.Target] += pk
 		}
-		byOrder[f.Order] = append(byOrder[f.Order], FlowID(i))
 	}
-	orders := make([]int, 0, len(byOrder))
-	for t := range byOrder {
-		orders = append(orders, t)
+	// Stage partition: one shared id array, stably sorted by order so
+	// ids of equal order keep their flow-list position, then sliced
+	// into per-stage windows — no per-order slice growth.
+	ids := make([]FlowID, len(s.flows))
+	for i := range ids {
+		ids[i] = FlowID(i)
 	}
-	sort.Ints(orders)
-	for _, t := range orders {
-		s.stages = append(s.stages, Stage{Order: t, Flows: byOrder[t]})
+	sort.SliceStable(ids, func(a, b int) bool {
+		return s.flows[ids[a]].Order < s.flows[ids[b]].Order
+	})
+	distinct := 0
+	for i := range ids {
+		if i == 0 || s.flows[ids[i]].Order != s.flows[ids[i-1]].Order {
+			distinct++
+		}
+	}
+	s.stages = make([]Stage, 0, distinct)
+	for lo := 0; lo < len(ids); {
+		hi := lo
+		order := s.flows[ids[lo]].Order
+		for hi < len(ids) && s.flows[ids[hi]].Order == order {
+			hi++
+		}
+		s.stages = append(s.stages, Stage{Order: order, Flows: ids[lo:hi:hi]})
+		lo = hi
 	}
 	return s, nil
 }

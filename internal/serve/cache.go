@@ -154,6 +154,68 @@ func (c *Cache) shardFor(key string) uint32 {
 	return h & c.mask
 }
 
+// shardForBytes routes a raw binary key (a SHA-256 digest) to its
+// shard: the first byte is uniformly distributed by construction, so
+// it routes evenly on its own. Raw keys live in their own Cache
+// instance (the raw-request index), so the two routing schemes never
+// mix within one cache.
+func (c *Cache) shardForBytes(key []byte) uint32 {
+	if len(key) == 0 {
+		return 0
+	}
+	return uint32(key[0]) & c.mask
+}
+
+// GetBytes is Get for a raw binary key. The lookup converts the key
+// in place (the compiler elides the map-index string conversion), so
+// a probe performs zero heap allocations — the property the raw
+// fast path's latency depends on.
+func (c *Cache) GetBytes(key []byte) ([]byte, bool) {
+	if c == nil || c.max <= 0 {
+		return nil, false
+	}
+	s := c.shards[c.shardForBytes(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[string(key)]
+	if !ok {
+		s.misses++
+		s.mMisses.Inc()
+		return nil, false
+	}
+	s.hits++
+	s.mHits.Inc()
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// PutBytes is Put for a raw binary key; the key is copied into an
+// owned string only when a new entry is inserted.
+func (c *Cache) PutBytes(key []byte, val []byte) (evicted bool) {
+	if c == nil || c.max <= 0 {
+		return false
+	}
+	s := c.shards[c.shardForBytes(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[string(key)]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		return false
+	}
+	k := string(key)
+	s.items[k] = s.ll.PushFront(&cacheEntry{key: k, val: val})
+	if s.ll.Len() <= s.max {
+		return false
+	}
+	oldest := s.ll.Back()
+	s.ll.Remove(oldest)
+	delete(s.items, oldest.Value.(*cacheEntry).key)
+	s.evictions++
+	s.mEvictions.Inc()
+	return true
+}
+
 // ShardFor returns the shard index a key routes to, or -1 when
 // caching is disabled — the value request traces attach to their
 // cache-probe spans.

@@ -19,8 +19,9 @@ import (
 // value. Timings are the only nondeterministic part and are zeroed
 // before the diff; everything else — trace ids included — is fixed by
 // the forced traceparent headers and the request order (one cold miss
-// with the full emulation breakdown, one warm hit). Regenerate after a
-// deliberate schema change with
+// with the full emulation breakdown, one verbatim repeat answered by
+// the raw-request index, one whitespace-variant answered by the
+// canonical cache). Regenerate after a deliberate schema change with
 //
 //	UPDATE_GOLDEN=1 go test -run TestDebugRequestsGolden ./internal/serve
 func TestDebugRequestsGolden(t *testing.T) {
@@ -28,16 +29,21 @@ func TestDebugRequestsGolden(t *testing.T) {
 	h := s.Handler()
 	psdfXML, psmXML := goldenSchemes(t)
 	b := body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})
+	bCanon := body(t, EstimateRequest{PSDF: psdfXML + "\n", PSM: psmXML})
 
 	const (
-		tpCold = "00-000102030405060708090a0b0c0d0e0f-0102030405060708-01"
-		tpWarm = "00-0f0e0d0c0b0a09080706050403020100-0807060504030201-01"
+		tpCold  = "00-000102030405060708090a0b0c0d0e0f-0102030405060708-01"
+		tpRaw   = "00-0f0e0d0c0b0a09080706050403020100-0807060504030201-01"
+		tpCanon = "00-00112233445566778899aabbccddeeff-1122334455667788-01"
 	)
 	if rec := postTraced(h, b, tpCold); rec.Code != http.StatusOK {
 		t.Fatalf("cold status %d: %s", rec.Code, rec.Body.String())
 	}
-	if rec := postTraced(h, b, tpWarm); rec.Code != http.StatusOK {
-		t.Fatalf("warm status %d: %s", rec.Code, rec.Body.String())
+	if rec := postTraced(h, b, tpRaw); rec.Code != http.StatusOK {
+		t.Fatalf("raw-hit status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := postTraced(h, bCanon, tpCanon); rec.Code != http.StatusOK {
+		t.Fatalf("canonical-hit status %d: %s", rec.Code, rec.Body.String())
 	}
 
 	rec := httptest.NewRecorder()

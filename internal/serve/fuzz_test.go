@@ -37,6 +37,23 @@ func FuzzEstimateHandler(f *testing.F) {
 		f.Add(body)
 		// A mutated sibling: valid envelope, damaged scheme.
 		f.Add(bytes.Replace(body, []byte("xs:element"), []byte("xs:elemen"), 1))
+		// Pool-stressing siblings: the same schemes under different
+		// options churn the machine pool and the raw index with
+		// distinct shape keys and raw keys while the canonical key
+		// space stays small.
+		if i < 3 {
+			for _, req := range []EstimateRequest{
+				{PSDF: string(psdfXML), PSM: string(psmXML), PackageSize: 6 + i},
+				{PSDF: string(psdfXML), PSM: string(psmXML), Policy: "fifo"},
+				{PSDF: string(psdfXML), PSM: string(psmXML), DetectTicks: int64(i + 1)},
+			} {
+				b, err := json.Marshal(req)
+				if err != nil {
+					f.Fatal(err)
+				}
+				f.Add(b)
+			}
+		}
 	}
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"psdf":"x","psm":"y"}`))

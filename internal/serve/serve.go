@@ -11,7 +11,11 @@
 //   - a sharded content-addressed LRU result cache (Cache) keyed by
 //     core.Key's canonical hash of model + platform + options, so
 //     repeated design-space probes are served without re-simulation
-//     and concurrent probes for different keys rarely share a lock;
+//     and concurrent probes for different keys rarely share a lock —
+//     fronted by a raw-request index that recognises a verbatim
+//     repeat of an already-served request before any parsing work,
+//     and backed by a machine pool that reuses warm emulator arenas
+//     across cold runs (see pool.go and rawkey.go);
 //   - single-flight coalescing (flightGroup): K identical in-flight
 //     requests — batch items included — trigger exactly one
 //     emulation, with every waiter sharing the leader's
@@ -187,6 +191,8 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	cache    *Cache
+	rawIndex *Cache       // raw-request byte index; nil when caching is disabled
+	machines *machinePool // warm emulator machines for the leader path
 	flights  *flightGroup
 	pool     *parallel.Pool
 	metrics  *obs.ServerMetrics
@@ -203,12 +209,19 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatchItems <= 0 {
 		cfg.MaxBatchItems = 64
 	}
+	metrics := obs.NewServerMetrics(cfg.Registry)
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewShardedCache(cfg.CacheEntries, cfg.CacheShards, cfg.Registry),
-		flights: newFlightGroup(),
-		pool:    parallel.NewPool(cfg.Workers, cfg.Queue),
-		metrics: obs.NewServerMetrics(cfg.Registry),
+		cfg:      cfg,
+		cache:    NewShardedCache(cfg.CacheEntries, cfg.CacheShards, cfg.Registry),
+		machines: newMachinePool(metrics),
+		flights:  newFlightGroup(),
+		pool:     parallel.NewPool(cfg.Workers, cfg.Queue),
+		metrics:  metrics,
+	}
+	if cfg.CacheEntries > 0 {
+		// The raw index shares the result cache's sizing but not its
+		// shard-labelled counters — its hits surface as RawHits.
+		s.rawIndex = NewShardedCache(cfg.CacheEntries, cfg.CacheShards, nil)
 	}
 	if cfg.TraceSample >= 0 {
 		s.tracer = reqtrace.New(cfg.TraceSample, cfg.TraceSeed)
@@ -558,10 +571,16 @@ func (s *Server) estimate(ctx context.Context, tr *reqtrace.Trace, parent reqtra
 // emulate runs the leader's pooled emulation and classifies every
 // admission and run failure into its service code. A traced request
 // gets a "pool_wait" span for the admission wait (reported by the
-// pool's observer hook, so it covers exactly the invisible queue time)
-// and an "emulate" span around the runner; the observer closure is
-// only built when the request is sampled, so the untraced path calls
-// plain Submit semantics with a nil hook.
+// pool's observer hook, so it covers exactly the invisible queue time),
+// a "pool_checkout" span recording whether the machine pool served a
+// warm machine, and an "emulate" span around the runner; the observer
+// closure is only built when the request is sampled, so the untraced
+// path calls plain Submit semantics with a nil hook.
+//
+// The emulation runs on a checked-out pool machine through
+// ReportJSONOn — byte-identical to a fresh run, minus the
+// construction cost — and the machine goes back to the pool on every
+// outcome, including failed runs (Reset is total).
 func (s *Server) emulate(ctx context.Context, tr *reqtrace.Trace, parent reqtrace.SpanID, pr *parsed) outcome {
 	var body []byte
 	var runErr error
@@ -570,12 +589,24 @@ func (s *Server) emulate(ctx context.Context, tr *reqtrace.Trace, parent reqtrac
 		observe = func(wait time.Duration) { tr.SpanPast(parent, "pool_wait", wait) }
 	}
 	err := s.pool.SubmitObserved(ctx, observe, func() {
-		sp := tr.Child(parent, "emulate")
+		sp := tr.Child(parent, "pool_checkout")
+		shape := shapeKey(pr.m, pr.plat)
+		mc, warm := s.machines.get(shape)
+		if tr != nil {
+			if warm {
+				tr.Attr(sp, "result", "hit")
+			} else {
+				tr.Attr(sp, "result", "miss")
+			}
+		}
+		tr.End(sp)
+		sp = tr.Child(parent, "emulate")
 		if s.cfg.OnEmulate != nil {
 			s.cfg.OnEmulate()
 		}
-		body, runErr = pr.runner.ReportJSON(pr.m, pr.plat)
+		body, runErr = pr.runner.ReportJSONOn(mc, pr.m, pr.plat)
 		tr.End(sp)
+		s.machines.put(shape, mc)
 	})
 	switch {
 	case errors.Is(err, parallel.ErrQueueFull):
@@ -611,8 +642,13 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return r.Context(), func() {}
 }
 
-// handleEstimate is the single-estimate endpoint: decode → shared
-// pipeline → one report or one coded error.
+// handleEstimate is the single-estimate endpoint: decode → raw-index
+// probe → shared pipeline → one report or one coded error. The raw
+// probe ("raw_probe" span) short-circuits a verbatim repeat of an
+// already-served request before any scheme parsing; everything else
+// falls through to the canonical pipeline, whose 200s feed the raw
+// index for next time. Batch items never consult the raw index — they
+// deduplicate against each other by canonical key instead.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining", nil)
@@ -633,6 +669,20 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.End(sp)
+	if s.rawIndex != nil {
+		sp = tr.Span("raw_probe")
+		if body, ok := s.RawProbe(&req); ok {
+			tr.Attr(sp, "result", "hit")
+			tr.End(sp)
+			s.metrics.RawHits.Inc()
+			sp = tr.Span("serialize")
+			writeReport(w, body, "hit")
+			tr.End(sp)
+			return
+		}
+		tr.Attr(sp, "result", "miss")
+		tr.End(sp)
+	}
 	pr, out := s.parseRequest(tr, reqtrace.RootSpan, &req)
 	if out.status != 0 {
 		fail(w, out.status, out.code, out.msg, out.diags)
@@ -645,6 +695,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		fail(w, out.status, out.code, out.msg, out.diags)
 		return
 	}
+	s.rawStore(&req, out.body)
 	sp = tr.Span("serialize")
 	writeReport(w, out.body, out.cache)
 	tr.End(sp)

@@ -359,8 +359,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	s := New(Config{Workers: 1, Queue: 1, CacheEntries: 4, Registry: reg})
 	h := s.Handler()
 
-	post(h, body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})) // miss
-	post(h, body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML})) // hit
+	post(h, body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML}))        // miss
+	post(h, body(t, EstimateRequest{PSDF: psdfXML, PSM: psmXML}))        // raw-index hit (verbatim repeat)
+	post(h, body(t, EstimateRequest{PSDF: psdfXML + "\n", PSM: psmXML})) // canonical cache hit (new bytes, same model)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
@@ -371,7 +372,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		obs.MetricServedCacheHits + " 1",
 		obs.MetricServedCacheMisses + " 1",
-		obs.MetricServedRequests + `{code="200",endpoint="/estimate"} 2`,
+		obs.MetricServedRawHits + " 1",
+		obs.MetricServedPoolMisses + " 1",
+		obs.MetricServedRequests + `{code="200",endpoint="/estimate"} 3`,
 		"# HELP " + obs.MetricServedLatency,
 	} {
 		if !strings.Contains(exposition, want) {

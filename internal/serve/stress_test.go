@@ -116,13 +116,24 @@ func TestServeStress(t *testing.T) {
 		ok200.Load(), shed429.Load(), s.Cache().Len())
 
 	// The shared state must balance: every estimate request is
-	// accounted as exactly one of hit/miss/coalesced/shed.
+	// accounted as exactly one of raw-hit/hit/miss/coalesced/shed.
 	snap := reg.Snapshot(false)
+	raw := snap[obs.MetricServedRawHits]
 	hits := snap[obs.MetricServedCacheHits]
 	misses := snap[obs.MetricServedCacheMisses]
 	coalesced := snap[obs.MetricServedCoalesced]
-	if hits+misses+coalesced != float64(ok200.Load()) {
-		t.Errorf("hits(%v)+misses(%v)+coalesced(%v) != 200s(%d)", hits, misses, coalesced, ok200.Load())
+	if raw+hits+misses+coalesced != float64(ok200.Load()) {
+		t.Errorf("raw(%v)+hits(%v)+misses(%v)+coalesced(%v) != 200s(%d)", raw, hits, misses, coalesced, ok200.Load())
+	}
+
+	// The machine pool reconciles on its own axis: every executed
+	// emulation checked out exactly one machine (hit or miss), and
+	// every successful emulation is a cache miss, so with no failing
+	// runs the two tallies agree.
+	poolHits := snap[obs.MetricServedPoolHits]
+	poolMisses := snap[obs.MetricServedPoolMisses]
+	if poolHits+poolMisses != misses {
+		t.Errorf("pool checkouts hit(%v)+miss(%v) != emulations(%v)", poolHits, poolMisses, misses)
 	}
 	if shed := snap[obs.MetricServedQueueFull]; shed != float64(shed429.Load()) {
 		t.Errorf("queue-full counter %v != observed 429s %d", shed, shed429.Load())

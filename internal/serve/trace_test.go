@@ -79,8 +79,9 @@ func TestTraceparentForcesServerTrace(t *testing.T) {
 		t.Fatalf("unsampled request recorded %d snapshots", n)
 	}
 
-	// Forced request: cache is warm now, so the breakdown is the hit
-	// path.
+	// Forced request: the identical body now lands on the raw-request
+	// index, so the breakdown is the byte-level fast path — no
+	// parsing, no canonical probe, no emulation.
 	rec = postTraced(h, b, forcedParent)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -108,10 +109,40 @@ func TestTraceparentForcesServerTrace(t *testing.T) {
 	if snap.Endpoint != "/estimate" || snap.Status != http.StatusOK {
 		t.Errorf("snapshot endpoint/status = %s/%d", snap.Endpoint, snap.Status)
 	}
-	for _, name := range []string{"request", "decode", "parse", "fingerprint", "cache_probe", "serialize"} {
+	for _, name := range []string{"request", "decode", "raw_probe", "serialize"} {
 		if findSpan(snap, name) < 0 {
 			t.Errorf("missing span %q in %v", name, spanNames(snap))
 		}
+	}
+	if res := snap.Spans[findSpan(snap, "raw_probe")].Attr("result"); res != "hit" {
+		t.Errorf("verbatim repeat raw probe result = %q, want hit", res)
+	}
+	for _, name := range []string{"parse", "cache_probe", "emulate"} {
+		if findSpan(snap, name) >= 0 {
+			t.Errorf("raw hit grew a %q span: %v", name, spanNames(snap))
+		}
+	}
+
+	// A semantically identical request with different bytes (trailing
+	// whitespace on the scheme) misses the raw index and travels the
+	// canonical path to a content-addressed cache hit.
+	b2 := body(t, EstimateRequest{PSDF: psdfXML + "\n", PSM: psmXML})
+	canonID := "00000000000000000000000000000042"
+	rec = postTraced(h, b2, "00-"+canonID+"-b7ad6b7169203331-01")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("canonical-path status %d: %s", rec.Code, rec.Body.String())
+	}
+	snap = s.Recorder().Find(canonID)
+	if snap == nil {
+		t.Fatal("canonical-path trace not in the flight recorder")
+	}
+	for _, name := range []string{"request", "decode", "raw_probe", "parse", "fingerprint", "cache_probe", "serialize"} {
+		if findSpan(snap, name) < 0 {
+			t.Errorf("missing span %q in %v", name, spanNames(snap))
+		}
+	}
+	if res := snap.Spans[findSpan(snap, "raw_probe")].Attr("result"); res != "miss" {
+		t.Errorf("new-bytes raw probe result = %q, want miss", res)
 	}
 	probe := snap.Spans[findSpan(snap, "cache_probe")]
 	if probe.Attr("result") != "hit" {
@@ -147,7 +178,7 @@ func TestColdTraceBreakdown(t *testing.T) {
 	if snap == nil {
 		t.Fatal("trace not recorded")
 	}
-	for _, name := range []string{"cache_probe", "flight", "pool_wait", "emulate"} {
+	for _, name := range []string{"raw_probe", "cache_probe", "flight", "pool_wait", "pool_checkout", "emulate"} {
 		if findSpan(snap, name) < 0 {
 			t.Fatalf("missing span %q in %v", name, spanNames(snap))
 		}
@@ -157,6 +188,9 @@ func TestColdTraceBreakdown(t *testing.T) {
 	}
 	if res := snap.Spans[findSpan(snap, "cache_probe")].Attr("result"); res != "miss" {
 		t.Errorf("cold cache probe result = %q, want miss", res)
+	}
+	if res := snap.Spans[findSpan(snap, "pool_checkout")].Attr("result"); res != "miss" {
+		t.Errorf("first-ever pool checkout result = %q, want miss", res)
 	}
 
 	// Differential containment: the trace and the test share no clock,

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — record the repository's performance trajectory.
 #
-#   scripts/bench.sh              # full calibrated run, writes BENCH_8.json
+#   scripts/bench.sh              # full calibrated run, writes BENCH_9.json
 #   scripts/bench.sh -quick       # CI smoke: fixed small iteration counts,
 #                                 # writes to a throwaway file and validates it
 #   scripts/bench.sh -out F.json  # full run to a custom path
@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=BENCH_8.json
+out=BENCH_9.json
 quick=""
 while [ $# -gt 0 ]; do
 	case "$1" in

@@ -25,10 +25,13 @@ go test -shuffle=on -count=1 ./...
 go test -bench=. -benchtime=1x -run '^$' ./...
 
 # Trajectory-recorder smoke: the battery runs end to end in quick mode
-# and its output passes the schema gate; then the committed trajectory
-# record must still satisfy the same gate.
+# and its output passes the schema gate; then every committed point of
+# the trajectory — across all record schema versions — must still
+# satisfy the gate.
 scripts/bench.sh -quick
-go run ./cmd/segbus-bench -bench-validate BENCH_8.json
+for rec in BENCH_*.json; do
+	go run ./cmd/segbus-bench -bench-validate "$rec"
+done
 
 # The event kernel is the hottest shared state in the tree; give its
 # suite (dispatch-order replay, alloc regression, pending bookkeeping)
@@ -83,9 +86,19 @@ go test -count=1 -run TestTracingOverheadSmoke ./internal/serve
 # Serve stress under the race detector, extra rounds: the suite above
 # already ran it once; repeating it in fresh processes varies the
 # goroutine schedules the shared cache/pool/flight/drain state is
-# exposed to. The single-flight and batch-saturation suites ride along
-# for the same reason.
-go test -race -count=2 -run 'TestServeStress|TestSingleFlight|TestBatchSaturatedPool' ./internal/serve
+# exposed to. The single-flight, batch-saturation and machine-pool
+# stress suites ride along for the same reason — the pool hands one
+# arena to many goroutines in sequence, which is exactly the handoff
+# the race detector is for.
+go test -race -count=2 -run 'TestServeStress|TestSingleFlight|TestBatchSaturatedPool|TestMachinePoolStress' ./internal/serve
+
+# Machine-reuse correctness gates, race-enabled: the conform-driven
+# differential battery (hundreds of generated cases through ONE pooled
+# machine, byte-compared against fresh runs) and the dirty-machine
+# property test (Reset after failed/aborted/deadlocked runs restores a
+# machine byte-for-byte).
+go test -race -count=1 -run 'TestPooledReuseBattery' ./internal/conform
+go test -race -count=1 -run 'TestMachineReuse' ./internal/emulator
 
 # Differential load smoke: the traffic generator drives the full
 # in-process HTTP stack with a mixed warm/cold corpus (batches of 4,
@@ -99,3 +112,12 @@ go test -race -count=2 -run 'TestServeStress|TestSingleFlight|TestBatchSaturated
 go run ./cmd/segbus-load -seed 1 -models 12 -requests 300 -concurrency 8 \
 	-hit-ratio 0.6 -batch 4 -corpus testdata/scenarios -diff -prove-coalescing \
 	-slowest 5 -json
+
+# Warm-hit latency gate: a single-worker warm-mix run (queueing would
+# measure the client, not the server) must land its hit p50 under the
+# BENCH_8-era serve/cache_hit cost — the regression fence around the
+# raw-index fast path that replaced per-hit key derivation with a
+# byte-level probe.
+go run ./cmd/segbus-load -seed 2 -models 8 -requests 200 -concurrency 1 \
+	-hit-ratio 0.8 -batch 1 -corpus testdata/scenarios -diff \
+	-hit-p50-baseline BENCH_8.json -json
