@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "../../testdata/mp3.sbd"
+
+func TestRunAxisFlags(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	csvPath := filepath.Join(t.TempDir(), "front.csv")
+	var out strings.Builder
+	err := run([]string{"-app", "mp3", "-segments", "1,2,3", "-sizes", "9,36",
+		"-headers", "0,100", "-wave", "4", "-json", jsonPath, "-csv", csvPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "12 candidates") {
+		t.Errorf("summary missing candidate count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "Pareto front") {
+		t.Errorf("summary missing front:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema    string `json:"schema"`
+		Generated int    `json:"generated"`
+		Pruned    int    `json:"pruned"`
+		Emulated  int    `json:"emulated"`
+		Front     []struct {
+			Label  string `json:"label"`
+			ExecPs int64  `json:"execPs"`
+		} `json:"front"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema == "" || rep.Generated != 12 || rep.Pruned+rep.Emulated != 12 {
+		t.Errorf("report: %+v", rep)
+	}
+	if len(rep.Front) == 0 || rep.Front[0].ExecPs == 0 {
+		t.Errorf("front empty or unpopulated: %+v", rep.Front)
+	}
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) != 1+len(rep.Front) {
+		t.Errorf("CSV rows = %d, want header + %d", len(lines), len(rep.Front))
+	}
+}
+
+func TestRunModelFile(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-model", fixture, "-segments", "2", "-sizes", "36",
+		"-mappings", "solve,round-robin"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 candidates") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "space.json")
+	body := `{"name": "tiny", "segments": [1, 2], "package_sizes": [18, 36]}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-app", "mp3", "-spec", spec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "space tiny: 4 candidates") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// Axis flags refine the spec.
+	out.Reset()
+	if err := run([]string{"-app", "mp3", "-spec", spec, "-sizes", "36"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "space tiny: 2 candidates") {
+		t.Errorf("refined output:\n%s", out.String())
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the CLI-level byte-stability
+// check the check.sh gate scripts: stdout must not depend on -workers
+// or -seed.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, args := range [][]string{
+		{"-app", "mp3", "-segments", "1,2,3", "-sizes", "9,18,36", "-cahops", "0,100", "-wave", "4", "-workers", "1"},
+		{"-app", "mp3", "-segments", "1,2,3", "-sizes", "9,18,36", "-cahops", "0,100", "-wave", "4", "-workers", "8"},
+		{"-app", "mp3", "-segments", "1,2,3", "-sizes", "9,18,36", "-cahops", "0,100", "-wave", "4", "-workers", "3", "-seed", "99"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Fatalf("stdout varies with workers/seed:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no model accepted")
+	}
+	if err := run([]string{"-app", "mp3"}, &out); err == nil {
+		t.Error("no space accepted")
+	}
+	if err := run([]string{"-app", "vorbis", "-segments", "1", "-sizes", "36"}, &out); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-app", "mp3", "-model", fixture, "-segments", "1", "-sizes", "36"}, &out); err == nil {
+		t.Error("-app plus -model accepted")
+	}
+	if err := run([]string{"-app", "mp3", "-segments", "one", "-sizes", "36"}, &out); err == nil {
+		t.Error("bad segment value accepted")
+	}
+	if err := run([]string{"-app", "mp3", "-segments", "1", "-sizes", "36", "-mappings", "magic"}, &out); err == nil {
+		t.Error("bad mapping accepted")
+	}
+	spec := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(spec, []byte(`{"segmentz": [1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-app", "mp3", "-spec", spec}, &out); err == nil {
+		t.Error("unknown spec field accepted")
+	}
+	if err := run([]string{"-app", "mp3", "-spec", spec, "-reference"}, &out); err == nil {
+		t.Error("-spec plus -reference accepted")
+	}
+}

@@ -61,7 +61,7 @@ func main() {
 }
 
 // ReportSchema versions the JSON report layout.
-const ReportSchema = "segbus/load-report/v1"
+const ReportSchema = "segbus/load-report/v2"
 
 // Latency is the merged request-latency digest, in microseconds.
 type Latency struct {
@@ -120,15 +120,19 @@ type Report struct {
 	CacheHits   int64            `json:"cache_hits"`
 	CacheMisses int64            `json:"cache_misses"`
 	Coalesced   int64            `json:"coalesced"`
-	Emulations  int64            `json:"emulations"` // in-process hook count; -1 against a remote server
-	Checked     int64            `json:"checked"`    // items compared against the CLI oracle
-	Mismatches  int64            `json:"mismatches"`
-	ProofRan    bool             `json:"coalescing_proof_ran"`
-	Proven      bool             `json:"coalescing_proven"`
-	ElapsedMs   float64          `json:"elapsed_ms"`
-	ReqPerSec   float64          `json:"requests_per_sec"`
-	ItemsPerSec float64          `json:"items_per_sec"`
-	Latency     Latency          `json:"latency"`
+	// CacheShards is the server cache's per-shard hit/miss/eviction
+	// tally (in-process runs only — a remote server's shards are not
+	// observable from the client side).
+	CacheShards []serve.CacheShardStats `json:"cache_shards,omitempty"`
+	Emulations  int64                   `json:"emulations"` // in-process hook count; -1 against a remote server
+	Checked     int64                   `json:"checked"`    // items compared against the CLI oracle
+	Mismatches  int64                   `json:"mismatches"`
+	ProofRan    bool                    `json:"coalescing_proof_ran"`
+	Proven      bool                    `json:"coalescing_proven"`
+	ElapsedMs   float64                 `json:"elapsed_ms"`
+	ReqPerSec   float64                 `json:"requests_per_sec"`
+	ItemsPerSec float64                 `json:"items_per_sec"`
+	Latency     Latency                 `json:"latency"`
 	// MarkerLatency splits single-request latency by the server's
 	// X-Segbus-Cache marker (hit / miss / coalesced). Batch requests
 	// mix markers within one round trip, so they are excluded.
@@ -233,6 +237,7 @@ func run(args []string, stdout io.Writer) error {
 	// Target: a remote server, or the full in-process stack on a real
 	// loopback listener with an emulation-counting hook.
 	var emulations atomic.Int64
+	var inSrv *serve.Server
 	target := *addr
 	inProcess := target == ""
 	if inProcess {
@@ -252,6 +257,7 @@ func run(args []string, stdout io.Writer) error {
 		go srv.Serve(ln)
 		defer srv.Close()
 		target = ln.Addr().String()
+		inSrv = s
 	}
 	base := target
 	if !strings.Contains(base, "://") {
@@ -463,6 +469,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if inProcess {
 		rep.Emulations = emulations.Load() - baseEmu
+		rep.CacheShards = inSrv.Cache().ShardStats()
 	}
 	var all []int64
 	for _, l := range latencies {
@@ -723,6 +730,13 @@ func printText(w io.Writer, r *Report) {
 	}
 	fmt.Fprintf(w, "  cache:      %d hits, %d misses, %d coalesced (emulations: %s)\n",
 		r.CacheHits, r.CacheMisses, r.Coalesced, emu)
+	if len(r.CacheShards) > 0 {
+		fmt.Fprintf(w, "  shards:    ")
+		for _, st := range r.CacheShards {
+			fmt.Fprintf(w, " [%d: %de %dh/%dm/%dv]", st.Shard, st.Entries, st.Hits, st.Misses, st.Evictions)
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "  latency:    p50 %s  p90 %s  p99 %s  max %s\n",
 		us(r.Latency.P50Us), us(r.Latency.P90Us), us(r.Latency.P99Us), us(r.Latency.MaxUs))
 	for _, marker := range []string{"hit", "miss", "coalesced"} {

@@ -58,6 +58,30 @@ func TestLoadRunJSON(t *testing.T) {
 	if rep.ElapsedMs <= 0 || rep.ItemsPerSec <= 0 {
 		t.Errorf("throughput fields not populated: %+v", rep)
 	}
+	// In-process runs expose the cache's per-shard tallies. They are
+	// the server-side view — warmup and the coalescing proof probe the
+	// cache too, and the raw-bytes fast path answers repeat singles
+	// without touching the shards at all — so the only portable
+	// invariants are presence, sanity, and that the cold corpus forced
+	// at least one canonical-pipeline miss and fill.
+	if len(rep.CacheShards) == 0 {
+		t.Fatal("in-process report has no cache_shards")
+	}
+	var entries int
+	var shardMisses int64
+	for _, st := range rep.CacheShards {
+		if st.Entries < 0 || st.Hits < 0 || st.Misses < 0 || st.Evictions < 0 {
+			t.Errorf("negative shard tally: %+v", st)
+		}
+		entries += st.Entries
+		shardMisses += st.Misses
+	}
+	if shardMisses == 0 {
+		t.Error("no shard recorded a miss on a cold corpus")
+	}
+	if entries == 0 {
+		t.Error("no shard holds an entry after the run")
+	}
 }
 
 // TestLoadRunTextSingles covers the single-request path (-batch 1)
@@ -72,7 +96,7 @@ func TestLoadRunTextSingles(t *testing.T) {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	text := out.String()
-	for _, want := range []string{"segbus-load: 30 requests (30 items)", "throughput:", "cache:", "latency:", "differential: 30/30"} {
+	for _, want := range []string{"segbus-load: 30 requests (30 items)", "throughput:", "cache:", "shards:", "latency:", "differential: 30/30"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text report missing %q:\n%s", want, text)
 		}

@@ -42,6 +42,8 @@ func run(args []string, stdout io.Writer) error {
 	segment := fs.Int("segment", 1, "segment index for -param segment-clock")
 	csvPath := fs.String("csv", "", "also write the curve as CSV to this file")
 	heartbeat := fs.Duration("heartbeat", 0, "print a progress line (samples/s, failures, ETA) to stderr at this interval (0: off)")
+	workers := fs.Int("workers", 0, "concurrent samples (0: GOMAXPROCS); never changes the curve")
+	seed := fs.Int64("seed", 0, "work-stealing schedule seed; never changes the curve")
 	pf := profflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,7 +77,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	parts := strings.Split(*valuesArg, ",")
-	var opts sweep.Options
+	opts := sweep.Options{Workers: *workers, Seed: *seed}
 	if *heartbeat > 0 {
 		opts.Heartbeat = obs.NewHeartbeat(os.Stderr, "sample", *heartbeat, len(parts))
 	}

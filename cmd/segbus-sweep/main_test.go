@@ -50,6 +50,26 @@ func TestRunOtherParams(t *testing.T) {
 	}
 }
 
+func TestRunWorkerFlagsNeverChangeCurve(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, args := range [][]string{
+		{"-model", fixture, "-param", "package-size", "-values", "18,36,72"},
+		{"-model", fixture, "-param", "package-size", "-values", "18,36,72", "-workers", "1", "-seed", "7"},
+		{"-model", fixture, "-param", "package-size", "-values", "18,36,72", "-workers", "8", "-seed", "13"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Errorf("run %d output differs:\n%s\nvs\n%s", i, outputs[i], outputs[0])
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, &out); err == nil {

@@ -125,9 +125,34 @@ func runBounds(pass *Pass) {
 // protocol overheads, default end-detection latency). It requires a
 // structurally valid pair and returns an error otherwise.
 func ComputeBounds(m *psdf.Model, plat *platform.Platform) (*Bounds, error) {
+	q, err := NewBoundsQuery(m)
+	if err != nil {
+		return nil, err
+	}
+	return q.Bounds(plat)
+}
+
+// BoundsQuery answers repeated bounds queries over one model — the
+// design-space explorer's seam. A space fixes the application and
+// varies the platform, so the model-side validation is paid once here
+// and each candidate pays only the platform-dependent work.
+type BoundsQuery struct {
+	m *psdf.Model
+}
+
+// NewBoundsQuery validates the model once and returns a query handle.
+func NewBoundsQuery(m *psdf.Model) (*BoundsQuery, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("analyze: bounds need a valid model: %w", err)
 	}
+	return &BoundsQuery{m: m}, nil
+}
+
+// Bounds computes the static figures of the query's model on one
+// candidate platform. Safe for concurrent use: the handle is
+// read-only after construction, so explorer workers share one.
+func (q *BoundsQuery) Bounds(plat *platform.Platform) (*Bounds, error) {
+	m := q.m
 	if err := plat.Validate(); err != nil {
 		return nil, fmt.Errorf("analyze: bounds need a valid platform: %w", err)
 	}

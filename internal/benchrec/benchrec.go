@@ -28,6 +28,7 @@ import (
 	"segbus/internal/core"
 	"segbus/internal/emulator"
 	"segbus/internal/engine"
+	"segbus/internal/explore"
 	"segbus/internal/obs"
 	"segbus/internal/serve"
 )
@@ -38,8 +39,11 @@ import (
 // the traced request path (span recording, flight-recorder snapshot)
 // so the observability overhead stays on the trajectory; v4 adds the
 // machine-pool serving benchmarks — the raw-index byte fast path
-// (cache_hit_bytes) and the pooled cold estimate.
-const Schema = "segbus/bench-record/v4"
+// (cache_hit_bytes) and the pooled cold estimate; v5 adds the
+// design-space explorer — the bounds-pruned reference run (parallel
+// and single-worker, so the record carries the scheduling overhead on
+// this box) and a small exhaustive space as the unpruned baseline.
+const Schema = "segbus/bench-record/v5"
 
 // requiredBySchema is the minimum benchmark set of every record
 // layout ever committed, so Validate can check the whole trajectory
@@ -63,7 +67,14 @@ var requiredBySchema = map[string][]string{
 		"serve/cold_estimate", "serve/cache_hit",
 		"serve/batch_estimate", "serve/coalesced_hit", "serve/traced_estimate",
 	},
-	// v4 (the current schema) requires the live battery; see Validate.
+	"segbus/bench-record/v4": {
+		"kernel/event_throughput", "kernel/queue_churn", "kernel/cancel_heavy",
+		"emulator/mp3_estimate", "analyze/exact_reachability",
+		"serve/cold_estimate", "serve/cache_hit",
+		"serve/batch_estimate", "serve/coalesced_hit", "serve/traced_estimate",
+		"serve/cache_hit_bytes", "serve/pooled_cold_estimate",
+	},
+	// v5 (the current schema) requires the live battery; see Validate.
 }
 
 // Result is one benchmark's measurement.
@@ -112,6 +123,9 @@ var battery = []struct {
 	{"serve/traced_estimate", 150, benchTracedEstimate},
 	{"serve/cache_hit_bytes", 20_000, benchCacheHitBytes},
 	{"serve/pooled_cold_estimate", 20, benchPooledColdEstimate},
+	{"explore/pruned_space", 1, benchExplorePrunedSpace},
+	{"explore/pruned_space_1w", 1, benchExplorePrunedSpaceSerial},
+	{"explore/exhaustive_small", 1, benchExploreExhaustiveSmall},
 }
 
 // RequiredNames returns the stable benchmark identifiers every record
@@ -404,6 +418,63 @@ func benchPooledColdEstimate(n int) error {
 	for i := 0; i < n; i++ {
 		if _, err := r.ReportJSONOn(mc, m, p); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// benchExplorePrunedSpace measures one bounds-pruned run of the
+// 10240-candidate MP3 reference space at the default worker count —
+// the explorer's headline number. Compare with explore/
+// exhaustive_small (per-candidate cost without pruning) and explore/
+// pruned_space_1w (the scheduler's parallel benefit on this box; on a
+// single-CPU runner the two are expected to coincide — wall-clock
+// speedup needs real cores, see the BENCH notes in EXPERIMENTS.md).
+func benchExplorePrunedSpace(n int) error {
+	return runExplore(n, explore.Options{})
+}
+
+func benchExplorePrunedSpaceSerial(n int) error {
+	return runExplore(n, explore.Options{Workers: 1})
+}
+
+func runExplore(n int, opts explore.Options) error {
+	m := apps.MP3Model()
+	space := explore.ReferenceMP3Space()
+	for i := 0; i < n; i++ {
+		res, err := explore.Run(m, space, opts)
+		if err != nil {
+			return err
+		}
+		if res.Errors > 0 {
+			return fmt.Errorf("benchrec: %d explorer candidate errors", res.Errors)
+		}
+		if !opts.NoPrune && res.PruningRatio < 0.5 {
+			return fmt.Errorf("benchrec: pruning ratio %.3f below the 0.5 floor", res.PruningRatio)
+		}
+	}
+	return nil
+}
+
+// benchExploreExhaustiveSmall measures a 54-candidate space emulated
+// exhaustively (pruning off): the per-candidate cost baseline the
+// pruned run's savings are judged against.
+func benchExploreExhaustiveSmall(n int) error {
+	m := apps.MP3Model()
+	space := &explore.Space{
+		Name:         "bench-small",
+		Segments:     []int{1, 2, 3},
+		PackageSizes: []int{9, 18, 36},
+		HeaderTicks:  []int{0, 25, 100},
+		CAHopTicks:   []int{0, 100},
+	}
+	for i := 0; i < n; i++ {
+		res, err := explore.Run(m, space, explore.Options{NoPrune: true})
+		if err != nil {
+			return err
+		}
+		if res.Emulated != space.Size() {
+			return fmt.Errorf("benchrec: exhaustive run emulated %d of %d", res.Emulated, space.Size())
 		}
 	}
 	return nil

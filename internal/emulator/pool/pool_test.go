@@ -1,0 +1,106 @@
+package pool
+
+// Contract tests for the extracted machine pool: checkout accounting
+// with raw counter handles, nil-safe metrics, default bounds and the
+// shape-budget discard path. The serving-layer behavior (byte
+// identity under concurrency, reconciliation against emulations) stays
+// pinned by internal/serve's pool tests.
+
+import (
+	"sync"
+	"testing"
+
+	"segbus/internal/apps"
+	"segbus/internal/obs"
+)
+
+func TestDefaults(t *testing.T) {
+	p := New(Options{})
+	if p.perKey != DefaultPerKey || p.maxShapes != DefaultMaxShapes {
+		t.Errorf("zero Options gave bounds %d/%d, want defaults %d/%d",
+			p.perKey, p.maxShapes, DefaultPerKey, DefaultMaxShapes)
+	}
+	// Nil counter handles must be safe: a full get/put cycle with no
+	// metrics wired may not panic.
+	mc, warm := p.Get("k")
+	if warm {
+		t.Fatal("empty pool reported a hit")
+	}
+	p.Put("k", mc)
+	if _, warm := p.Get("k"); !warm {
+		t.Fatal("pooled machine not returned")
+	}
+}
+
+func TestShapeKeyStructural(t *testing.T) {
+	m := apps.MP3Model()
+	k3 := ShapeKey(m, apps.MP3Platform3(36))
+	if k2 := ShapeKey(m, apps.MP3Platform2(36)); k2 == k3 {
+		t.Errorf("different platform shapes share key %q", k3)
+	}
+	if k := ShapeKey(m, apps.MP3Platform3(48)); k != k3 {
+		t.Error("package size changed the shape key; storage shape is size-independent")
+	}
+}
+
+func TestCountersAndBounds(t *testing.T) {
+	reg := obs.NewRegistry()
+	hits := reg.Counter("pool_hits")
+	misses := reg.Counter("pool_misses")
+	discards := reg.Counter("pool_discards")
+	p := New(Options{PerKey: 2, MaxShapes: 1, Hits: hits, Misses: misses, Discards: discards})
+
+	// Fill shape "a" to its per-key cap, then overflow it by one.
+	a1, _ := p.Get("a")
+	a2, _ := p.Get("a")
+	a3, _ := p.Get("a")
+	p.Put("a", a1)
+	p.Put("a", a2)
+	p.Put("a", a3) // over PerKey → discard
+	if got := discards.Value(); got != 1 {
+		t.Errorf("discards after per-key overflow = %d, want 1", got)
+	}
+
+	// A second shape exceeds MaxShapes → discard, shape not binned.
+	b1, _ := p.Get("b")
+	p.Put("b", b1)
+	if got := discards.Value(); got != 2 {
+		t.Errorf("discards after shape-budget overflow = %d, want 2", got)
+	}
+	shapes, machines := p.Stats()
+	if shapes != 1 || machines != 2 {
+		t.Errorf("Stats() = (%d shapes, %d machines), want (1, 2)", shapes, machines)
+	}
+	if hits.Value() != 0 || misses.Value() != 4 {
+		t.Errorf("hits=%d misses=%d after four cold checkouts", hits.Value(), misses.Value())
+	}
+	if _, warm := p.Get("a"); !warm {
+		t.Fatal("warm checkout missed")
+	}
+	if hits.Value() != 1 {
+		t.Errorf("hits=%d after one warm checkout", hits.Value())
+	}
+}
+
+// TestConcurrentCheckout exercises the lock under contention; run
+// under -race by the suite.
+func TestConcurrentCheckout(t *testing.T) {
+	p := New(Options{PerKey: 4, MaxShapes: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := []string{"x", "y"}[g%2]
+			for i := 0; i < 50; i++ {
+				mc, _ := p.Get(key)
+				p.Put(key, mc)
+			}
+		}(g)
+	}
+	wg.Wait()
+	shapes, _ := p.Stats()
+	if shapes > 8 {
+		t.Errorf("shape budget exceeded: %d", shapes)
+	}
+}

@@ -1,0 +1,241 @@
+// Package explore is the design-space explorer: it enumerates a
+// declarative configuration space (segment counts × mappings ×
+// package sizes × protocol overheads) over one application model,
+// prunes candidates whose analytic lower bounds are already dominated
+// by an emulated point — without emulating them — and emits the
+// latency-vs-energy Pareto front of the survivors.
+//
+// This is the ROADMAP's "estimate the speedup before you build it"
+// workflow at production scale: analyze's proven LB ≤ estimate ≤ UB
+// latency bounds and power.Profile's run-independent energy bound
+// turn most of a 10k-candidate space into arithmetic, and the
+// remainder runs on the work-stealing scheduler with pooled emulator
+// machines. The output is byte-identical for every worker count; see
+// Run for the scheduling and soundness argument.
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"segbus/internal/core"
+	"segbus/internal/place"
+	"segbus/internal/platform"
+	"segbus/internal/psdf"
+)
+
+// Mapping names accepted in Space.Mappings.
+const (
+	// MappingSolve places processes with place.Solve (the PlaceTool
+	// optimizer: exhaustive for small models, seeded local search
+	// above that, deterministic tie-breaking throughout).
+	MappingSolve = "solve"
+
+	// MappingRoundRobin deals processes to segments in id order — the
+	// paper's naive baseline, kept in spaces as the control arm.
+	MappingRoundRobin = "round-robin"
+)
+
+// Space is the declarative spec of a configuration space: the
+// cartesian product of its axes. The zero value of an axis selects
+// the documented default, so a spec file only names what it varies.
+// Consumed by both the library (Enumerate, Run) and segbus-explore's
+// -spec flag.
+type Space struct {
+	// Name labels the space in reports and platform names.
+	Name string `json:"name,omitempty"`
+
+	// Segments lists the segment counts to explore. Required.
+	Segments []int `json:"segments"`
+
+	// Mappings lists the placement strategies per segment count:
+	// MappingSolve and/or MappingRoundRobin. Default: ["solve"].
+	Mappings []string `json:"mappings,omitempty"`
+
+	// PackageSizes lists the platform package sizes. Required.
+	PackageSizes []int `json:"package_sizes"`
+
+	// HeaderTicks lists the per-package protocol header costs.
+	// Default: [25] (the paper's MP3 figure).
+	HeaderTicks []int `json:"header_ticks,omitempty"`
+
+	// CAHopTicks lists the CA circuit set-up costs per hop.
+	// Default: [25].
+	CAHopTicks []int `json:"ca_hop_ticks,omitempty"`
+
+	// SegmentClocksMHz assigns segment clocks: segment i (1-based)
+	// runs at SegmentClocksMHz[(i-1) % len]. Default: [100].
+	SegmentClocksMHz []int `json:"segment_clocks_mhz,omitempty"`
+
+	// CAClockMHz is the central arbiter clock. Default: 111 (paper).
+	CAClockMHz int `json:"ca_clock_mhz,omitempty"`
+}
+
+// Candidate is one enumerated configuration: the axis values plus the
+// concrete platform they produce. Index is the candidate's position
+// in enumeration order — the identity every deterministic merge keys
+// on.
+type Candidate struct {
+	Index       int    `json:"index"`
+	Label       string `json:"label"`
+	Segments    int    `json:"segments"`
+	Mapping     string `json:"mapping"`
+	PackageSize int    `json:"packageSize"`
+	HeaderTicks int    `json:"headerTicks"`
+	CAHopTicks  int    `json:"caHopTicks"`
+
+	Platform *platform.Platform `json:"-"`
+}
+
+// withDefaults returns a copy with the documented axis defaults
+// filled in, or an error for a spec that can never enumerate.
+func (s *Space) withDefaults() (Space, error) {
+	out := *s
+	if len(out.Segments) == 0 {
+		return out, fmt.Errorf("explore: space needs at least one segment count")
+	}
+	for _, n := range out.Segments {
+		if n < 1 {
+			return out, fmt.Errorf("explore: segment count %d out of range", n)
+		}
+	}
+	if len(out.PackageSizes) == 0 {
+		return out, fmt.Errorf("explore: space needs at least one package size")
+	}
+	for _, ps := range out.PackageSizes {
+		if ps < 1 {
+			return out, fmt.Errorf("explore: package size %d out of range", ps)
+		}
+	}
+	if len(out.Mappings) == 0 {
+		out.Mappings = []string{MappingSolve}
+	}
+	for _, mp := range out.Mappings {
+		if mp != MappingSolve && mp != MappingRoundRobin {
+			return out, fmt.Errorf("explore: unknown mapping %q (want %q or %q)", mp, MappingSolve, MappingRoundRobin)
+		}
+	}
+	if len(out.HeaderTicks) == 0 {
+		out.HeaderTicks = []int{25}
+	}
+	if len(out.CAHopTicks) == 0 {
+		out.CAHopTicks = []int{25}
+	}
+	for _, t := range append(append([]int{}, out.HeaderTicks...), out.CAHopTicks...) {
+		if t < 0 {
+			return out, fmt.Errorf("explore: negative tick value %d", t)
+		}
+	}
+	if len(out.SegmentClocksMHz) == 0 {
+		out.SegmentClocksMHz = []int{100}
+	}
+	for _, c := range out.SegmentClocksMHz {
+		if c < 1 {
+			return out, fmt.Errorf("explore: segment clock %d MHz out of range", c)
+		}
+	}
+	if out.CAClockMHz == 0 {
+		out.CAClockMHz = 111
+	}
+	if out.CAClockMHz < 1 {
+		return out, fmt.Errorf("explore: CA clock %d MHz out of range", out.CAClockMHz)
+	}
+	if out.Name == "" {
+		out.Name = "space"
+	}
+	return out, nil
+}
+
+// Size returns the number of candidates the space enumerates (after
+// defaults).
+func (s *Space) Size() int {
+	sp, err := s.withDefaults()
+	if err != nil {
+		return 0
+	}
+	return len(sp.Segments) * len(sp.Mappings) * len(sp.PackageSizes) * len(sp.HeaderTicks) * len(sp.CAHopTicks)
+}
+
+// Enumerate expands the space over the model into the full candidate
+// list, in the canonical order the explorer's determinism guarantees
+// key on: segments (as listed) ≫ mapping ≫ package size ≫ header
+// ticks ≫ CA hop ticks. Each (segments, mapping) pair solves its
+// placement exactly once; the per-candidate platforms are clones with
+// the remaining axes substituted.
+//
+// The whole space must be feasible: a segment count the model cannot
+// populate fails enumeration rather than silently shrinking the
+// space.
+func (s *Space) Enumerate(m *psdf.Model) ([]Candidate, error) {
+	sp, err := s.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cm := m.CommunicationMatrix()
+
+	clocksFor := func(n int) []platform.Hz {
+		clocks := make([]platform.Hz, n)
+		for i := range clocks {
+			clocks[i] = platform.Hz(sp.SegmentClocksMHz[i%len(sp.SegmentClocksMHz)]) * platform.MHz
+		}
+		return clocks
+	}
+	caClock := platform.Hz(sp.CAClockMHz) * platform.MHz
+
+	var out []Candidate
+	for _, segs := range sp.Segments {
+		for _, mapping := range sp.Mappings {
+			var alloc place.Allocation
+			var err error
+			switch mapping {
+			case MappingSolve:
+				alloc, err = place.Solve(cm, segs, place.Options{})
+			case MappingRoundRobin:
+				alloc, err = place.RoundRobin(cm, segs)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("explore: %s mapping onto %d segments: %w", mapping, segs, err)
+			}
+			for _, size := range sp.PackageSizes {
+				for _, header := range sp.HeaderTicks {
+					for _, hop := range sp.CAHopTicks {
+						label := fmt.Sprintf("%s/seg=%d/%s/s=%d/h=%d/ca=%d",
+							sp.Name, segs, mapping, size, header, hop)
+						plat, err := core.PlatformFromAllocation(label, alloc, clocksFor(segs), caClock, size, header, hop)
+						if err != nil {
+							return nil, fmt.Errorf("explore: %s: %w", label, err)
+						}
+						out = append(out, Candidate{
+							Index:       len(out),
+							Label:       label,
+							Segments:    segs,
+							Mapping:     mapping,
+							PackageSize: size,
+							HeaderTicks: header,
+							CAHopTicks:  hop,
+							Platform:    plat,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the space one axis per line, for report headers.
+func (s *Space) String() string {
+	sp, err := s.withDefaults()
+	if err != nil {
+		return fmt.Sprintf("invalid space: %v", err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "space %s: %d candidates\n", sp.Name, s.Size())
+	fmt.Fprintf(&b, "  segments      %v\n", sp.Segments)
+	fmt.Fprintf(&b, "  mappings      %v\n", sp.Mappings)
+	fmt.Fprintf(&b, "  package sizes %v\n", sp.PackageSizes)
+	fmt.Fprintf(&b, "  header ticks  %v\n", sp.HeaderTicks)
+	fmt.Fprintf(&b, "  CA hop ticks  %v\n", sp.CAHopTicks)
+	fmt.Fprintf(&b, "  clocks        %v MHz (CA %d MHz)\n", sp.SegmentClocksMHz, sp.CAClockMHz)
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"segbus/internal/emulator/pool"
+)
+
+// RunPooled executes the jobs like Run, but on the work-stealing
+// scheduler (StealRun) with every emulation checked out of a machine
+// pool — the combination a design-space batch wants: stragglers
+// rebalance instead of serialising the tail, and candidates sharing a
+// platform shape reuse warm arenas instead of constructing machines.
+//
+// machines may be nil, in which case a private pool sized to the
+// worker count is used for the call. Results are identical to Run's
+// on the same jobs (order preserved, per-job errors, panic recovery);
+// only the schedule and the construction cost differ.
+func RunPooled(jobs []Job, opts Options, steal StealOptions, machines *pool.Pool) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if machines == nil {
+		w := steal.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		machines = pool.New(pool.Options{PerKey: w})
+	}
+	StealRun(len(jobs), steal, func(i int) {
+		results[i] = runOnePooled(i, jobs[i], opts, machines)
+		if opts.Progress != nil {
+			opts.Progress(results[i])
+		}
+	})
+	return results
+}
+
+// runOnePooled mirrors runOne on a pooled machine. A panicking run
+// does not return its machine — Reset is total, but a machine whose
+// run tore a hole in the stack is not worth salvaging.
+func runOnePooled(i int, j Job, opts Options, machines *pool.Pool) (r Result) {
+	r = Result{Index: i, Label: j.Label}
+	if opts.Stop != nil {
+		select {
+		case <-opts.Stop:
+			r.Err = ErrStopped
+			return r
+		default:
+		}
+	}
+	if opts.Context != nil {
+		select {
+		case <-opts.Context.Done():
+			r.Err = context.Cause(opts.Context)
+			return r
+		default:
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			r.Err = fmt.Errorf("parallel: job %q panicked: %v", j.Label, p)
+			r.Report = nil
+		}
+	}()
+	key := pool.ShapeKey(j.Model, j.Platform)
+	mc, _ := machines.Get(key)
+	r.Report, r.Err = mc.Run(j.Model, j.Platform, j.Config)
+	machines.Put(key, mc)
+	return r
+}

@@ -223,8 +223,12 @@ func Solve(cm *psdf.CommMatrix, segments int, opts Options) (Allocation, error) 
 	// Heuristic path: local search from several seeds — the
 	// traffic-greedy construction, the balanced round-robin deal, and
 	// a handful of deterministic pseudo-random restarts — keeping the
-	// best fixed point. The restart PRNG is fixed-seeded, so Solve is
-	// a pure function of its inputs.
+	// best fixed point. The restart PRNG is fixed-seeded and the race
+	// winner is picked by the documented deterministic order (see
+	// better), so Solve is a pure function of its inputs: equal-score
+	// fixed points can never make the result drift across runs, Go
+	// versions or map-iteration orders, which the design-space
+	// explorer's byte-stable output depends on.
 	a := greedy(cm, procs, segments, opts)
 	localSearch(cm, &a, opts)
 	// The round-robin seed ignores pins, so it only enters the race
@@ -232,7 +236,7 @@ func Solve(cm *psdf.CommMatrix, segments int, opts Options) (Allocation, error) 
 	if len(opts.Pinned) == 0 {
 		if rr, err := RoundRobin(cm, segments); err == nil {
 			localSearch(cm, &rr, opts)
-			if Score(cm, rr) < Score(cm, a) {
+			if better(cm, procs, rr, a) {
 				a = rr
 			}
 		}
@@ -244,11 +248,43 @@ func Solve(cm *psdf.CommMatrix, segments int, opts Options) (Allocation, error) 
 			continue
 		}
 		localSearch(cm, &r, opts)
-		if Score(cm, r) < Score(cm, a) {
+		if better(cm, procs, r, a) {
 			a = r
 		}
 	}
 	return a, nil
+}
+
+// canonicalVector renders an allocation as its assignment vector over
+// the ascending active process ids — the tie-break key of the solver:
+// two allocations compare by their vectors exactly when their scores
+// are equal.
+func canonicalVector(procs []psdf.ProcessID, a Allocation) []int {
+	v := make([]int, len(procs))
+	for i, p := range procs {
+		v[i] = a.Of[p]
+	}
+	return v
+}
+
+// better reports whether a beats b under the solver's documented
+// deterministic total order: strictly lower Score wins; equal scores
+// break towards the lexicographically smaller canonical assignment
+// vector (matching the exhaustive path's first-found-is-smallest
+// enumeration order). procs must be the ascending active process ids
+// both allocations were built over.
+func better(cm *psdf.CommMatrix, procs []psdf.ProcessID, a, b Allocation) bool {
+	sa, sb := Score(cm, a), Score(cm, b)
+	if sa != sb {
+		return sa < sb
+	}
+	va, vb := canonicalVector(procs, a), canonicalVector(procs, b)
+	for i := range va {
+		if va[i] != vb[i] {
+			return va[i] < vb[i]
+		}
+	}
+	return false
 }
 
 // randomAllocation deals processes to segments uniformly, guaranteeing

@@ -26,7 +26,6 @@ import (
 	"segbus/internal/emulator"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
-	"segbus/internal/sched"
 )
 
 // Params are the per-event energy coefficients in picojoules and the
@@ -88,57 +87,26 @@ type Report struct {
 // schedule is re-derived to attribute per-flow traffic and compute
 // work.
 func Estimate(m *psdf.Model, plat *platform.Platform, r *emulator.Report, params Params) (*Report, error) {
-	if params.zero() {
-		params = DefaultParams
-	}
-	s, err := sched.Extract(m, plat.PackageSize)
+	// The traffic and compute attribution (bus items per segment,
+	// compute ticks rescaled exactly as the emulator charges them) is
+	// run-independent and shared with the explorer's pruning bounds —
+	// see Profile, which also documents why its LowerBoundPJ can never
+	// exceed the total computed here.
+	pf, err := NewProfile(m, plat, params)
 	if err != nil {
 		return nil, err
 	}
+	params = pf.params
 
 	out := &Report{Params: params}
-	busItems := make(map[int]int64)  // segment -> items moved
-	compTicks := make(map[int]int64) // segment -> FU compute ticks
-	nominal := m.NominalPackageSize()
-
-	for i := range s.Flows() {
-		f := s.Flow(sched.FlowID(i))
-		src := plat.SegmentOf(f.Source)
-		dst := src
-		if f.Target != psdf.SystemOutput {
-			dst = plat.SegmentOf(f.Target)
-		}
-		// Every data item occupies the bus of every segment on its
-		// route (source, transit, destination).
-		route, _ := plat.Route(src, dst)
-		busItems[src] += int64(f.Items)
-		for _, bu := range route {
-			next := bu.Left
-			if src < dst {
-				next = bu.Right
-			}
-			busItems[next] += int64(f.Items)
-		}
-		// Compute ticks: C per package, rescaled by the nominal size
-		// exactly as the emulator charges them.
-		pkgs := s.Packages(sched.FlowID(i))
-		var ticks int64
-		if nominal > 0 {
-			ticks = (int64(f.Ticks)*int64(f.Items) + int64(nominal) - 1) / int64(nominal)
-		} else {
-			ticks = int64(f.Ticks) * int64(pkgs)
-		}
-		compTicks[src] += ticks
-	}
-
 	var dynamic float64
 	for _, seg := range plat.Segments {
-		se := SegmentEnergy{Segment: seg.Index, BusItems: busItems[seg.Index]}
+		se := SegmentEnergy{Segment: seg.Index, BusItems: pf.busItems[seg.Index]}
 		se.BusPJ = float64(se.BusItems) * params.BusPJPerItem
 		if sa := r.SA(seg.Index); sa != nil {
 			se.SAPJ = float64(sa.TCT) * params.SAPJPerTick
 		}
-		se.ComputePJ = float64(compTicks[seg.Index]) * params.FUPJPerTick
+		se.ComputePJ = float64(pf.compTicks[seg.Index]) * params.FUPJPerTick
 		dynamic += se.BusPJ + se.SAPJ + se.ComputePJ
 		out.Segments = append(out.Segments, se)
 	}

@@ -1,133 +1,39 @@
 package serve
 
 import (
-	"strconv"
-	"sync"
-
-	"segbus/internal/emulator"
+	"segbus/internal/emulator/pool"
 	"segbus/internal/obs"
 	"segbus/internal/platform"
 	"segbus/internal/psdf"
 )
 
-// machinePool keeps warm emulator machines between requests so the
-// leader path of an emulation skips per-run machine construction: a
-// checkout returns a machine whose flat element arrays, bound
-// handlers, kernel slots and queues are already sized for a similar
-// platform shape, and Machine.Run reconfigures it in place.
-//
-// Correctness never depends on the pool: prime() rebuilds every piece
-// of run-affecting state from the request's own models, and the
-// reuse battery (emulator reuse tests, the conform `pooled` oracle,
-// the serve differential) pins warm output byte-identical to fresh.
-// The pool therefore only decides how often storage is reused, which
-// is why machines are binned by a cheap structural shape key — a
-// checkout for a matching shape reuses allocations at their final
-// size instead of re-growing them.
-//
-// Machines are Reset on the way in (put), not the way out, so a
-// checkout is a slice pop and the pool never stores a dirty machine —
-// a run that failed, deadlocked or hit its step limit returns through
-// the same Reset as a clean one.
-type machinePool struct {
-	mu     sync.Mutex
-	free   map[string][]*emulator.Machine
-	shapes int // distinct keys currently binned
+// The per-platform-shape machine pool lives in internal/emulator/pool
+// since PR 10 so the design-space explorer and the sweep harness share
+// it; serve keeps these thin wrappers so the serving stack reads in
+// its own vocabulary and the pool's server-metric wiring stays next to
+// the code it measures.
 
-	perKey    int // free machines kept per shape
-	maxShapes int // distinct shapes kept before discarding new ones
-
-	hits, misses, discards *obs.Counter // nil-safe handles
-}
-
-// poolPerKey bounds the free list of one shape: enough to keep every
-// worker of a typical pool warm on a hot shape without hoarding.
-const poolPerKey = 4
-
-// poolMaxShapes bounds the number of distinct shapes binned at once;
-// a design-space sweep touches a handful of platform shapes, so 64
-// covers real workloads while capping worst-case retained memory.
-const poolMaxShapes = 64
+// poolPerKey / poolMaxShapes are the serving stack's pool bounds —
+// the package defaults were chosen for this workload originally.
+const (
+	poolPerKey    = pool.DefaultPerKey
+	poolMaxShapes = pool.DefaultMaxShapes
+)
 
 // newMachinePool returns an empty pool reporting to the server
 // metric handles (which are nil-safe, so m may carry a nil registry).
-func newMachinePool(m *obs.ServerMetrics) *machinePool {
-	return &machinePool{
-		free:      make(map[string][]*emulator.Machine),
-		perKey:    poolPerKey,
-		maxShapes: poolMaxShapes,
-		hits:      m.PoolHits,
-		misses:    m.PoolMisses,
-		discards:  m.PoolDiscards,
-	}
+func newMachinePool(m *obs.ServerMetrics) *pool.Pool {
+	return pool.New(pool.Options{
+		PerKey:    poolPerKey,
+		MaxShapes: poolMaxShapes,
+		Hits:      m.PoolHits,
+		Misses:    m.PoolMisses,
+		Discards:  m.PoolDiscards,
+	})
 }
 
-// shapeKey bins a request by the structural sizes that drive the
-// machine's storage: segment count, per-segment FU counts and flow
-// count. Two requests with equal keys allocate identically-shaped
-// arenas, so reusing across them is maximally effective; unequal keys
-// still reuse correctly (prime regrows in place), they just share no
-// bin.
+// shapeKey bins a request by the structural sizes that drive machine
+// storage; see pool.ShapeKey.
 func shapeKey(m *psdf.Model, plat *platform.Platform) string {
-	b := make([]byte, 0, 48)
-	b = strconv.AppendInt(b, int64(plat.NumSegments()), 10)
-	for _, seg := range plat.Segments {
-		b = append(b, '.')
-		b = strconv.AppendInt(b, int64(len(seg.FUs)), 10)
-	}
-	b = append(b, '/')
-	b = strconv.AppendInt(b, int64(m.NumFlows()), 10)
-	return string(b)
-}
-
-// get checks out a machine for the given shape, reporting whether it
-// was a pool hit (warm machine) or a miss (freshly constructed).
-func (p *machinePool) get(key string) (*emulator.Machine, bool) {
-	p.mu.Lock()
-	if ms := p.free[key]; len(ms) > 0 {
-		mc := ms[len(ms)-1]
-		ms[len(ms)-1] = nil
-		p.free[key] = ms[:len(ms)-1]
-		p.mu.Unlock()
-		p.hits.Inc()
-		return mc, true
-	}
-	p.mu.Unlock()
-	p.misses.Inc()
-	return emulator.NewMachine(), false
-}
-
-// put returns a machine to its shape's free list, resetting it first
-// so the pool only ever holds clean machines. A full free list or an
-// exhausted shape budget discards the machine to the GC instead.
-func (p *machinePool) put(key string, mc *emulator.Machine) {
-	mc.Reset()
-	p.mu.Lock()
-	ms, ok := p.free[key]
-	if !ok && p.shapes >= p.maxShapes {
-		p.mu.Unlock()
-		p.discards.Inc()
-		return
-	}
-	if len(ms) >= p.perKey {
-		p.mu.Unlock()
-		p.discards.Inc()
-		return
-	}
-	if !ok {
-		p.shapes++
-	}
-	p.free[key] = append(ms, mc)
-	p.mu.Unlock()
-}
-
-// stats returns the pool's current occupancy (shapes binned, machines
-// free) for tests and /healthz.
-func (p *machinePool) stats() (shapes, machines int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, ms := range p.free {
-		machines += len(ms)
-	}
-	return p.shapes, machines
+	return pool.ShapeKey(m, plat)
 }

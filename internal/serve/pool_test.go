@@ -41,22 +41,22 @@ func TestMachinePoolCheckout(t *testing.T) {
 	p := newMachinePool(obs.NewServerMetrics(reg))
 	key := "test-shape"
 
-	mc, warm := p.get(key)
+	mc, warm := p.Get(key)
 	if warm {
 		t.Fatal("empty pool reported a hit")
 	}
-	p.put(key, mc)
-	if _, warm = p.get(key); !warm {
+	p.Put(key, mc)
+	if _, warm = p.Get(key); !warm {
 		t.Fatal("pooled machine not returned on the next checkout")
 	}
-	p.put(key, mc)
+	p.Put(key, mc)
 
 	// Overflow the per-shape cap: poolPerKey stay pooled, extras drop.
 	for i := 0; i < poolPerKey+2; i++ {
-		fresh, _ := p.get("other-shape")
-		p.put(key, fresh)
+		fresh, _ := p.Get("other-shape")
+		p.Put(key, fresh)
 	}
-	shapes, machines := p.stats()
+	shapes, machines := p.Stats()
 	if machines != poolPerKey {
 		t.Errorf("pool holds %d machines for one hot shape, want %d", machines, poolPerKey)
 	}
@@ -173,7 +173,7 @@ func TestMachinePoolStress(t *testing.T) {
 	if emulations.Load() > int64(len(variants)) && poolHits == 0 {
 		t.Error("repeated emulations never hit the machine pool")
 	}
-	if shapes, _ := s.machines.stats(); shapes > poolMaxShapes {
+	if shapes, _ := s.machines.Stats(); shapes > poolMaxShapes {
 		t.Errorf("pool binned %d shapes, cap is %d", shapes, poolMaxShapes)
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"segbus/internal/analyze"
 	"segbus/internal/core"
 	"segbus/internal/emulator"
+	"segbus/internal/emulator/pool"
 	"segbus/internal/obs"
 	"segbus/internal/obs/reqtrace"
 	"segbus/internal/parallel"
@@ -191,8 +192,8 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	cache    *Cache
-	rawIndex *Cache       // raw-request byte index; nil when caching is disabled
-	machines *machinePool // warm emulator machines for the leader path
+	rawIndex *Cache     // raw-request byte index; nil when caching is disabled
+	machines *pool.Pool // warm emulator machines for the leader path
 	flights  *flightGroup
 	pool     *parallel.Pool
 	metrics  *obs.ServerMetrics
@@ -591,7 +592,7 @@ func (s *Server) emulate(ctx context.Context, tr *reqtrace.Trace, parent reqtrac
 	err := s.pool.SubmitObserved(ctx, observe, func() {
 		sp := tr.Child(parent, "pool_checkout")
 		shape := shapeKey(pr.m, pr.plat)
-		mc, warm := s.machines.get(shape)
+		mc, warm := s.machines.Get(shape)
 		if tr != nil {
 			if warm {
 				tr.Attr(sp, "result", "hit")
@@ -606,7 +607,7 @@ func (s *Server) emulate(ctx context.Context, tr *reqtrace.Trace, parent reqtrac
 		}
 		body, runErr = pr.runner.ReportJSONOn(mc, pr.m, pr.plat)
 		tr.End(sp)
-		s.machines.put(shape, mc)
+		s.machines.Put(shape, mc)
 	})
 	switch {
 	case errors.Is(err, parallel.ErrQueueFull):

@@ -41,6 +41,15 @@ type Options struct {
 	// completed sample (from worker goroutines — Heartbeat.Tick is
 	// concurrency-safe) and the unconditional final line.
 	Heartbeat *obs.Heartbeat
+
+	// Workers is the number of concurrent samples; zero selects
+	// GOMAXPROCS.
+	Workers int
+
+	// Seed drives the work-stealing schedule (see
+	// parallel.StealOptions.Seed); the curve itself is schedule
+	// independent.
+	Seed int64
 }
 
 // first collapses the variadic options to one value.
@@ -51,7 +60,11 @@ func first(opts []Options) Options {
 	return Options{}
 }
 
-// run evaluates the variants concurrently in submission order.
+// run evaluates the variants concurrently in submission order, on the
+// work-stealing scheduler with pooled machines: every variant of one
+// curve shares a platform shape, so after the first sample each
+// worker's emulations run on a warm arena, and a straggler (small
+// package sizes cost the most) no longer serialises the tail.
 func run(m *psdf.Model, variants []*platform.Platform, values []int64, param string, o Options) Curve {
 	jobs := make([]parallel.Job, len(variants))
 	for i, p := range variants {
@@ -67,7 +80,7 @@ func run(m *psdf.Model, variants []*platform.Platform, values []int64, param str
 			o.Heartbeat.Tick(int(done.Add(1)), int(failed.Load()))
 		}
 	}
-	results := parallel.Run(jobs, popts)
+	results := parallel.RunPooled(jobs, popts, parallel.StealOptions{Workers: o.Workers, Seed: o.Seed}, nil)
 	c := Curve{Param: param, Points: make([]Point, len(values))}
 	failures := 0
 	for i, r := range results {

@@ -113,6 +113,32 @@ go run ./cmd/segbus-load -seed 1 -models 12 -requests 300 -concurrency 8 \
 	-hit-ratio 0.6 -batch 4 -corpus testdata/scenarios -diff -prove-coalescing \
 	-slowest 5 -json
 
+# Explorer determinism smoke: the same space through segbus-explore at
+# -workers 1 and -workers 8 (different seeds, too) must produce
+# byte-identical stdout and JSON reports — the work-stealing schedule
+# may differ, the merged output may not. The diff is the CLI-level
+# twin of TestReferenceSpaceDeterminism's library assertion.
+explore_dir=$(mktemp -d)
+trap 'rm -f "$metrics_tmp" "$vet_exact_tmp"; rm -rf "$explore_dir"' EXIT
+mkdir "$explore_dir/a" "$explore_dir/b"
+go run ./cmd/segbus-explore -app mp3 -segments 1,2,3,4 -sizes 9,18,36,72 \
+	-headers 0,25,100 -cahops 0,100 -wave 8 -workers 1 -seed 7 \
+	-json "$explore_dir/a/report.json" >"$explore_dir/a/stdout"
+go run ./cmd/segbus-explore -app mp3 -segments 1,2,3,4 -sizes 9,18,36,72 \
+	-headers 0,25,100 -cahops 0,100 -wave 8 -workers 8 -seed 13 \
+	-json "$explore_dir/b/report.json" >"$explore_dir/b/stdout"
+# stdout ends with "wrote <path>"; the paths legitimately differ, the
+# summary and front table above them may not.
+diff -u <(grep -v '^wrote ' "$explore_dir/a/stdout") \
+	<(grep -v '^wrote ' "$explore_dir/b/stdout")
+diff -u "$explore_dir/a/report.json" "$explore_dir/b/report.json"
+
+# The work-stealing scheduler and the explorer's wave loop hand deques
+# and pooled machines between goroutines; give both suites extra
+# race-enabled rounds in fresh processes.
+go test -race -count=2 ./internal/parallel
+go test -race -short -count=2 ./internal/explore
+
 # Warm-hit latency gate: a single-worker warm-mix run (queueing would
 # measure the client, not the server) must land its hit p50 under the
 # BENCH_8-era serve/cache_hit cost — the regression fence around the
